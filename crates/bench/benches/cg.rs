@@ -1,0 +1,51 @@
+//! Criterion micro-bench for the Fig. 1 ablation: preconditioned vs plain
+//! CG on a real `Σ_z` operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_core::hessian::{BlockJacobi, PoolHessian, SigmaZ};
+use firal_data::SyntheticConfig;
+use firal_linalg::Matrix;
+use firal_solvers::{cg_solve_panel, rademacher_panel, CgConfig, IdentityPreconditioner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cg(c: &mut Criterion) {
+    let ds = SyntheticConfig::new(10, 24)
+        .with_pool_size(2000)
+        .with_initial_per_class(1)
+        .with_eval_size(20)
+        .with_normalize(true)
+        .with_seed(1)
+        .generate::<f64>();
+    let problem = selection_problem_from_dataset(&ds);
+    let n = problem.pool_size();
+    let z = vec![10.0 / n as f64; n];
+    let sigma = SigmaZ::new(
+        PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h),
+        PoolHessian::weighted(&problem.pool_x, &problem.pool_h, z),
+    );
+    let bsz = sigma.block_diagonal();
+    let prec = BlockJacobi::new_with_ridge(&bsz, 1e-10).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let v: Matrix<f64> = rademacher_panel(problem.ehat(), 4, &mut rng);
+    let cfg = CgConfig {
+        rel_tol: 0.1,
+        max_iter: 0,
+    };
+
+    let mut group = c.benchmark_group("fig1_cg");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("preconditioned", "cifar_like"),
+        &(),
+        |b, _| b.iter(|| cg_solve_panel(&sigma, &prec, &v, &cfg)),
+    );
+    group.bench_with_input(BenchmarkId::new("plain", "cifar_like"), &(), |b, _| {
+        b.iter(|| cg_solve_panel(&sigma, &IdentityPreconditioner, &v, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg);
+criterion_main!(benches);

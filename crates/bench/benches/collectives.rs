@@ -1,0 +1,53 @@
+//! Criterion micro-bench for the shared-memory collectives backing the
+//! §III-C communication layer: allreduce / bcast / maxloc at the message
+//! sizes the RELAX step actually sends (block-diagonal panels and probe
+//! panels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_comm::{launch, Communicator, ReduceOp};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    for p in [2usize, 4] {
+        for len in [1024usize, 65_536] {
+            group.bench_with_input(
+                BenchmarkId::new("allreduce", format!("p{p}_len{len}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        launch(p, |comm| {
+                            let mut buf = vec![comm.rank() as f64; len];
+                            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                            buf[0]
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("bcast", format!("p{p}_len{len}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        launch(p, |comm| {
+                            let mut buf = vec![1.0f64; len];
+                            comm.bcast_f64(&mut buf, 0);
+                            buf[0]
+                        })
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("maxloc", format!("p{p}")), &(), |b, _| {
+            b.iter(|| {
+                launch(p, |comm| {
+                    comm.allreduce_maxloc(comm.rank() as f64, comm.rank() as u64)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-bench for Table III: the Lemma-2 matrix-free Hessian
+//! matvec vs the direct (materialized Kronecker) matvec, in both precisions,
+//! plus the batched pool-panel application that backs Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_core::hessian::{dense_hessian, fast_matvec, PoolHessian};
+use firal_linalg::Matrix;
+use firal_solvers::LinearOperator;
+
+fn point<T: firal_linalg::Scalar>(d: usize) -> Vec<T> {
+    (0..d)
+        .map(|j| T::from_f64(((j * 7 % 13) as f64 - 6.0) * 0.1))
+        .collect()
+}
+
+fn probs<T: firal_linalg::Scalar>(cm1: usize) -> Vec<T> {
+    (0..cm1).map(|k| T::from_f64(0.5 / (k + 2) as f64)).collect()
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_matvec");
+    group.sample_size(20);
+    for (d, cls) in [(32usize, 9usize), (64, 17), (128, 33)] {
+        let cm1 = cls - 1;
+        let x = point::<f64>(d);
+        let h = probs::<f64>(cm1);
+        let v: Vec<f64> = (0..d * cm1).map(|j| ((j % 11) as f64 - 5.0) * 0.1).collect();
+
+        group.bench_with_input(BenchmarkId::new("fast", format!("d{d}_c{cls}")), &(), |b, _| {
+            b.iter(|| fast_matvec(&x, &h, &v))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("d{d}_c{cls}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let hm = dense_hessian(&x, &h);
+                    hm.matvec(&v)
+                })
+            },
+        );
+        // f32 fast path (the paper's precision).
+        let x32 = point::<f32>(d);
+        let h32 = probs::<f32>(cm1);
+        let v32: Vec<f32> = v.iter().map(|&t| t as f32).collect();
+        group.bench_with_input(
+            BenchmarkId::new("fast_f32", format!("d{d}_c{cls}")),
+            &(),
+            |b, _| b.iter(|| fast_matvec(&x32, &h32, &v32)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_panel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_panel_apply");
+    group.sample_size(10);
+    for n in [2000usize, 8000] {
+        let d = 32;
+        let cm1 = 9;
+        let x = Matrix::<f64>::from_fn(n, d, |i, j| (((i * 31 + j * 7) % 13) as f64 - 6.0) * 0.1);
+        let h = Matrix::<f64>::from_fn(n, cm1, |i, k| 0.5 / ((i + k) % 7 + 2) as f64);
+        let op = PoolHessian::unweighted(&x, &h);
+        let panel = Matrix::<f64>::from_fn(d * cm1, 10, |i, j| ((i + j) % 5) as f64 - 2.0);
+        group.bench_with_input(BenchmarkId::new("two_gemm", n), &(), |b, _| {
+            b.iter(|| op.apply_panel(&panel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec, bench_pool_panel);
+criterion_main!(benches);

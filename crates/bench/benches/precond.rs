@@ -1,0 +1,32 @@
+//! Criterion micro-bench for the preconditioner build (Algorithm 2, Line 5):
+//! the fused multi-class weighted Gram pass plus per-block factorization —
+//! the "Setup B(Σz)⁻¹" bar of Figs. 5–6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_core::hessian::{BlockJacobi, PoolHessian};
+use firal_linalg::Matrix;
+
+fn bench_precond(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precond_build");
+    group.sample_size(10);
+    for (n, d, cls) in [(2000usize, 24usize, 8usize), (4000, 32, 16), (8000, 48, 8)] {
+        let cm1 = cls - 1;
+        let x = Matrix::<f64>::from_fn(n, d, |i, j| (((i * 31 + j * 7) % 13) as f64 - 6.0) * 0.1);
+        let h = Matrix::<f64>::from_fn(n, cm1, |i, k| 0.5 / ((i + k) % 7 + 2) as f64);
+        let op = PoolHessian::unweighted(&x, &h);
+        group.bench_with_input(
+            BenchmarkId::new("block_diag+factor", format!("n{n}_d{d}_c{cls}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let bd = op.block_diagonal();
+                    BlockJacobi::new_with_ridge(&bd, 1e-10).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precond);
+criterion_main!(benches);

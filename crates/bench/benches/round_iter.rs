@@ -1,0 +1,34 @@
+//! Criterion micro-bench for one diagonal-ROUND iteration (Algorithm 3):
+//! the Eq. 17 objective sweep and the per-block generalized eigensolve —
+//! the two bars of Figs. 5(C)(D)/7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_core::diag_round;
+use firal_data::SyntheticConfig;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_iteration");
+    group.sample_size(10);
+    for (n, d, cls) in [(2000usize, 24usize, 8usize), (4000, 32, 16)] {
+        let ds = SyntheticConfig::new(cls, d)
+            .with_pool_size(n)
+            .with_initial_per_class(1)
+            .with_eval_size(cls * 2)
+            .with_normalize(true)
+            .with_seed(3)
+            .generate::<f64>();
+        let problem = selection_problem_from_dataset(&ds);
+        let z = vec![4.0 / n as f64; n];
+        let eta = 4.0 * (problem.ehat() as f64).sqrt();
+        group.bench_with_input(
+            BenchmarkId::new("select_one", format!("n{n}_d{d}_c{cls}")),
+            &(),
+            |b, _| b.iter(|| diag_round(&problem, &z, 1, eta)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Diagnostic: final evaluation accuracy of Approx-FIRAL on imb-CIFAR-10
+//! as a function of the fixed ROUND learning rate η (in √ê multiples),
+//! compared with the grid-selection rule. Guides the default η grid.
+
+use firal_core::{run_experiment, ApproxFiral, FiralConfig, RoundConfig};
+use firal_data::{ExperimentPreset, PresetName};
+use firal_logreg::TrainConfig;
+
+fn main() {
+    let preset = ExperimentPreset::host_scaled(PresetName::ImbCifar10);
+    let ds = preset.generate::<f64>(0);
+    let ehat_sqrt = ((preset.config.dim * (preset.config.classes - 1)) as f64).sqrt();
+    println!("{:<16} {:>10} {:>10}", "eta", "pool acc", "eval acc");
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let strat = ApproxFiral::new(FiralConfig {
+            round: RoundConfig::with_eta(mult * ehat_sqrt),
+            ..Default::default()
+        });
+        let res = run_experiment(
+            &ds,
+            &strat,
+            preset.rounds,
+            preset.budget_per_round,
+            0,
+            &TrainConfig::default(),
+        )
+        .unwrap();
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}%",
+            format!("{mult}·√ê"),
+            100.0 * res.final_pool_accuracy(),
+            100.0 * res.final_eval_accuracy()
+        );
+    }
+    // Grid rule for reference.
+    let strat = ApproxFiral::default();
+    let res = run_experiment(
+        &ds,
+        &strat,
+        preset.rounds,
+        preset.budget_per_round,
+        0,
+        &TrainConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "{:<16} {:>9.1}% {:>9.1}%",
+        "grid rule",
+        100.0 * res.final_pool_accuracy(),
+        100.0 * res.final_eval_accuracy()
+    );
+}

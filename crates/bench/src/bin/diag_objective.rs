@@ -1,0 +1,31 @@
+//! Diagnostic: Fisher-information-ratio objective achieved by each
+//! strategy's selection (lower is better), plus class coverage. Not a paper
+//! artifact — used to separate "optimizer quality" from "objective→accuracy
+//! link" when tuning the synthetic presets.
+
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_core::objective::selection_objective;
+use firal_core::{ApproxFiral, EntropyStrategy, KMeansStrategy, RandomStrategy, Strategy};
+use firal_data::{ExperimentPreset, PresetName};
+
+fn main() {
+    let preset = ExperimentPreset::host_scaled(PresetName::Cifar10);
+    let ds = preset.generate::<f64>(0);
+    let problem = selection_problem_from_dataset(&ds);
+    let b = preset.budget_per_round;
+
+    let strategies: Vec<Box<dyn Strategy<f64>>> = vec![
+        Box::new(RandomStrategy),
+        Box::new(KMeansStrategy),
+        Box::new(EntropyStrategy),
+        Box::new(ApproxFiral::default()),
+    ];
+    println!("{:<14} {:>12} {:>8} classes", "method", "f(selection)", "");
+    for s in &strategies {
+        let sel = s.select(&problem, b, 0).unwrap();
+        let f = selection_objective(&problem, &sel);
+        let classes: std::collections::BTreeSet<usize> =
+            sel.iter().map(|&i| ds.pool_labels[i]).collect();
+        println!("{:<14} {:>12.4} {:>8} {:?}", s.name(), f, "", classes);
+    }
+}

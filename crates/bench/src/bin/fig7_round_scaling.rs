@@ -1,0 +1,137 @@
+//! Fig. 7 — strong and weak scaling of the ROUND step (time to select ONE
+//! point), phase breakdown (objective / eigenvalues / other), paper-model
+//! theoretical columns.
+//!
+//! Paper observations to reproduce: strong-scaling speedup ≈ 11x at 12
+//! ranks; weak-scaling time *decreases* slightly with p because the
+//! per-block eigensolves are distributed across ranks (more pronounced for
+//! the 1000-class dataset than for CIFAR-10's 10 classes).
+//!
+//! Usage: cargo run --release -p firal-bench --bin fig7_round_scaling
+//!   [--csv] [--n N] [--per-rank N]
+
+use firal_bench::report::{arg_value, has_flag, Table};
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_comm::{launch, Communicator, CostModel};
+use firal_core::parallel::{parallel_round, ShardedProblem};
+use firal_core::SelectionProblem;
+use firal_data::{extend_with_noise, SyntheticConfig};
+
+const RANKS: [usize; 5] = [1, 2, 3, 6, 12];
+
+fn build_problem(c: usize, d: usize, n: usize, extended: bool) -> SelectionProblem<f32> {
+    let base_n = if extended { (n / 4).max(c * 4) } else { n };
+    let mut ds = SyntheticConfig::new(c, d)
+        .with_pool_size(base_n)
+        .with_initial_per_class(1)
+        .with_eval_size(c * 2)
+        .with_separation(4.0)
+        .with_normalize(true)
+        .with_seed(9)
+        .generate::<f32>();
+    if extended {
+        ds = extend_with_noise(&ds, n, 0.1, 10);
+    }
+    selection_problem_from_dataset(&ds)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scaling_table(
+    title: &str,
+    c: usize,
+    d: usize,
+    strong_n: usize,
+    per_rank: usize,
+    extended: bool,
+    model: &CostModel,
+    csv: bool,
+) {
+    let mut table = Table::new(
+        title.to_string(),
+        &[
+            "p", "mode", "objective", "eig", "other", "comm", "total",
+            "th:compute",
+        ],
+    );
+    for mode in ["strong", "weak"] {
+        for p in RANKS {
+            let n = if mode == "strong" {
+                strong_n
+            } else {
+                per_rank * p
+            };
+            let problem = build_problem(c, d, n, extended);
+            let budget = 1; // paper reports time to select one point
+            let eta = 4.0 * ((d * (c - 1)) as f32).sqrt();
+            let results = launch(p, |comm| {
+                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
+                let z_local =
+                    vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
+                comm.reset_stats();
+                let out = parallel_round(comm, &shard, &z_local, budget, eta);
+                (out.timer, comm.stats())
+            });
+            let (timer, stats) = &results[0];
+            // Theoretical compute (§III-C): objective n/p·c·d², distributed
+            // eigensolve (c/p)·300·d³, replicated inverses c·d³.
+            let cm1 = (c - 1) as f64;
+            let (nf, df) = ((n as f64) / p as f64, d as f64);
+            let flops = 4.0 * nf * cm1 * df * df
+                + 300.0 * (cm1 / p as f64) * df * df * df
+                + cm1 * df * df * df;
+            let th_compute = model.flop_time(flops as u64);
+            table.row(&[
+                p.to_string(),
+                mode.to_string(),
+                format!("{:.4}", timer.get("objective").as_secs_f64()),
+                format!("{:.4}", timer.get("eig").as_secs_f64()),
+                format!("{:.4}", timer.get("other").as_secs_f64()),
+                format!("{:.4}", stats.time.as_secs_f64()),
+                format!("{:.4}", timer.total().as_secs_f64()),
+                format!("{th_compute:.4}"),
+            ]);
+        }
+    }
+    if csv {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn main() {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .ok();
+
+    let csv = has_flag("--csv");
+    let n_imagenet: usize = arg_value("--n").unwrap_or(24_000);
+    let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
+    // Compute at the host-calibrated (single-thread) peak; communication at
+    // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
+    let host = CostModel::calibrate_on_host(160);
+    eprintln!("calibrated peak: {:.2} GFLOP/s", host.peak_flops / 1e9);
+    let model = CostModel { peak_flops: host.peak_flops, ..CostModel::paper_a100() };
+
+    scaling_table(
+        "Fig. 7 — ROUND scaling, ImageNet-1k-like (c=100, d=96)",
+        100,
+        96,
+        n_imagenet,
+        per_rank,
+        false,
+        &model,
+        csv,
+    );
+    scaling_table(
+        "Fig. 7 — ROUND scaling, extended CIFAR-10-like (c=10, d=128)",
+        10,
+        128,
+        2 * n_imagenet,
+        2 * per_rank,
+        true,
+        &model,
+        csv,
+    );
+}

@@ -1,0 +1,196 @@
+//! Table II — empirical verification of the complexity claims:
+//!
+//! * Exact-FIRAL  storage `O(c²d² + nc²d)`, RELAX compute `O(n·c³d²)`/iter;
+//! * Approx-FIRAL storage `O(n(d+sc) + cd²)`, RELAX compute
+//!   `O(ncd(d + n_CG s))`/iter, ROUND compute `O(ncd²)`/iter.
+//!
+//! The harness measures the global flop counters around one solver
+//! iteration while doubling one of (n, d, c) at a time, and prints the
+//! measured growth factor next to the factor the Table II formula predicts.
+//! A faithful implementation shows matching factors (±20%).
+//!
+//! Usage: cargo run --release -p firal-bench --bin table2_complexity [--csv]
+
+use firal_bench::report::{has_flag, Table};
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_core::{
+    diag_round, exact_relax, fast_relax, MirrorDescentConfig, RelaxConfig,
+};
+use firal_data::SyntheticConfig;
+use firal_linalg::counters;
+
+#[derive(Clone, Copy)]
+struct Shape {
+    n: usize,
+    d: usize,
+    c: usize,
+}
+
+fn problem_for(shape: Shape) -> firal_core::SelectionProblem<f64> {
+    let ds = SyntheticConfig::new(shape.c, shape.d)
+        .with_pool_size(shape.n)
+        .with_initial_per_class(1)
+        .with_eval_size(shape.c * 2)
+        .with_separation(4.0)
+        .with_normalize(true)
+        .with_seed(5)
+        .generate::<f64>();
+    selection_problem_from_dataset(&ds)
+}
+
+/// Measure flops of one fast-RELAX iteration, one diag-ROUND iteration and
+/// (optionally) one exact-RELAX iteration at the given shape.
+fn measure(shape: Shape, with_exact: bool) -> (u64, u64, Option<u64>) {
+    let problem = problem_for(shape);
+    let budget = 8.min(shape.n / 2);
+    let one_iter = MirrorDescentConfig {
+        max_iters: 1,
+        obj_rel_tol: 0.0,
+        ..Default::default()
+    };
+
+    let (_, relax_flops) = counters::measure(|| {
+        fast_relax(
+            &problem,
+            budget,
+            &RelaxConfig {
+                md: one_iter,
+                cg_tol: 0.0,
+                cg_max_iter: 10,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+    });
+
+    let z = vec![budget as f64 / shape.n as f64; shape.n];
+    let (_, round_flops) = counters::measure(|| {
+        diag_round(&problem, &z, 1, 4.0 * ((shape.d * (shape.c - 1)) as f64).sqrt())
+    });
+
+    let exact_flops = with_exact.then(|| {
+        let (_, fl) = counters::measure(|| exact_relax(&problem, budget, &one_iter));
+        fl.flops
+    });
+
+    (relax_flops.flops, round_flops.flops, exact_flops)
+}
+
+fn main() {
+    let csv = has_flag("--csv");
+    let base = Shape { n: 2000, d: 24, c: 8 };
+
+    let mut table = Table::new(
+        "Table II — measured vs predicted flop growth per solver iteration",
+        &[
+            "scaled", "solver", "flops(base)", "flops(2x)", "measured x",
+            "predicted x",
+        ],
+    );
+
+    // Predicted growth factors from the Table II formulas when one
+    // parameter doubles (s, n_CG fixed; dominant terms at these shapes).
+    let cases: Vec<(&str, Shape, Shape)> = vec![
+        ("n x2", base, Shape { n: 2 * base.n, ..base }),
+        ("d x2", base, Shape { d: 2 * base.d, ..base }),
+        ("c x2", base, Shape { c: 2 * base.c, ..base }),
+    ];
+
+    for (label, a, b) in cases {
+        let with_exact = true;
+        let (ra, oa, ea) = measure(a, with_exact);
+        let (rb, ob, eb) = measure(b, with_exact);
+
+        let pred = |which: &str| -> f64 {
+            let (n0, d0, c0) = (a.n as f64, a.d as f64, (a.c - 1) as f64);
+            let (n1, d1, c1) = (b.n as f64, b.d as f64, (b.c - 1) as f64);
+            let (ncg, s) = (10.0, 10.0);
+            match which {
+                // relax/iter: cd³ + 2cnd² (precond) + 8·ncg·ncsd (CG) + 4ncsd
+                "relax" => {
+                    let f = |n: f64, d: f64, c: f64| {
+                        c * d * d * d
+                            + 2.0 * c * n * d * d
+                            + 8.0 * ncg * n * c * s * d
+                            + 4.0 * n * c * s * d
+                    };
+                    f(n1, d1, c1) / f(n0, d0, c0)
+                }
+                // round/iter: 4ncd² (Eq. 17 scores) + ≈12cd³ (generalized
+                // eigensolve + block inverses; the paper's 300·cd³ uses a
+                // fitted CuPy-kernel prefactor — ours reflects the
+                // tridiagonal-QL implementation in firal-linalg).
+                "round" => {
+                    let f = |n: f64, d: f64, c: f64| {
+                        4.0 * n * c * d * d + 12.0 * c * d * d * d
+                    };
+                    f(n1, d1, c1) / f(n0, d0, c0)
+                }
+                // exact relax/iter: gradient n c² d² + dense solves (cd)³
+                _ => {
+                    let f = |n: f64, d: f64, c: f64| {
+                        2.0 * n * c * c * d * d + 2.0 * (c * d) * (c * d) * (c * d)
+                    };
+                    f(n1, d1, c1) / f(n0, d0, c0)
+                }
+            }
+        };
+
+        table.row(&[
+            label.into(),
+            "Approx RELAX".into(),
+            ra.to_string(),
+            rb.to_string(),
+            format!("{:.2}", rb as f64 / ra as f64),
+            format!("{:.2}", pred("relax")),
+        ]);
+        table.row(&[
+            label.into(),
+            "Approx ROUND".into(),
+            oa.to_string(),
+            ob.to_string(),
+            format!("{:.2}", ob as f64 / oa as f64),
+            format!("{:.2}", pred("round")),
+        ]);
+        if let (Some(ea), Some(eb)) = (ea, eb) {
+            table.row(&[
+                label.into(),
+                "Exact RELAX".into(),
+                ea.to_string(),
+                eb.to_string(),
+                format!("{:.2}", eb as f64 / ea as f64),
+                format!("{:.2}", pred("exact")),
+            ]);
+        }
+    }
+
+    // Storage comparison at one representative shape (bytes allocated for
+    // the dominant panels).
+    let s = Shape { n: 2000, d: 24, c: 8 };
+    let cm1 = (s.c - 1) as u64;
+    let (n64, d64) = (s.n as u64, s.d as u64);
+    let exact_bytes = 8 * (cm1 * cm1 * d64 * d64 + n64 * cm1 * cm1 * d64);
+    let approx_bytes = 8 * (n64 * (d64 + 10 * cm1) + cm1 * d64 * d64);
+    let mut storage = Table::new(
+        "Table II — storage model at n=2000, d=24, c=8 (bytes, f64)",
+        &["algorithm", "model bytes", "formula"],
+    );
+    storage.row(&[
+        "Exact".into(),
+        exact_bytes.to_string(),
+        "c²d² + nc²d".into(),
+    ]);
+    storage.row(&[
+        "Approx".into(),
+        approx_bytes.to_string(),
+        "n(d+sc) + cd²".into(),
+    ]);
+
+    if csv {
+        println!("{}", table.to_csv());
+        println!("{}", storage.to_csv());
+    } else {
+        println!("{}", table.render());
+        println!("{}", storage.render());
+    }
+}

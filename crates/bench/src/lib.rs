@@ -1,0 +1,8 @@
+//! Shared harness utilities for the figure/table binaries and criterion
+//! benches (workload builders, result tables, CSV/JSON emission).
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{Series, Table};
+pub use workloads::{selection_problem_from_dataset, timed};

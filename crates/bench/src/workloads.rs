@@ -1,0 +1,56 @@
+//! Workload builders shared by the experiment binaries.
+
+use firal_core::SelectionProblem;
+use firal_data::Dataset;
+use firal_linalg::Scalar;
+use firal_logreg::{LogisticRegression, TrainConfig};
+
+/// Train the round-0 classifier on the initial labeled set and assemble the
+/// selection problem the way the driver does for the first round.
+pub fn selection_problem_from_dataset<T: Scalar>(ds: &Dataset<T>) -> SelectionProblem<T> {
+    let model = LogisticRegression::fit(
+        &ds.initial_features,
+        &ds.initial_labels,
+        ds.num_classes,
+        &TrainConfig::default(),
+    )
+    .expect("initial classifier training failed");
+    SelectionProblem::new(
+        ds.pool_features.clone(),
+        model.class_probs_cm1(&ds.pool_features),
+        ds.initial_features.clone(),
+        model.class_probs_cm1(&ds.initial_features),
+        ds.num_classes,
+    )
+}
+
+/// Wall-clock a closure, returning (result, seconds).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_builder_shapes() {
+        let ds = firal_data::SyntheticConfig::new(3, 4)
+            .with_pool_size(30)
+            .with_seed(1)
+            .generate::<f64>();
+        let p = selection_problem_from_dataset(&ds);
+        assert_eq!(p.pool_size(), 30);
+        assert_eq!(p.num_classes, 3);
+        assert_eq!(p.pool_h.cols(), 2);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 7);
+        assert_eq!(v, 7);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The collective-communication interface and the single-rank implementation.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Reduction operators supported by [`Communicator::allreduce_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    pub(crate) fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Per-collective call/byte/time counters (one instance per rank).
+///
+/// These drive the measured "MPI communication" bars of Figs. 6–7 and feed
+/// the theoretical [`crate::CostModel`] with the actual message sizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Number of allreduce calls.
+    pub allreduce_calls: u64,
+    /// Total bytes contributed to allreduces.
+    pub allreduce_bytes: u64,
+    /// Number of bcast calls.
+    pub bcast_calls: u64,
+    /// Total bytes broadcast.
+    pub bcast_bytes: u64,
+    /// Number of allgather calls.
+    pub allgather_calls: u64,
+    /// Total bytes gathered (own contribution).
+    pub allgather_bytes: u64,
+    /// Wall-clock time spent inside collectives.
+    pub time: Duration,
+}
+
+impl CommStats {
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.allreduce_calls += other.allreduce_calls;
+        self.allreduce_bytes += other.allreduce_bytes;
+        self.bcast_calls += other.bcast_calls;
+        self.bcast_bytes += other.bcast_bytes;
+        self.allgather_calls += other.allgather_calls;
+        self.allgather_bytes += other.allgather_bytes;
+        self.time += other.time;
+    }
+}
+
+/// Collective communication across an SPMD process group.
+///
+/// All buffers are `f64`; generic algorithms go through [`CommScalar`]
+/// which widens `f32` losslessly on the wire. Semantics match the MPI
+/// collectives the paper uses:
+///
+/// * `allreduce_f64` — every rank ends with the identical reduction of all
+///   contributions (reduction is performed in rank order on every rank, so
+///   results are bitwise reproducible and rank-independent);
+/// * `bcast_f64` — `root`'s buffer overwrites everyone's;
+/// * `allgatherv_f64` — concatenation of every rank's (variable-length)
+///   contribution in rank order;
+/// * `allreduce_maxloc` — MPI's `MAXLOC`: the global maximum value together
+///   with its payload (lowest rank wins ties), used to pick the argmax
+///   point in the ROUND objective (Line 7 of Algorithm 3).
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the group.
+    fn size(&self) -> usize;
+    /// Synchronization barrier.
+    fn barrier(&self);
+    /// In-place allreduce.
+    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp);
+    /// Broadcast from `root`.
+    fn bcast_f64(&self, buf: &mut [f64], root: usize);
+    /// Variable-length allgather; returns all contributions concatenated in
+    /// rank order.
+    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64>;
+    /// Global max with payload (ties broken towards the lower rank).
+    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64);
+    /// Snapshot of this rank's communication statistics.
+    fn stats(&self) -> CommStats;
+    /// Reset this rank's statistics.
+    fn reset_stats(&self);
+}
+
+/// Single-rank communicator: all collectives are identities. The `p = 1`
+/// fast path, and what the serial algorithms run on.
+#[derive(Debug, Default)]
+pub struct SelfComm {
+    stats: RefCell<CommStats>,
+}
+
+impl SelfComm {
+    /// Create a fresh single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn barrier(&self) {}
+    fn allreduce_f64(&self, buf: &mut [f64], _op: ReduceOp) {
+        let mut s = self.stats.borrow_mut();
+        s.allreduce_calls += 1;
+        s.allreduce_bytes += (buf.len() * 8) as u64;
+    }
+    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+        assert_eq!(root, 0, "SelfComm only has rank 0");
+        let mut s = self.stats.borrow_mut();
+        s.bcast_calls += 1;
+        s.bcast_bytes += (buf.len() * 8) as u64;
+    }
+    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        let mut s = self.stats.borrow_mut();
+        s.allgather_calls += 1;
+        s.allgather_bytes += (local.len() * 8) as u64;
+        local.to_vec()
+    }
+    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        let mut s = self.stats.borrow_mut();
+        s.allreduce_calls += 1;
+        s.allreduce_bytes += 16;
+        (value, payload)
+    }
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// Scalar types that can travel through a [`Communicator`].
+///
+/// `f32` widens to `f64` on the wire (lossless) and narrows on receipt;
+/// the generic SPMD algorithms in `firal-core` use these helpers so the
+/// same code runs in either precision.
+pub trait CommScalar: firal_linalg::Scalar {
+    /// In-place allreduce of a typed buffer.
+    fn allreduce(comm: &dyn Communicator, buf: &mut [Self], op: ReduceOp);
+    /// Broadcast of a typed buffer.
+    fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize);
+    /// Variable-length allgather of a typed buffer.
+    fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self>;
+}
+
+macro_rules! impl_comm_scalar {
+    ($t:ty) => {
+        impl CommScalar for $t {
+            fn allreduce(comm: &dyn Communicator, buf: &mut [Self], op: ReduceOp) {
+                let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+                comm.allreduce_f64(&mut wide, op);
+                for (b, w) in buf.iter_mut().zip(wide.iter()) {
+                    *b = *w as $t;
+                }
+            }
+            fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) {
+                let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+                comm.bcast_f64(&mut wide, root);
+                for (b, w) in buf.iter_mut().zip(wide.iter()) {
+                    *b = *w as $t;
+                }
+            }
+            fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self> {
+                let wide: Vec<f64> = local.iter().map(|&v| v as f64).collect();
+                comm.allgatherv_f64(&wide)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_comm_scalar!(f32);
+impl_comm_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selfcomm_allreduce_is_identity() {
+        let c = SelfComm::new();
+        let mut buf = vec![1.0, 2.0, 3.0];
+        c.allreduce_f64(&mut buf, ReduceOp::Sum);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.stats().allreduce_calls, 1);
+        assert_eq!(c.stats().allreduce_bytes, 24);
+    }
+
+    #[test]
+    fn selfcomm_gather_and_maxloc() {
+        let c = SelfComm::new();
+        assert_eq!(c.allgatherv_f64(&[5.0, 6.0]), vec![5.0, 6.0]);
+        assert_eq!(c.allreduce_maxloc(3.5, 42), (3.5, 42));
+    }
+
+    #[test]
+    fn comm_scalar_f32_roundtrip() {
+        let c = SelfComm::new();
+        let mut buf = vec![1.5f32, -2.25];
+        <f32 as CommScalar>::allreduce(&c, &mut buf, ReduceOp::Sum);
+        assert_eq!(buf, vec![1.5, -2.25]);
+    }
+
+    #[test]
+    fn reduce_ops_combine() {
+        assert_eq!(ReduceOp::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.combine(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = CommStats::default();
+        let b = CommStats {
+            allreduce_calls: 2,
+            allreduce_bytes: 100,
+            time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.allreduce_calls, 4);
+        assert_eq!(a.allreduce_bytes, 200);
+        assert_eq!(a.time, Duration::from_millis(10));
+    }
+}

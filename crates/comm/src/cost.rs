@@ -1,0 +1,196 @@
+//! Latency–bandwidth–compute cost model for collectives and kernels.
+//!
+//! §III-C of the paper adopts the Thakur–Rabenseifner–Gropp model: sending
+//! an `m`-byte message costs `ts + m·tw`; local reduction costs `tc` per
+//! byte. The three collectives then cost
+//!
+//! * `MPI_Allreduce` (recursive doubling): `log₂p · (ts + m(tw + tc))`
+//! * `MPI_Allgather` (recursive doubling): `log₂p · ts + ((p-1)/p)·m·tw`
+//! * `MPI_Bcast` (binomial tree): `log₂p · (ts + m·tw)`
+//!
+//! and computation is `flops / peak`. The paper instantiates `ts = 1e-4 s`,
+//! `1/tw = 2e10 B/s`, `tc = 1e-10 s/B`, `peak = 19.5 TFLOP/s` (A100 fp32);
+//! [`CostModel::paper_a100`] reproduces those constants and
+//! [`CostModel::calibrated`] lets harnesses plug host-measured peaks so the
+//! theoretical bars of Figs. 5–7 are meaningful on any machine.
+
+use crate::communicator::CommStats;
+
+/// Performance-model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Message latency (seconds).
+    pub ts: f64,
+    /// Transfer time per byte (seconds/byte).
+    pub tw: f64,
+    /// Local reduction compute time per byte (seconds/byte).
+    pub tc: f64,
+    /// Peak floating-point rate (FLOP/s).
+    pub peak_flops: f64,
+}
+
+impl CostModel {
+    /// The constants the paper uses for its theoretical estimates (§IV-C):
+    /// IB HDR latency/bandwidth and A100 fp32 peak.
+    pub fn paper_a100() -> Self {
+        Self {
+            ts: 1.0e-4,
+            tw: 1.0 / 2.0e10,
+            tc: 1.0e-10,
+            peak_flops: 19.5e12,
+        }
+    }
+
+    /// A model with a host-calibrated compute peak (e.g. from a GEMM probe)
+    /// and shared-memory-ish transport constants.
+    pub fn calibrated(peak_flops: f64) -> Self {
+        Self {
+            ts: 2.0e-6,        // thread-barrier scale latency
+            tw: 1.0 / 1.0e10,  // ~10 GB/s effective shared-memory bandwidth
+            tc: 1.0e-10,
+            peak_flops,
+        }
+    }
+
+    fn log2p(p: usize) -> f64 {
+        (p.max(1) as f64).log2().max(0.0)
+    }
+
+    /// Recursive-doubling allreduce time for an `m`-byte payload on `p` ranks.
+    pub fn allreduce_time(&self, m_bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        Self::log2p(p) * (self.ts + m_bytes as f64 * (self.tw + self.tc))
+    }
+
+    /// Recursive-doubling allgather time for an `m`-byte total payload.
+    pub fn allgather_time(&self, m_bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        Self::log2p(p) * self.ts + ((p - 1) as f64 / p as f64) * m_bytes as f64 * self.tw
+    }
+
+    /// Binomial-tree broadcast time for an `m`-byte payload.
+    pub fn bcast_time(&self, m_bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        Self::log2p(p) * (self.ts + m_bytes as f64 * self.tw)
+    }
+
+    /// Ideal compute time for a flop count.
+    pub fn flop_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.peak_flops
+    }
+
+    /// Predicted total communication time for a recorded set of collective
+    /// calls (treats every call at its average payload; exact per-call replay
+    /// is available to harnesses that need it).
+    pub fn predict_comm(&self, stats: &CommStats, p: usize) -> f64 {
+        let avg = |bytes: u64, calls: u64| -> usize {
+            if calls == 0 {
+                0
+            } else {
+                (bytes / calls) as usize
+            }
+        };
+        let ar = self.allreduce_time(avg(stats.allreduce_bytes, stats.allreduce_calls), p)
+            * stats.allreduce_calls as f64;
+        let bc =
+            self.bcast_time(avg(stats.bcast_bytes, stats.bcast_calls), p) * stats.bcast_calls as f64;
+        let ag = self.allgather_time(avg(stats.allgather_bytes, stats.allgather_calls), p)
+            * stats.allgather_calls as f64;
+        ar + bc + ag
+    }
+
+    /// Measure a crude GEMM roofline on this host and return a calibrated
+    /// model. `n` is the probe GEMM order (a few hundred is plenty).
+    pub fn calibrate_on_host(n: usize) -> Self {
+        use firal_linalg::{gemm, Matrix};
+        let a = Matrix::<f32>::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 13) as f32 * 0.1);
+        let b = Matrix::<f32>::from_fn(n, n, |i, j| ((i * 17 + j * 3) % 11) as f32 * 0.1);
+        // Warm up, then measure the best of three.
+        let _ = gemm(&a, &b);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let c = gemm(&a, &b);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&c);
+            best = best.min(dt);
+        }
+        let flops = 2.0 * (n as f64).powi(3);
+        Self::calibrated(flops / best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = CostModel::paper_a100();
+        assert_eq!(m.ts, 1.0e-4);
+        assert!((1.0 / m.tw - 2.0e10).abs() < 1.0);
+        assert_eq!(m.peak_flops, 19.5e12);
+    }
+
+    #[test]
+    fn single_rank_communication_is_free() {
+        let m = CostModel::paper_a100();
+        assert_eq!(m.allreduce_time(1 << 20, 1), 0.0);
+        assert_eq!(m.allgather_time(1 << 20, 1), 0.0);
+        assert_eq!(m.bcast_time(1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_log_p() {
+        let m = CostModel::paper_a100();
+        let t2 = m.allreduce_time(1 << 20, 2);
+        let t8 = m.allreduce_time(1 << 20, 8);
+        assert!((t8 / t2 - 3.0).abs() < 1e-9, "log₂8/log₂2 = 3, got {}", t8 / t2);
+    }
+
+    #[test]
+    fn allgather_bandwidth_term_saturates() {
+        let m = CostModel::paper_a100();
+        // (p-1)/p → 1: bandwidth term roughly stops growing with p.
+        let t2 = m.allgather_time(1 << 24, 2) - 1.0 * m.ts;
+        let t16 = m.allgather_time(1 << 24, 16) - 4.0 * m.ts;
+        assert!(t16 / t2 < 2.0);
+    }
+
+    #[test]
+    fn flop_time_inverse_to_peak() {
+        let m = CostModel::paper_a100();
+        assert!((m.flop_time(19_500_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_comm_combines_all_collectives() {
+        let m = CostModel::paper_a100();
+        let stats = CommStats {
+            allreduce_calls: 10,
+            allreduce_bytes: 10 * 4096,
+            bcast_calls: 5,
+            bcast_bytes: 5 * 1024,
+            allgather_calls: 2,
+            allgather_bytes: 2 * 2048,
+            time: std::time::Duration::ZERO,
+        };
+        let t = m.predict_comm(&stats, 4);
+        let expect = 10.0 * m.allreduce_time(4096, 4)
+            + 5.0 * m.bcast_time(1024, 4)
+            + 2.0 * m.allgather_time(2048, 4);
+        assert!((t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_calibration_returns_positive_peak() {
+        let m = CostModel::calibrate_on_host(96);
+        assert!(m.peak_flops > 1e6, "unreasonable peak {}", m.peak_flops);
+    }
+}

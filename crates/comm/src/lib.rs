@@ -1,0 +1,76 @@
+//! Simulated message-passing substrate.
+//!
+//! The paper's implementation distributes the unlabeled pool across GPUs and
+//! uses three MPI collectives (§III-C): `MPI_Allreduce` (preconditioner and
+//! matvec partial sums, global argmax in the ROUND objective),
+//! `MPI_Allgather` (eigenvalue collection), and `MPI_Bcast` (probe panels
+//! and the selected point's `x, h`). This crate reproduces that layer on a
+//! single host:
+//!
+//! * [`Communicator`] — the collective interface the SPMD algorithms in
+//!   `firal-core::parallel` are written against;
+//! * [`SelfComm`] — the trivial single-rank implementation;
+//! * [`ThreadComm`]/[`launch`] — a real multi-rank implementation: `p` OS
+//!   threads with shared-memory collectives (deposit/combine with
+//!   deterministic rank-ordered reduction, so every rank computes bitwise
+//!   identical results);
+//! * [`CostModel`] — the latency/bandwidth/compute model of Thakur,
+//!   Rabenseifner & Gropp that the paper uses for its theoretical
+//!   performance bars (recursive-doubling allreduce/allgather, binomial-tree
+//!   bcast), with the paper's own constants as a preset;
+//! * per-rank [`CommStats`] — call/byte/second counters per collective, the
+//!   measured "MPI communication" series of Figs. 6–7.
+//!
+//! Substitution note: a shared-memory deposit/combine collective has the
+//! same semantics as its MPI counterpart (same reduction order on every
+//! rank, same synchronization points), so algorithm behaviour — including
+//! the data decomposition — is identical to the paper's; only the transport
+//! differs, which the cost model covers analytically.
+
+pub mod communicator;
+pub mod cost;
+pub mod thread_comm;
+
+pub use communicator::{CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
+pub use cost::CostModel;
+pub use thread_comm::{launch, ThreadComm};
+
+/// Evenly shard `n` items across `size` ranks; returns the index range owned
+/// by `rank` (first `n % size` ranks get one extra item). This is the pool
+/// decomposition of §III-C ("evenly distributing h_i and x_i of n points").
+pub fn shard_range(n: usize, rank: usize, size: usize) -> std::ops::Range<usize> {
+    assert!(rank < size, "rank {rank} out of {size}");
+    let base = n / size;
+    let extra = n % size;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..(start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_everything_without_overlap() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for p in [1usize, 2, 3, 5, 12] {
+                let mut covered = Vec::new();
+                for r in 0..p {
+                    covered.extend(shard_range(n, r, p));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        for n in [10usize, 11, 12] {
+            let lens: Vec<usize> = (0..4).map(|r| shard_range(n, r, 4).len()).collect();
+            let max = *lens.iter().max().unwrap();
+            let min = *lens.iter().min().unwrap();
+            assert!(max - min <= 1, "n={n}: {lens:?}");
+        }
+    }
+}

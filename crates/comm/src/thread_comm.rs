@@ -1,0 +1,343 @@
+//! Shared-memory multi-rank communicator.
+//!
+//! [`launch(p, f)`](launch) runs an SPMD closure on `p` OS threads, each
+//! holding a [`ThreadComm`] endpoint. Collectives are deposit/combine over
+//! shared slots:
+//!
+//! 1. every rank publishes its contribution to its own cache-padded slot,
+//! 2. barrier,
+//! 3. every rank reads all slots and reduces **in rank order** (so the
+//!    floating-point result is identical on every rank — the property MPI
+//!    guarantees for deterministic reduction orders),
+//! 4. barrier (so slots can be safely reused by the next collective).
+//!
+//! This gives the exact synchronization and data semantics of the paper's
+//! `MPI_Allreduce`/`MPI_Bcast`/`MPI_Allgather` usage; transport cost is
+//! modelled analytically by [`crate::CostModel`].
+
+use std::cell::RefCell;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+
+use crate::communicator::{CommStats, Communicator, ReduceOp};
+
+struct Shared {
+    size: usize,
+    slots: Vec<CachePadded<RwLock<Vec<f64>>>>,
+    barrier: Barrier,
+}
+
+/// One rank's endpoint of a shared-memory process group.
+pub struct ThreadComm {
+    rank: usize,
+    shared: Arc<Shared>,
+    stats: RefCell<CommStats>,
+}
+
+impl ThreadComm {
+    fn new(rank: usize, shared: Arc<Shared>) -> Self {
+        Self {
+            rank,
+            shared,
+            stats: RefCell::new(CommStats::default()),
+        }
+    }
+
+    fn publish(&self, data: &[f64]) {
+        let mut slot = self.shared.slots[self.rank].write();
+        slot.clear();
+        slot.extend_from_slice(data);
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        let t0 = Instant::now();
+        self.publish(buf);
+        self.shared.barrier.wait();
+        {
+            let s0 = self.shared.slots[0].read();
+            assert_eq!(s0.len(), buf.len(), "allreduce length mismatch across ranks");
+            buf.copy_from_slice(&s0);
+        }
+        for r in 1..self.shared.size {
+            let s = self.shared.slots[r].read();
+            for (b, v) in buf.iter_mut().zip(s.iter()) {
+                *b = op.combine(*b, *v);
+            }
+        }
+        self.shared.barrier.wait();
+        let mut st = self.stats.borrow_mut();
+        st.allreduce_calls += 1;
+        st.allreduce_bytes += (buf.len() * 8) as u64;
+        st.time += t0.elapsed();
+    }
+
+    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+        let t0 = Instant::now();
+        assert!(root < self.shared.size, "bcast root out of range");
+        if self.rank == root {
+            self.publish(buf);
+        }
+        self.shared.barrier.wait();
+        if self.rank != root {
+            let s = self.shared.slots[root].read();
+            assert_eq!(s.len(), buf.len(), "bcast length mismatch across ranks");
+            buf.copy_from_slice(&s);
+        }
+        self.shared.barrier.wait();
+        let mut st = self.stats.borrow_mut();
+        st.bcast_calls += 1;
+        st.bcast_bytes += (buf.len() * 8) as u64;
+        st.time += t0.elapsed();
+    }
+
+    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        let t0 = Instant::now();
+        self.publish(local);
+        self.shared.barrier.wait();
+        let mut out = Vec::new();
+        for r in 0..self.shared.size {
+            let s = self.shared.slots[r].read();
+            out.extend_from_slice(&s);
+        }
+        self.shared.barrier.wait();
+        let mut st = self.stats.borrow_mut();
+        st.allgather_calls += 1;
+        st.allgather_bytes += (local.len() * 8) as u64;
+        st.time += t0.elapsed();
+        out
+    }
+
+    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        let t0 = Instant::now();
+        // Payload travels as raw bits so all 64 bits survive the f64 slot.
+        self.publish(&[value, f64::from_bits(payload)]);
+        self.shared.barrier.wait();
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_payload = 0u64;
+        for r in 0..self.shared.size {
+            let s = self.shared.slots[r].read();
+            // Strict > keeps the lowest rank on ties (MPI MAXLOC semantics).
+            if s[0] > best_val {
+                best_val = s[0];
+                best_payload = s[1].to_bits();
+            }
+        }
+        self.shared.barrier.wait();
+        let mut st = self.stats.borrow_mut();
+        st.allreduce_calls += 1;
+        st.allreduce_bytes += 16;
+        st.time += t0.elapsed();
+        (best_val, best_payload)
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// Run an SPMD closure on `p` ranks and collect the per-rank results in
+/// rank order. The closure runs once per rank on its own OS thread.
+///
+/// ```
+/// let sums = firal_comm::launch(3, |comm| {
+///     use firal_comm::{Communicator, ReduceOp};
+///     let mut x = vec![(comm.rank() + 1) as f64];
+///     comm.allreduce_f64(&mut x, ReduceOp::Sum);
+///     x[0]
+/// });
+/// assert_eq!(sums, vec![6.0, 6.0, 6.0]);
+/// ```
+pub fn launch<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Sync,
+{
+    assert!(p > 0, "launch needs at least one rank");
+    let shared = Arc::new(Shared {
+        size: p,
+        slots: (0..p)
+            .map(|_| CachePadded::new(RwLock::new(Vec::new())))
+            .collect(),
+        barrier: Barrier::new(p),
+    });
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                scope.spawn(move || f(&ThreadComm::new(rank, shared)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_all_ranks_agree() {
+        for p in [1usize, 2, 3, 5] {
+            let results = launch(p, |comm| {
+                let mut buf = vec![comm.rank() as f64 + 1.0, 10.0 * (comm.rank() as f64 + 1.0)];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                buf
+            });
+            let expected0: f64 = (1..=p).map(|r| r as f64).sum();
+            for r in results {
+                assert_eq!(r[0], expected0);
+                assert_eq!(r[1], 10.0 * expected0);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let results = launch(4, |comm| {
+            let mut mx = vec![comm.rank() as f64];
+            comm.allreduce_f64(&mut mx, ReduceOp::Max);
+            let mut mn = vec![comm.rank() as f64];
+            comm.allreduce_f64(&mut mn, ReduceOp::Min);
+            (mx[0], mn[0])
+        });
+        for (mx, mn) in results {
+            assert_eq!(mx, 3.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..3 {
+            let results = launch(3, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42.0, 7.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.bcast_f64(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, 7.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let results = launch(3, |comm| {
+            // Variable lengths: rank r contributes r+1 values of value r.
+            let local = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgatherv_f64(&local)
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn maxloc_finds_global_argmax_with_payload() {
+        let results = launch(4, |comm| {
+            let value = if comm.rank() == 2 { 100.0 } else { comm.rank() as f64 };
+            let payload = 1000 + comm.rank() as u64;
+            comm.allreduce_maxloc(value, payload)
+        });
+        for (v, p) in results {
+            assert_eq!(v, 100.0);
+            assert_eq!(p, 1002);
+        }
+    }
+
+    #[test]
+    fn maxloc_tie_prefers_lowest_rank() {
+        let results = launch(3, |comm| comm.allreduce_maxloc(1.0, comm.rank() as u64));
+        for (_, p) in results {
+            assert_eq!(p, 0);
+        }
+    }
+
+    #[test]
+    fn maxloc_preserves_full_payload_bits() {
+        let big = u64::MAX - 12345;
+        let results = launch(2, move |comm| {
+            let value = comm.rank() as f64;
+            comm.allreduce_maxloc(value, big)
+        });
+        for (_, p) in results {
+            assert_eq!(p, big);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_interfere() {
+        let results = launch(3, |comm| {
+            let mut acc = 0.0;
+            for round in 0..10 {
+                let mut buf = vec![(comm.rank() * round) as f64];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                acc += buf[0];
+            }
+            acc
+        });
+        // Σ_round (0+1+2)*round = 3 * 45 = 135
+        for r in results {
+            assert_eq!(r, 135.0);
+        }
+    }
+
+    #[test]
+    fn stats_are_tracked_per_rank() {
+        let results = launch(2, |comm| {
+            let mut buf = vec![0.0; 4];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            comm.bcast_f64(&mut buf, 0);
+            let _ = comm.allgatherv_f64(&buf);
+            comm.stats()
+        });
+        for s in results {
+            assert_eq!(s.allreduce_calls, 1);
+            assert_eq!(s.allreduce_bytes, 32);
+            assert_eq!(s.bcast_calls, 1);
+            assert_eq!(s.allgather_calls, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_reduction_across_ranks() {
+        // Rank-ordered reduction ⇒ bitwise identical sums on every rank even
+        // with values that do not commute exactly in floating point.
+        let results = launch(4, |comm| {
+            let mut buf = vec![1.0e16, 1.0, -1.0e16][comm.rank() % 3..][..1].to_vec();
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,120 @@
+//! Hyperparameter bundles for the RELAX and ROUND solvers.
+
+use firal_linalg::Scalar;
+
+/// Entropic-mirror-descent controls (shared by the exact and fast RELAX
+/// solvers, Algorithms 1–2).
+#[derive(Debug, Clone, Copy)]
+pub struct MirrorDescentConfig<T> {
+    /// Maximum iterations `T` ("fewer than 100 mirror descent iterations"
+    /// suffice in all the paper's runs, §IV-A).
+    pub max_iters: usize,
+    /// Stop when the relative objective change drops below this
+    /// (paper: `1.0E-4`).
+    pub obj_rel_tol: T,
+    /// Base step scale; the effective step is `β₀/√t`, normalized by the
+    /// max gradient magnitude so one constant works across datasets.
+    pub beta0: T,
+}
+
+impl<T: Scalar> Default for MirrorDescentConfig<T> {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            obj_rel_tol: T::from_f64(1e-4),
+            beta0: T::ONE,
+        }
+    }
+}
+
+/// Fast-RELAX (Algorithm 2) controls.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxConfig<T> {
+    /// Mirror-descent schedule.
+    pub md: MirrorDescentConfig<T>,
+    /// Number of Rademacher probes `s` (paper default: 10).
+    pub probes: usize,
+    /// CG relative-residual tolerance (paper default: 0.1).
+    pub cg_tol: T,
+    /// CG iteration cap (0 ⇒ 2·dimension).
+    pub cg_max_iter: usize,
+    /// Diagonal ridge added to preconditioner blocks if a block is not SPD
+    /// (numerical safety; `0` keeps the paper's formulation and falls back
+    /// lazily only on factorization failure).
+    pub ridge: T,
+    /// RNG seed for the probe panel.
+    pub seed: u64,
+}
+
+impl<T: Scalar> Default for RelaxConfig<T> {
+    fn default() -> Self {
+        Self {
+            md: MirrorDescentConfig::default(),
+            probes: 10,
+            cg_tol: T::from_f64(0.1),
+            cg_max_iter: 0,
+            ridge: T::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// Diagonal-ROUND (Algorithm 3) controls.
+#[derive(Debug, Clone)]
+pub struct RoundConfig<T> {
+    /// FTRL learning rate `η`. `None` selects it by the paper's rule:
+    /// run ROUND for each grid value and keep the `η` maximizing
+    /// `min_k λ_min((H)_k)` over the selected points' Hessian sum (§IV-A).
+    pub eta: Option<T>,
+    /// Grid of multipliers on `√ê` tried when `eta` is `None`.
+    pub eta_grid: Vec<T>,
+}
+
+impl<T: Scalar> Default for RoundConfig<T> {
+    fn default() -> Self {
+        Self {
+            eta: None,
+            eta_grid: vec![T::from_f64(2.0), T::from_f64(4.0), T::from_f64(8.0)],
+        }
+    }
+}
+
+impl<T: Scalar> RoundConfig<T> {
+    /// Fix `η` explicitly (skips the selection grid).
+    pub fn with_eta(eta: T) -> Self {
+        Self {
+            eta: Some(eta),
+            eta_grid: Vec::new(),
+        }
+    }
+}
+
+/// Combined Approx-FIRAL configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FiralConfig<T: Scalar> {
+    /// RELAX-step controls.
+    pub relax: RelaxConfig<T>,
+    /// ROUND-step controls.
+    pub round: RoundConfig<T>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let r = RelaxConfig::<f64>::default();
+        assert_eq!(r.probes, 10);
+        assert!((r.cg_tol - 0.1).abs() < 1e-12);
+        assert_eq!(r.md.max_iters, 100);
+        assert!((r.md.obj_rel_tol - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_with_eta_skips_grid() {
+        let r = RoundConfig::with_eta(3.0f32);
+        assert_eq!(r.eta, Some(3.0));
+        assert!(r.eta_grid.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! FIRAL and Approx-FIRAL: scalable active learning for multiclass
+//! logistic regression (SC'24).
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`hessian`] — the Fisher-information structure (Eq. 2), Lemma 2's
+//!   matrix-free matvec, pooled operators and Definition 1's block
+//!   diagonals;
+//! * [`exact`] — Exact-FIRAL (Algorithm 1), the NeurIPS'23 baseline;
+//! * [`relax`] — the fast RELAX solver (Algorithm 2: Hutchinson +
+//!   preconditioned CG);
+//! * [`round`] — the diagonal ROUND solver (Algorithm 3: Lemma 3 /
+//!   Proposition 4);
+//! * [`strategies`] — Random / K-Means / Entropy / Exact-FIRAL /
+//!   Approx-FIRAL behind one [`strategies::Strategy`] trait;
+//! * [`driver`] — the §IV-A multi-round active-learning loop;
+//! * [`parallel`] — the SPMD implementation of §III-C over
+//!   `firal-comm` communicators (pool sharding, allreduce/bcast/allgather
+//!   placement matching the paper operation-for-operation);
+//! * [`timing`] — the phase timers behind the Figs. 5–7 breakdowns.
+
+pub mod config;
+pub mod driver;
+pub mod exact;
+pub mod hessian;
+pub mod objective;
+pub mod parallel;
+pub mod problem;
+pub mod relax;
+pub mod round;
+pub mod strategies;
+pub mod timing;
+
+pub use config::{FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig};
+pub use driver::{run_experiment, ExperimentResult, RoundRecord};
+pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
+pub use problem::SelectionProblem;
+pub use relax::{fast_relax, RelaxOutput};
+pub use round::{diag_round, diag_round_with_eig, select_eta, EigSolver, RoundOutput};
+pub use strategies::{
+    ApproxFiral, EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError,
+    Strategy,
+};
+pub use timing::PhaseTimer;

@@ -1,0 +1,328 @@
+//! Fast RELAX solver (Algorithm 2).
+//!
+//! Replaces Exact-FIRAL's dense gradient with the four ingredients of
+//! §III-A: Hutchinson trace estimation (Eq. 12), matrix-free Hessian
+//! matvecs (Lemma 2), preconditioned CG on `Σ_z W = V`, and the
+//! block-Jacobi preconditioner `B(Σ_z)^{-1}` (Definition 1). Per
+//! mirror-descent iteration:
+//!
+//! 1. draw an `ê × s` Rademacher panel `V`;
+//! 2. build `B(Σ_z)` (one fused pass over pool + labeled panels) and factor
+//!    it per block — *Setup B(Σz)⁻¹* in the paper's timing breakdown;
+//! 3. `W ← Σ_z^{-1} V` (preconditioned CG), `W ← H_p W`, `W ← Σ_z^{-1} W`;
+//! 4. `g_i ← -(1/s) Σ_j v_jᵀ H_i w_j` via two tall GEMMs;
+//! 5. entropic mirror-descent update, objective tracked with a Hutchinson
+//!    estimate of `Tr(Σ_z^{-1} H_p)` and the paper's 1e-4 stopping rule.
+
+use firal_linalg::{Matrix, Scalar};
+use firal_solvers::{cg_solve_panel, rademacher_panel, CgConfig, CgTelemetry, LinearOperator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::RelaxConfig;
+use crate::exact::RelaxTelemetry;
+use crate::hessian::{hutchinson_gradients, BlockJacobi, PoolHessian, SigmaZ};
+use crate::problem::SelectionProblem;
+use crate::timing::PhaseTimer;
+
+/// Result of a fast RELAX solve.
+#[derive(Debug, Clone)]
+pub struct RelaxOutput<T> {
+    /// The relaxed solution scaled to the budget: `z⋄ = b·z`.
+    pub z_diamond: Vec<T>,
+    /// Objective history / convergence record (Fig. 4 series).
+    pub telemetry: RelaxTelemetry<T>,
+    /// CG telemetry of the *first* mirror-descent iteration's first solve —
+    /// the residual curves plotted in Fig. 1.
+    pub first_cg: Vec<CgTelemetry<T>>,
+    /// Phase timing breakdown (Setup B(Σz)⁻¹ / CG / gradient / other).
+    pub timer: PhaseTimer,
+    /// Total CG iterations across the whole solve (for Table II's
+    /// `n_CG` accounting).
+    pub total_cg_iters: usize,
+}
+
+/// Run Algorithm 2. Returns `z⋄` with `‖z⋄‖₁ = b`.
+pub fn fast_relax<T: Scalar>(
+    problem: &SelectionProblem<T>,
+    budget: usize,
+    config: &RelaxConfig<T>,
+) -> RelaxOutput<T> {
+    let n = problem.pool_size();
+    let ehat = problem.ehat();
+    let b = T::from_usize(budget);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut timer = PhaseTimer::new();
+    let mut z = vec![T::ONE / T::from_usize(n); n];
+    let mut telemetry = RelaxTelemetry {
+        objective_history: Vec::new(),
+        iterations: 0,
+        converged: false,
+    };
+    let mut first_cg: Vec<CgTelemetry<T>> = Vec::new();
+    let mut total_cg_iters = 0usize;
+
+    let cg_cfg = CgConfig {
+        rel_tol: config.cg_tol,
+        max_iter: config.cg_max_iter,
+    };
+
+    // B(H_o) is weight-independent: build once outside the loop.
+    let ho = PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h);
+    let bho = timer.time("precond", || ho.block_diagonal());
+    let hp = PoolHessian::unweighted(&problem.pool_x, &problem.pool_h);
+
+    for t in 1..=config.md.max_iters {
+        telemetry.iterations = t;
+
+        // Line 4: fresh Rademacher panel each iteration.
+        let v: Matrix<T> = rademacher_panel(ehat, config.probes, &mut rng);
+
+        // Gradients are evaluated at the feasible point b·z of Eq. 5 (z
+        // itself stays on the unit simplex for the multiplicative update).
+        let zb: Vec<T> = z.iter().map(|&v| v * b).collect();
+        let hz = PoolHessian::weighted(&problem.pool_x, &problem.pool_h, zb.clone());
+        let sigma = SigmaZ::new(
+            PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h),
+            hz,
+        );
+
+        // Line 5: B(Σ_z) = B(H_o) + B(H_{b·z}), factored per block.
+        let prec = timer.time("precond", || {
+            let mut bsz = sigma.hz.block_diagonal();
+            bsz.add_scaled(T::ONE, &bho);
+            if config.ridge > T::ZERO {
+                BlockJacobi::new_with_ridge(&bsz, config.ridge)
+            } else {
+                BlockJacobi::new(&bsz).or_else(|_| {
+                    // Lazy ridge fallback for numerically semidefinite blocks.
+                    BlockJacobi::new_with_ridge(&bsz, T::from_f64(1e-8))
+                })
+            }
+            .expect("preconditioner factorization failed")
+        });
+
+        // Line 6: W ← Σ_z⁻¹ V.
+        let (w1, tel1) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &v, &cg_cfg));
+        total_cg_iters += tel1.iter().map(|t| t.iterations).sum::<usize>();
+        if t == 1 {
+            first_cg = tel1;
+        }
+
+        // Line 7: W ← H_p W (plus H_p·V for the objective estimate).
+        let w2 = timer.time("matvec", || hp.apply_panel(&w1));
+        let hpv = timer.time("matvec", || hp.apply_panel(&v));
+
+        // Line 8: W ← Σ_z⁻¹ W.
+        let (w3, tel2) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &w2, &cg_cfg));
+        total_cg_iters += tel2.iter().map(|t| t.iterations).sum::<usize>();
+
+        // Line 9: g_i ← -(1/s) Σ_j v_jᵀ H_i w_j.
+        let g = timer.time("gradient", || {
+            hutchinson_gradients(&problem.pool_x, &problem.pool_h, &v, &w3)
+        });
+
+        // Lines 10–11: multiplicative update + simplex normalization, with
+        // a √t-decaying magnitude-normalized step (see DESIGN.md).
+        timer.time("other", || {
+            let mut max_abs = T::ZERO;
+            for &gi in &g {
+                max_abs = max_abs.maxv(gi.abs());
+            }
+            let beta = config.md.beta0 / T::from_usize(t).sqrt() / max_abs.maxv(T::MIN_POSITIVE);
+            let mut total = T::ZERO;
+            for (zi, &gi) in z.iter_mut().zip(g.iter()) {
+                // Gradients enter negated: g here is +(1/s)Σvᵀ H w, and the
+                // objective gradient is its negation, so ascent on g.
+                *zi *= (beta * gi).exp();
+                total += *zi;
+            }
+            for zi in z.iter_mut() {
+                *zi /= total;
+            }
+        });
+
+        // Objective estimate f ≈ (1/s) Σ_j (Σ⁻¹v_j)ᵀ(H_p v_j) and stopping
+        // rule (relative change < config.md.obj_rel_tol).
+        let f_est = timer.time("other", || {
+            let mut acc = T::ZERO;
+            for j in 0..config.probes {
+                let mut col = T::ZERO;
+                for i in 0..ehat {
+                    col += w1[(i, j)] * hpv[(i, j)];
+                }
+                acc += col;
+            }
+            acc / T::from_usize(config.probes)
+        });
+        if let Some(&prev) = telemetry.objective_history.last() {
+            if ((f_est - prev) / prev.abs().maxv(T::MIN_POSITIVE)).abs() < config.md.obj_rel_tol {
+                telemetry.objective_history.push(f_est);
+                telemetry.converged = true;
+                break;
+            }
+        }
+        telemetry.objective_history.push(f_est);
+    }
+
+    let z_diamond: Vec<T> = z.iter().map(|&v| v * b).collect();
+    RelaxOutput {
+        z_diamond,
+        telemetry,
+        first_cg,
+        timer,
+        total_cg_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MirrorDescentConfig;
+    use crate::exact::exact_relax;
+
+    fn tiny_problem(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<f64> {
+        let ds = firal_data::SyntheticConfig::new(c, d)
+            .with_pool_size(n)
+            .with_initial_per_class(2)
+            .with_seed(seed)
+            .generate::<f64>();
+        let model =
+            firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
+                .unwrap();
+        SelectionProblem::new(
+            ds.pool_features.clone(),
+            model.class_probs_cm1(&ds.pool_features),
+            ds.initial_features.clone(),
+            model.class_probs_cm1(&ds.initial_features),
+            c,
+        )
+    }
+
+    #[test]
+    fn output_is_budget_scaled_simplex() {
+        let p = tiny_problem(1, 60, 4, 3);
+        let out = fast_relax(&p, 8, &RelaxConfig::default());
+        assert_eq!(out.z_diamond.len(), 60);
+        assert!(out.z_diamond.iter().all(|&v| v >= 0.0));
+        let sum: f64 = out.z_diamond.iter().sum();
+        assert!((sum - 8.0).abs() < 1e-8, "‖z⋄‖₁ = {sum}");
+        assert!(out.telemetry.iterations >= 1);
+        assert!(!out.first_cg.is_empty());
+        assert!(out.total_cg_iters > 0);
+    }
+
+    #[test]
+    fn approx_weights_correlate_with_exact() {
+        // On a small problem the fast solver (tight CG, many probes) must
+        // put large weight on roughly the same points as the exact solver.
+        let p = tiny_problem(2, 40, 3, 3);
+        let md = MirrorDescentConfig {
+            max_iters: 30,
+            ..Default::default()
+        };
+        let (z_exact, _) = exact_relax(&p, 5, &md);
+        let cfg = RelaxConfig {
+            md,
+            probes: 60,
+            cg_tol: 1e-6,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = fast_relax(&p, 5, &cfg);
+        // Rank correlation proxy: top-10 sets overlap substantially.
+        let top = |z: &[f64]| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..z.len()).collect();
+            idx.sort_by(|&a, &b| z[b].partial_cmp(&z[a]).unwrap());
+            idx[..10].to_vec()
+        };
+        let te = top(&z_exact);
+        let ta = top(&out.z_diamond);
+        let overlap = te.iter().filter(|i| ta.contains(i)).count();
+        assert!(
+            overlap >= 5,
+            "exact/approx top-10 overlap only {overlap}: {te:?} vs {ta:?}"
+        );
+    }
+
+    #[test]
+    fn objective_history_trends_down() {
+        let p = tiny_problem(4, 50, 3, 4);
+        let out = fast_relax(
+            &p,
+            5,
+            &RelaxConfig {
+                probes: 30,
+                cg_tol: 0.01,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let h = &out.telemetry.objective_history;
+        assert!(h.len() >= 2);
+        let first = h[0];
+        let last = *h.last().unwrap();
+        assert!(
+            last <= first * 1.05,
+            "objective should not increase materially: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = tiny_problem(6, 30, 3, 3);
+        let cfg = RelaxConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let a = fast_relax(&p, 4, &cfg);
+        let b = fast_relax(&p, 4, &cfg);
+        assert_eq!(a.z_diamond, b.z_diamond);
+        assert_eq!(
+            a.telemetry.objective_history.len(),
+            b.telemetry.objective_history.len()
+        );
+    }
+
+    #[test]
+    fn preconditioner_reduces_cg_iterations() {
+        // The Fig. 1 claim, as a regression test: block-Jacobi CG converges
+        // in fewer iterations than unpreconditioned CG on Σ_z.
+        use firal_solvers::IdentityPreconditioner;
+        let p = tiny_problem(7, 80, 5, 4);
+        let n = p.pool_size();
+        let z = vec![1.0 / n as f64; n];
+        let sigma = SigmaZ::new(
+            PoolHessian::unweighted(&p.labeled_x, &p.labeled_h),
+            PoolHessian::weighted(&p.pool_x, &p.pool_h, z),
+        );
+        let prec = BlockJacobi::new(&sigma.block_diagonal()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: Matrix<f64> = rademacher_panel(p.ehat(), 4, &mut rng);
+        let cfg = CgConfig {
+            rel_tol: 1e-6,
+            max_iter: 4 * p.ehat(),
+        };
+        let (_, tel_prec) = cg_solve_panel(&sigma, &prec, &v, &cfg);
+        let (_, tel_plain) = cg_solve_panel(&sigma, &IdentityPreconditioner, &v, &cfg);
+        let iters_prec: usize = tel_prec.iter().map(|t| t.iterations).sum();
+        let iters_plain: usize = tel_plain.iter().map(|t| t.iterations).sum();
+        assert!(
+            iters_prec < iters_plain,
+            "preconditioned {iters_prec} !< plain {iters_plain}"
+        );
+    }
+
+    #[test]
+    fn timer_covers_the_paper_phases() {
+        let p = tiny_problem(8, 30, 3, 3);
+        let out = fast_relax(&p, 3, &RelaxConfig::default());
+        for phase in ["precond", "cg", "gradient"] {
+            assert!(
+                out.timer.phases().any(|(n, _)| n == phase),
+                "missing phase {phase}"
+            );
+        }
+    }
+}

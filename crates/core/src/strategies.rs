@@ -1,0 +1,365 @@
+//! The five selection strategies of §IV-A behind one trait:
+//! Random, K-Means (k = b), Entropy, Exact-FIRAL and Approx-FIRAL.
+
+use firal_cluster::{kmeans, nearest_to_centroids, KMeansConfig};
+use firal_linalg::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{FiralConfig, MirrorDescentConfig, RoundConfig};
+use crate::exact::{exact_relax, exact_round};
+use crate::problem::SelectionProblem;
+use crate::relax::fast_relax;
+use crate::round::{diag_round, select_eta};
+
+/// Selection failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// Budget exceeds pool size.
+    BudgetTooLarge {
+        /// Requested batch size.
+        budget: usize,
+        /// Available pool points.
+        pool: usize,
+    },
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::BudgetTooLarge { budget, pool } => {
+                write!(f, "budget {budget} exceeds pool size {pool}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// A batch active-learning selection strategy.
+///
+/// `problem` carries the pool/labeled panels and classifier probabilities;
+/// `budget` is the batch size `b`; `seed` controls any internal randomness
+/// (Random and K-Means are the stochastic baselines the paper averages over
+/// 10 trials; the FIRAL variants are deterministic given the probe seed).
+pub trait Strategy<T: Scalar> {
+    /// Human-readable name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Pick `budget` distinct pool indices.
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, SelectError>;
+}
+
+fn check_budget<T: Scalar>(
+    problem: &SelectionProblem<T>,
+    budget: usize,
+) -> Result<(), SelectError> {
+    if budget > problem.pool_size() {
+        Err(SelectError::BudgetTooLarge {
+            budget,
+            pool: problem.pool_size(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Uniform random selection without replacement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomStrategy;
+
+impl<T: Scalar> Strategy<T> for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        check_budget(problem, budget)?;
+        let n = problem.pool_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher–Yates over an index array.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..budget {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(budget);
+        Ok(idx)
+    }
+}
+
+/// K-Means baseline: cluster the pool with `k = b`, label the point nearest
+/// each centroid (§IV-A setup item (2)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KMeansStrategy;
+
+impl<T: Scalar> Strategy<T> for KMeansStrategy {
+    fn name(&self) -> &'static str {
+        "K-Means"
+    }
+
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        check_budget(problem, budget)?;
+        let result = kmeans(&problem.pool_x, &KMeansConfig::new(budget).with_seed(seed));
+        Ok(nearest_to_centroids(&problem.pool_x, &result.centroids))
+    }
+}
+
+/// Entropy baseline: top-`b` pool points by prediction entropy
+/// (`-Σ_c p log p`, §IV-A setup item (3)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EntropyStrategy;
+
+impl EntropyStrategy {
+    /// Entropy over the full `c`-class distribution reconstructed from the
+    /// `c-1` panel (the reference-class probability is `1 - Σ h`).
+    fn entropies<T: Scalar>(pool_h: &Matrix<T>) -> Vec<T> {
+        (0..pool_h.rows())
+            .map(|i| {
+                let row = pool_h.row(i);
+                let mut rest = T::ONE;
+                let mut h = T::ZERO;
+                for &p in row {
+                    if p > T::ZERO {
+                        h -= p * p.ln();
+                    }
+                    rest -= p;
+                }
+                if rest > T::ZERO {
+                    h -= rest * rest.ln();
+                }
+                h
+            })
+            .collect()
+    }
+}
+
+impl<T: Scalar> Strategy<T> for EntropyStrategy {
+    fn name(&self) -> &'static str {
+        "Entropy"
+    }
+
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        _seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        check_budget(problem, budget)?;
+        let ent = Self::entropies(&problem.pool_h);
+        let mut idx: Vec<usize> = (0..problem.pool_size()).collect();
+        idx.sort_by(|&a, &b| ent[b].partial_cmp(&ent[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(budget);
+        Ok(idx)
+    }
+}
+
+/// Exact-FIRAL (Algorithm 1) as a strategy. Small problems only (dense
+/// `ê × ê` algebra).
+#[derive(Debug, Clone)]
+pub struct ExactFiral<T: Scalar> {
+    /// Mirror-descent controls for the RELAX phase.
+    pub md: MirrorDescentConfig<T>,
+    /// ROUND learning rate (with the grid rule when `None`).
+    pub round: RoundConfig<T>,
+}
+
+impl<T: Scalar> Default for ExactFiral<T> {
+    fn default() -> Self {
+        Self {
+            md: MirrorDescentConfig::default(),
+            round: RoundConfig::default(),
+        }
+    }
+}
+
+impl<T: Scalar> Strategy<T> for ExactFiral<T> {
+    fn name(&self) -> &'static str {
+        "Exact-FIRAL"
+    }
+
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        _seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        check_budget(problem, budget)?;
+        let (z, _) = exact_relax(problem, budget, &self.md);
+        let scale = T::from_usize(problem.ehat()).sqrt();
+        let selected = match self.round.eta {
+            Some(eta) => exact_round(problem, &z, budget, eta),
+            None => {
+                // Grid rule on the exact ROUND, mirroring §IV-A.
+                let mut best: Option<(T, Vec<usize>)> = None;
+                for &mult in &self.round.eta_grid {
+                    let sel = exact_round(problem, &z, budget, mult * scale);
+                    let crit = crate::round::selection_min_eig(problem, &sel);
+                    match &best {
+                        Some((c, _)) if *c >= crit => {}
+                        _ => best = Some((crit, sel)),
+                    }
+                }
+                best.expect("non-empty η grid").1
+            }
+        };
+        Ok(selected)
+    }
+}
+
+/// Approx-FIRAL (Algorithms 2+3) as a strategy — the paper's contribution.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxFiral<T: Scalar> {
+    /// RELAX + ROUND configuration.
+    pub config: FiralConfig<T>,
+}
+
+impl<T: Scalar> ApproxFiral<T> {
+    /// Strategy with explicit configuration.
+    pub fn new(config: FiralConfig<T>) -> Self {
+        Self { config }
+    }
+}
+
+impl<T: Scalar> Strategy<T> for ApproxFiral<T> {
+    fn name(&self) -> &'static str {
+        "Approx-FIRAL"
+    }
+
+    fn select(
+        &self,
+        problem: &SelectionProblem<T>,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        check_budget(problem, budget)?;
+        let mut relax_cfg = self.config.relax;
+        relax_cfg.seed = relax_cfg.seed.wrapping_add(seed);
+        let relax = fast_relax(problem, budget, &relax_cfg);
+        let out = match self.config.round.eta {
+            Some(eta) => diag_round(problem, &relax.z_diamond, budget, eta),
+            None => select_eta(
+                problem,
+                &relax.z_diamond,
+                budget,
+                &self.config.round.eta_grid,
+            ),
+        };
+        Ok(out.selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem(seed: u64) -> SelectionProblem<f64> {
+        let ds = firal_data::SyntheticConfig::new(3, 4)
+            .with_pool_size(60)
+            .with_initial_per_class(2)
+            .with_seed(seed)
+            .generate::<f64>();
+        let model =
+            firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
+                .unwrap();
+        SelectionProblem::new(
+            ds.pool_features.clone(),
+            model.class_probs_cm1(&ds.pool_features),
+            ds.initial_features.clone(),
+            model.class_probs_cm1(&ds.initial_features),
+            3,
+        )
+    }
+
+    fn assert_valid_selection(sel: &[usize], budget: usize, pool: usize) {
+        assert_eq!(sel.len(), budget);
+        let mut sorted = sel.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), budget, "duplicates in {sel:?}");
+        assert!(sel.iter().all(|&i| i < pool));
+    }
+
+    #[test]
+    fn all_strategies_return_valid_selections() {
+        let p = tiny_problem(1);
+        let strategies: Vec<Box<dyn Strategy<f64>>> = vec![
+            Box::new(RandomStrategy),
+            Box::new(KMeansStrategy),
+            Box::new(EntropyStrategy),
+            Box::new(ApproxFiral::default()),
+            Box::new(ExactFiral::default()),
+        ];
+        for s in &strategies {
+            let sel = s.select(&p, 5, 42).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert_valid_selection(&sel, 5, 60);
+        }
+    }
+
+    #[test]
+    fn budget_too_large_is_rejected() {
+        let p = tiny_problem(2);
+        let err = Strategy::<f64>::select(&RandomStrategy, &p, 100, 0);
+        assert!(matches!(
+            err,
+            Err(SelectError::BudgetTooLarge { budget: 100, pool: 60 })
+        ));
+    }
+
+    #[test]
+    fn random_depends_on_seed_entropy_does_not() {
+        let p = tiny_problem(3);
+        let r1 = Strategy::<f64>::select(&RandomStrategy, &p, 5, 1).unwrap();
+        let r2 = Strategy::<f64>::select(&RandomStrategy, &p, 5, 2).unwrap();
+        assert_ne!(r1, r2, "different seeds should differ (w.h.p.)");
+        let e1 = Strategy::<f64>::select(&EntropyStrategy, &p, 5, 1).unwrap();
+        let e2 = Strategy::<f64>::select(&EntropyStrategy, &p, 5, 2).unwrap();
+        assert_eq!(e1, e2, "entropy is deterministic");
+    }
+
+    #[test]
+    fn entropy_selects_most_uncertain() {
+        let p = tiny_problem(4);
+        let sel = Strategy::<f64>::select(&EntropyStrategy, &p, 3, 0).unwrap();
+        let ents = EntropyStrategy::entropies(&p.pool_h);
+        let min_selected = sel.iter().map(|&i| ents[i]).fold(f64::INFINITY, f64::min);
+        let max_unselected = (0..p.pool_size())
+            .filter(|i| !sel.contains(i))
+            .map(|i| ents[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_selected >= max_unselected - 1e-12);
+    }
+
+    #[test]
+    fn approx_firal_on_fisher_objective_beats_random() {
+        use crate::objective::selection_objective;
+        let p = tiny_problem(5);
+        let firal_sel = Strategy::<f64>::select(&ApproxFiral::default(), &p, 6, 0).unwrap();
+        let f_firal = selection_objective(&p, &firal_sel);
+        let mut rand_sum = 0.0;
+        for s in 0..6 {
+            let sel = Strategy::<f64>::select(&RandomStrategy, &p, 6, s).unwrap();
+            rand_sum += selection_objective(&p, &sel);
+        }
+        let f_rand = rand_sum / 6.0;
+        assert!(
+            f_firal < f_rand * 1.05,
+            "Approx-FIRAL f = {f_firal} vs mean random f = {f_rand}"
+        );
+    }
+}

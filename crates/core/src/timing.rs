@@ -1,0 +1,113 @@
+//! Named phase timers matching the paper's breakdown categories.
+//!
+//! Fig. 5–6 break the RELAX step into *Setup B(Σz)⁻¹*, *CG*, *gradient*,
+//! *MPI communication* and *other*; Fig. 5/7 break the ROUND step into
+//! *compute eigenvalues*, *objective function* and *other*. Solvers
+//! accumulate into these timers so the figure harnesses can print the same
+//! stacked series.
+
+use std::time::{Duration, Instant};
+
+/// Accumulating phase timer.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure under `name`, accumulating across calls.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(name, t0.elapsed());
+        r
+    }
+
+    /// Add a pre-measured duration to `name`.
+    pub fn add(&mut self, name: &'static str, duration: Duration) {
+        for (n, d) in self.entries.iter_mut() {
+            if *n == name {
+                *d += duration;
+                return;
+            }
+        }
+        self.entries.push((name, duration));
+    }
+
+    /// Accumulated duration for a phase (zero if never recorded).
+    pub fn get(&self, name: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Phases in first-recorded order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Merge another timer's accumulations into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (n, d) in &other.entries {
+            self.add(n, *d);
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, d) in &self.entries {
+            writeln!(f, "  {name:<24} {:>10.4}s", d.as_secs_f64())?;
+        }
+        write!(f, "  {:<24} {:>10.4}s", "total", self.total().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_same_phase() {
+        let mut t = PhaseTimer::new();
+        t.add("cg", Duration::from_millis(10));
+        t.add("cg", Duration::from_millis(5));
+        t.add("precond", Duration::from_millis(1));
+        assert_eq!(t.get("cg"), Duration::from_millis(15));
+        assert_eq!(t.total(), Duration::from_millis(16));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("phase", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get("phase") > Duration::ZERO || t.get("phase") == Duration::ZERO);
+        assert_eq!(t.phases().count(), 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = PhaseTimer::new();
+        a.add("x", Duration::from_millis(3));
+        let mut b = PhaseTimer::new();
+        b.add("x", Duration::from_millis(4));
+        b.add("y", Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(7));
+        assert_eq!(a.get("y"), Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the paper's mathematical identities on
+//! randomized inputs:
+//!
+//! * Lemma 2  — the matrix-free matvec equals the dense `G⊗xxᵀ` action;
+//! * Eq. 14   — the fused block-diagonal build equals Definition 1 applied
+//!              to the dense operator;
+//! * Lemma 3  — the per-block Sherman–Morrison inverse equals the dense
+//!              block inverse after a rank-one `γ_k·xxᵀ` update;
+//! * Prop. 4  — the Eq. 17 score is an affine transform of the block-diag
+//!              trace objective (so their argext agree);
+//! * mirror descent preserves the simplex.
+
+use firal_core::hessian::{dense_hessian, fast_matvec, PoolHessian};
+use firal_linalg::{BlockDiag, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// A valid `c-1` probability vector: positive entries with sum < 1.
+fn probs_strategy(cm1: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..1.0, cm1 + 1).prop_map(move |raw| {
+        let total: f64 = raw.iter().sum();
+        raw[..cm1].iter().map(|v| v / total).collect()
+    })
+}
+
+fn point_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.5f64..1.5, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lemma2_fast_matvec_equals_dense(
+        x in point_strategy(5),
+        h in probs_strategy(3),
+        v in proptest::collection::vec(-1.0f64..1.0, 15),
+    ) {
+        let fast = fast_matvec(&x, &h, &v);
+        let dense = dense_hessian(&x, &h).matvec(&v);
+        for (a, b) in fast.iter().zip(dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eq14_block_diagonal_matches_definition_1(
+        xs in proptest::collection::vec(point_strategy(4), 6),
+        hs in proptest::collection::vec(probs_strategy(2), 6),
+        z in proptest::collection::vec(0.0f64..2.0, 6),
+    ) {
+        let n = xs.len();
+        let mut xm = Matrix::zeros(n, 4);
+        let mut hm = Matrix::zeros(n, 2);
+        for i in 0..n {
+            xm.row_mut(i).copy_from_slice(&xs[i]);
+            hm.row_mut(i).copy_from_slice(&hs[i]);
+        }
+        let op = PoolHessian::weighted(&xm, &hm, z);
+        let fused = op.block_diagonal();
+        let dense_bd = BlockDiag::from_dense(&op.to_dense(), 2);
+        for k in 0..2 {
+            for p in 0..4 {
+                for q in 0..4 {
+                    prop_assert!(
+                        (fused.block(k)[(p, q)] - dense_bd.block(k)[(p, q)]).abs() < 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_sherman_morrison_blockwise(
+        b0 in proptest::collection::vec(-1.0f64..1.0, 9),
+        x in point_strategy(3),
+        gammas in proptest::collection::vec(0.01f64..0.3, 2),
+    ) {
+        // A: block-diagonal SPD with 2 blocks of order 3.
+        let mk_spd = |v: &[f64], shift: f64| {
+            let b = Matrix::from_vec(3, 3, v.to_vec());
+            let mut a = firal_linalg::gemm_a_bt(&b, &b);
+            a.add_diag(3.0 + shift);
+            a
+        };
+        let a = BlockDiag::from_blocks(vec![mk_spd(&b0, 0.0), mk_spd(&b0, 1.0)]);
+
+        // Updated matrix: A + diag(γ) ⊗ xxᵀ.
+        let mut updated = a.clone();
+        updated.rank_one_update(&gammas, &x);
+
+        // Lemma 3 block form vs dense inverse.
+        let a_inv = a.inverse().unwrap();
+        for k in 0..2 {
+            let ak_inv = a_inv.block(k);
+            let g = gammas[k];
+            let ax = ak_inv.matvec(&x);
+            let denom = 1.0 + g * firal_linalg::dot(&x, &ax);
+            // Lemma 3: (A + γxxᵀ)⁻¹ = A⁻¹ - γ·A⁻¹xxᵀA⁻¹ / (1 + γxᵀA⁻¹x)
+            let mut lemma = ak_inv.clone();
+            for p in 0..3 {
+                for q in 0..3 {
+                    lemma[(p, q)] -= g * ax[p] * ax[q] / denom;
+                }
+            }
+            let direct = Cholesky::new(updated.block(k)).unwrap().inverse();
+            for p in 0..3 {
+                for q in 0..3 {
+                    prop_assert!(
+                        (lemma[(p, q)] - direct[(p, q)]).abs() < 1e-8,
+                        "block {k} ({p},{q}): {} vs {}",
+                        lemma[(p, q)],
+                        direct[(p, q)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_descent_update_preserves_simplex(
+        z0 in proptest::collection::vec(0.01f64..1.0, 12),
+        g in proptest::collection::vec(-3.0f64..3.0, 12),
+    ) {
+        // Normalize z0 to the simplex, apply the multiplicative update the
+        // RELAX solvers use, and check the invariants.
+        let total: f64 = z0.iter().sum();
+        let mut z: Vec<f64> = z0.iter().map(|v| v / total).collect();
+        let max_abs = g.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-30);
+        let beta = 1.0 / max_abs;
+        let mut sum = 0.0;
+        for (zi, &gi) in z.iter_mut().zip(g.iter()) {
+            *zi *= (beta * gi).exp();
+            sum += *zi;
+        }
+        for zi in z.iter_mut() {
+            *zi /= sum;
+        }
+        let new_total: f64 = z.iter().sum();
+        prop_assert!((new_total - 1.0).abs() < 1e-12);
+        prop_assert!(z.iter().all(|&v| v > 0.0 && v < 1.0 + 1e-12));
+    }
+}
+
+/// Proposition 4: on a fixed random instance the Eq. 17 scores are an
+/// affine transform of the exact block-diagonal trace objective, so the
+/// induced rankings are identical. (Deterministic, but placed here with the
+/// other algebraic identities.)
+#[test]
+fn proposition4_score_ordering_matches_trace_objective() {
+    let ds = firal_data::SyntheticConfig::new(3, 4)
+        .with_pool_size(15)
+        .with_initial_per_class(2)
+        .with_seed(10)
+        .generate::<f64>();
+    let model =
+        firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
+            .unwrap();
+    let problem = firal_core::SelectionProblem::new(
+        ds.pool_features.clone(),
+        model.class_probs_cm1(&ds.pool_features),
+        ds.initial_features.clone(),
+        model.class_probs_cm1(&ds.initial_features),
+        3,
+    );
+    // One ROUND pass on a tiny pool picks the same first point whether we
+    // run Algorithm 3 (Eq. 17) or brute-force the t=1 trace objective.
+    let n = problem.pool_size();
+    let z = vec![2.0 / n as f64; n];
+    let eta = 4.0 * (problem.ehat() as f64).sqrt();
+    let algo = firal_core::diag_round(&problem, &z, 1, eta);
+
+    // Brute force r_i = Tr[(B₁ + ηB(H_i))⁻¹ Σ⋄] over the block-diagonal
+    // matrices.
+    let bho = PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h).block_diagonal();
+    let mut sigma = PoolHessian::weighted(&problem.pool_x, &problem.pool_h, z).block_diagonal();
+    sigma.add_scaled(1.0, &bho);
+    let cm1 = problem.nblocks();
+    let mut b1 = sigma.clone();
+    for k in 0..cm1 {
+        b1.block_mut(k).scale_inplace((problem.ehat() as f64).sqrt());
+        b1.block_mut(k).add_scaled(eta / 1.0, bho.block(k));
+    }
+    let sigma_dense = sigma.to_dense();
+    let mut best = (f64::INFINITY, usize::MAX);
+    for i in 0..n {
+        let hi = dense_hessian(problem.pool_x.row(i), problem.pool_h.row(i));
+        let hi_bd = BlockDiag::from_dense(&hi, cm1).to_dense();
+        let mut m = b1.to_dense();
+        m.add_scaled(eta, &hi_bd);
+        let r = Cholesky::new(&m).unwrap().solve_mat(&sigma_dense).trace();
+        if r < best.0 {
+            best = (r, i);
+        }
+    }
+    assert_eq!(
+        algo.selected[0], best.1,
+        "Algorithm 3's Eq. 17 argmax disagrees with the brute-force argmin"
+    );
+}

@@ -1,0 +1,288 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used for: inverting the `d × d` preconditioner blocks of Definition 1
+//! (`cupy.linalg.inv` in the paper, Line 5 of Algorithm 2 and Lines 4/11 of
+//! Algorithm 3), the whitening transform `Σ_⋄^{-1/2}` factors, and the dense
+//! solves inside Exact-FIRAL.
+
+use crate::counters;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky<T: Scalar> {
+    l: Matrix<T>,
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factor an SPD matrix. Fails with [`LinalgError::NotPositiveDefinite`]
+    /// on a non-positive pivot.
+    pub fn new(a: &Matrix<T>) -> Result<Self> {
+        let n = a.rows();
+        assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+        counters::add_flops(n * n * n / 3);
+
+        let mut l = Matrix::<T>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // acc = A[i][j] - Σ_{k<j} L[i][k] L[j][k]
+                let mut acc = a[(i, j)];
+                let (li, lj) = (l.row(i), l.row(j));
+                for k in 0..j {
+                    acc -= li[k] * lj[k];
+                }
+                if i == j {
+                    if acc <= T::ZERO || !acc.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = acc.sqrt();
+                } else {
+                    l[(i, j)] = acc / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factor `A + ridge·I` (numerical safety net for nearly singular sums
+    /// of Hessians; `ridge = 0` by convention in the main algorithms).
+    pub fn new_with_ridge(a: &Matrix<T>, ridge: T) -> Result<Self> {
+        if ridge == T::ZERO {
+            return Self::new(a);
+        }
+        let mut ar = a.clone();
+        ar.add_diag(ridge);
+        Self::new(&ar)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` (forward then backward substitution).
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// In-place `A x = b` solve.
+    pub fn solve_in_place(&self, x: &mut [T]) {
+        let n = self.order();
+        assert_eq!(x.len(), n, "Cholesky::solve dimension mismatch");
+        counters::add_flops(2 * n * n);
+        // L y = b
+        for i in 0..n {
+            let li = self.l.row(i);
+            let mut acc = x[i];
+            for k in 0..i {
+                acc -= li[k] * x[k];
+            }
+            x[i] = acc / li[i];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * x[k];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+    }
+
+    /// Solve `A X = B` column-by-column for a multi-RHS panel.
+    pub fn solve_mat(&self, b: &Matrix<T>) -> Matrix<T> {
+        let n = self.order();
+        assert_eq!(b.rows(), n, "Cholesky::solve_mat dimension mismatch");
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![T::ZERO; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            self.solve_in_place(&mut col);
+            out.set_col(j, &col);
+        }
+        out
+    }
+
+    /// Forward substitution only: solve `L y = b`.
+    pub fn solve_l(&self, b: &[T]) -> Vec<T> {
+        let n = self.order();
+        assert_eq!(b.len(), n);
+        counters::add_flops(n * n);
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let li = self.l.row(i);
+            let mut acc = y[i];
+            for k in 0..i {
+                acc -= li[k] * y[k];
+            }
+            y[i] = acc / li[i];
+        }
+        y
+    }
+
+    /// Back substitution only: solve `Lᵀ x = y`.
+    pub fn solve_lt(&self, y: &[T]) -> Vec<T> {
+        let n = self.order();
+        assert_eq!(y.len(), n);
+        counters::add_flops(n * n);
+        let mut x = y.to_vec();
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * x[k];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Explicit inverse `A^{-1}` (the paper's `cupy.linalg.inv` on the
+    /// block diagonals; only ever called on `d × d` blocks).
+    pub fn inverse(&self) -> Matrix<T> {
+        let n = self.order();
+        counters::add_flops(2 * n * n * n / 3);
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![T::ZERO; n];
+        for j in 0..n {
+            e.fill(T::ZERO);
+            e[j] = T::ONE;
+            self.solve_in_place(&mut e);
+            inv.set_col(j, &e);
+        }
+        // Clean up asymmetry from rounding.
+        inv.symmetrize();
+        inv
+    }
+
+    /// `log det A = 2 Σ log L_ii`.
+    pub fn logdet(&self) -> T {
+        let mut acc = T::ZERO;
+        for i in 0..self.order() {
+            acc += self.l[(i, i)].ln();
+        }
+        acc + acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_test_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // A = B Bᵀ + n·I is SPD
+        let mut a = crate::gemm::gemm_a_bt(&b, &b);
+        a.add_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_test_matrix(8, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let lt = ch.l().transpose();
+        let r = crate::gemm::gemm(ch.l(), &lt);
+        let mut diff: f64 = 0.0;
+        for i in 0..8 {
+            for j in 0..8 {
+                diff = diff.max((r[(i, j)] - a[(i, j)]).abs());
+            }
+        }
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd_test_matrix(10, 2);
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| i as f64 - 4.5).collect();
+        let b = a.matvec(&x_true);
+        let x = ch.solve(&b);
+        let err: f64 = x
+            .iter()
+            .zip(x_true.iter())
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "max err {err}");
+    }
+
+    #[test]
+    fn forward_backward_composes_to_solve() {
+        let a = spd_test_matrix(6, 3);
+        let ch = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let x1 = ch.solve(&b);
+        let x2 = ch.solve_lt(&ch.solve_l(&b));
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd_test_matrix(7, 4);
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let p = crate::gemm::gemm(&inv, &a);
+        for i in 0..7 {
+            for j in 0..7 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((p[(i, j)] - expect).abs() < 1e-8, "({i},{j}) = {}", p[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = Matrix::<f64>::identity(3);
+        a[(2, 2)] = -1.0;
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 2 })
+        ));
+    }
+
+    #[test]
+    fn ridge_rescues_semidefinite() {
+        let mut a = Matrix::<f64>::zeros(3, 3);
+        a[(0, 0)] = 1.0; // rank-1 PSD
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_with_ridge(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn logdet_matches_identity_scaling() {
+        let mut a = Matrix::<f64>::identity(5);
+        a.scale_inplace(3.0);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.logdet() - 5.0 * 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise() {
+        let a = spd_test_matrix(5, 6);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let x = ch.solve_mat(&b);
+        for j in 0..3 {
+            let xj = ch.solve(&b.col(j));
+            for i in 0..5 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Global flop/byte counters.
+//!
+//! The paper's Tables II and III make storage/compute complexity claims;
+//! the `table2_complexity` and `table3_matvec` harnesses verify them
+//! empirically by reading these counters around kernel invocations.
+//!
+//! Counters are relaxed atomics incremented once per kernel call (never per
+//! scalar operation), so the overhead is unmeasurable next to the kernels
+//! themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` floating-point operations.
+#[inline(always)]
+pub fn add_flops(n: usize) {
+    FLOPS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Record `n` bytes of allocation traffic.
+#[inline(always)]
+pub fn add_bytes(n: usize) {
+    BYTES.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Snapshot of the global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Cumulative floating-point operations recorded.
+    pub flops: u64,
+    /// Cumulative bytes of matrix allocations recorded.
+    pub bytes: u64,
+}
+
+/// Read the counters.
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        flops: FLOPS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset both counters to zero (benchmark harness only; not thread-safe with
+/// respect to concurrent kernels, which is fine for sequential measurement
+/// sections).
+pub fn reset() {
+    FLOPS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Measure the flops/bytes consumed by a closure.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, CounterSnapshot) {
+    let before = snapshot();
+    let r = f();
+    let after = snapshot();
+    (
+        r,
+        CounterSnapshot {
+            flops: after.flops - before.flops,
+            bytes: after.bytes - before.bytes,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_captures_deltas() {
+        let (_, delta) = measure(|| {
+            add_flops(100);
+            add_bytes(8);
+        });
+        assert!(delta.flops >= 100);
+        assert!(delta.bytes >= 8);
+    }
+}

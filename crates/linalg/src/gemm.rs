@@ -1,0 +1,396 @@
+//! Parallel dense matrix-matrix kernels.
+//!
+//! These are the hot kernels of Approx-FIRAL's RELAX step: the matrix-free
+//! Hessian matvec of Lemma 2 vectorizes into two tall-skinny GEMMs over the
+//! pool panel (`X·V` then `Xᵀ·Γ`), and the CG preconditioner of Definition 1
+//! is a set of weighted Gram matrices `Xᵀdiag(w_k)X`. All kernels are
+//! rayon-parallel over the long (pool) dimension with per-thread
+//! accumulators, mirroring how the paper shards the pool across GPUs.
+
+use rayon::prelude::*;
+
+use crate::counters;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Work threshold (in multiply-adds) below which kernels run sequentially.
+/// Parallelizing tiny GEMMs costs more in task dispatch than it saves.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// `C = A · B`.
+///
+/// Row-parallel, `ikj` loop order so both `B` and `C` stream row-major.
+pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: A is {m}x{k}, B is {kb}x{n}");
+    counters::add_flops(2 * m * n * k);
+
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    let body = |(ci, ai): (&mut [T], &[T])| {
+        // ci: one row of C, ai: matching row of A
+        for (p, &apk) in ai.iter().enumerate() {
+            let brow = b.row(p);
+            for (cj, &bpj) in ci.iter_mut().zip(brow.iter()) {
+                *cj += apk * bpj;
+            }
+        }
+    };
+    if work >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(k))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(n)
+            .zip(a.as_slice().chunks(k))
+            .for_each(body);
+    }
+    c
+}
+
+/// `C = Aᵀ · B` where `A` is `n × d` and `B` is `n × m` (both tall-skinny).
+///
+/// This is the reduction-shaped GEMM of the fast Hessian matvec (Eq. 13):
+/// the pool dimension `n` is long, the output `d × m` is small. Implemented
+/// as a rayon map-reduce over row chunks with per-thread `d × m`
+/// accumulators — the shared-memory analogue of the paper's per-GPU partial
+/// sums followed by `MPI_Allreduce`.
+pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (n, d) = a.shape();
+    let (nb, m) = b.shape();
+    assert_eq!(n, nb, "gemm_at_b: A is {n}x{d}, B is {nb}x{m}");
+    counters::add_flops(2 * n * d * m);
+
+    let work = n * d * m;
+    let accumulate = |chunk_a: &[T], chunk_b: &[T]| -> Vec<T> {
+        let rows = chunk_a.len() / d;
+        let mut acc = vec![T::ZERO; d * m];
+        for r in 0..rows {
+            let arow = &chunk_a[r * d..(r + 1) * d];
+            let brow = &chunk_b[r * m..(r + 1) * m];
+            for (i, &ai) in arow.iter().enumerate() {
+                let dst = &mut acc[i * m..(i + 1) * m];
+                for (dj, &bj) in dst.iter_mut().zip(brow.iter()) {
+                    *dj += ai * bj;
+                }
+            }
+        }
+        acc
+    };
+
+    let data = if work >= PAR_THRESHOLD && n > 1 {
+        let chunk_rows = (n / (rayon::current_num_threads() * 4)).max(64);
+        a.as_slice()
+            .par_chunks(chunk_rows * d)
+            .zip(b.as_slice().par_chunks(chunk_rows * m))
+            .map(|(ca, cb)| accumulate(ca, cb))
+            .reduce(
+                || vec![T::ZERO; d * m],
+                |mut x, y| {
+                    for (xi, yi) in x.iter_mut().zip(y.iter()) {
+                        *xi += *yi;
+                    }
+                    x
+                },
+            )
+    } else {
+        accumulate(a.as_slice(), b.as_slice())
+    };
+    Matrix::from_vec(d, m, data)
+}
+
+/// `C = A · Bᵀ` where `A` is `n × d` and `B` is `m × d`.
+///
+/// Row-parallel with row-dot-row inner kernels (both operands stream
+/// row-major). Used for pairwise scores such as `X·V_k` panels and k-means
+/// distance computations.
+pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (n, d) = a.shape();
+    let (m, db) = b.shape();
+    assert_eq!(d, db, "gemm_a_bt: A is {n}x{d}, B is {m}x{db}");
+    counters::add_flops(2 * n * m * d);
+
+    let mut c = Matrix::zeros(n, m);
+    let body = |(crow, arow): (&mut [T], &[T])| {
+        for (j, cj) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = T::ZERO;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += *x * *y;
+            }
+            *cj = acc;
+        }
+    };
+    if n * m * d >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(m)
+            .zip(a.as_slice().par_chunks(d))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(m)
+            .zip(a.as_slice().chunks(d))
+            .for_each(body);
+    }
+    c
+}
+
+/// Weighted Gram matrix `G = Xᵀ diag(w) X` for `X ∈ n × d`.
+///
+/// One block of the Definition-1 preconditioner (Eq. 15 summed over the
+/// pool): `B_k(Σ) = Σᵢ wᵢ xᵢxᵢᵀ`. Exploits symmetry (computes the upper
+/// triangle, mirrors at the end).
+pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
+    let (n, d) = x.shape();
+    assert_eq!(w.len(), n, "gram_weighted: weight length mismatch");
+    counters::add_flops(n * d * (d + 1));
+
+    let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
+        let mut acc = vec![T::ZERO; d * d];
+        for i in rows {
+            let wi = w[i];
+            if wi == T::ZERO {
+                continue;
+            }
+            let xi = x.row(i);
+            for p in 0..d {
+                let s = wi * xi[p];
+                let dst = &mut acc[p * d..(p + 1) * d];
+                for q in p..d {
+                    dst[q] += s * xi[q];
+                }
+            }
+        }
+        acc
+    };
+
+    let mut g = if n * d * d >= PAR_THRESHOLD && n > 1 {
+        let nt = rayon::current_num_threads() * 4;
+        let chunk = (n / nt).max(32);
+        let ranges: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(n))
+            .collect();
+        let data = ranges
+            .into_par_iter()
+            .map(accumulate)
+            .reduce(
+                || vec![T::ZERO; d * d],
+                |mut a, b| {
+                    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+                        *ai += *bi;
+                    }
+                    a
+                },
+            );
+        Matrix::from_vec(d, d, data)
+    } else {
+        Matrix::from_vec(d, d, accumulate(0..n))
+    };
+
+    // Mirror the strict upper triangle down.
+    for p in 0..d {
+        for q in (p + 1)..d {
+            g[(q, p)] = g[(p, q)];
+        }
+    }
+    g
+}
+
+/// All class-block Gram matrices in one pass over the pool:
+/// `G_k = Xᵀ diag(W[:,k]) X` for every column `k` of the `n × c` weight
+/// panel `W`. This is exactly Line 5 of Algorithm 2 (preconditioner
+/// construction), fused so `X` streams through memory once.
+pub fn gram_weighted_multi<T: Scalar>(x: &Matrix<T>, w: &Matrix<T>) -> Vec<Matrix<T>> {
+    let (n, d) = x.shape();
+    let (nw, c) = w.shape();
+    assert_eq!(n, nw, "gram_weighted_multi: weight panel mismatch");
+    counters::add_flops(c * n * d * (d + 1));
+
+    let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
+        // c upper-triangular d×d accumulators, flattened.
+        let mut acc = vec![T::ZERO; c * d * d];
+        for i in rows {
+            let xi = x.row(i);
+            let wi = w.row(i);
+            for (k, &wik) in wi.iter().enumerate() {
+                if wik == T::ZERO {
+                    continue;
+                }
+                let blk = &mut acc[k * d * d..(k + 1) * d * d];
+                for p in 0..d {
+                    let s = wik * xi[p];
+                    let dst = &mut blk[p * d..(p + 1) * d];
+                    for q in p..d {
+                        dst[q] += s * xi[q];
+                    }
+                }
+            }
+        }
+        acc
+    };
+
+    let data = if n * c * d * d >= PAR_THRESHOLD && n > 1 {
+        let nt = rayon::current_num_threads() * 4;
+        let chunk = (n / nt).max(16);
+        let ranges: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(n))
+            .collect();
+        ranges.into_par_iter().map(accumulate).reduce(
+            || vec![T::ZERO; c * d * d],
+            |mut a, b| {
+                for (ai, bi) in a.iter_mut().zip(b.iter()) {
+                    *ai += *bi;
+                }
+                a
+            },
+        )
+    } else {
+        accumulate(0..n)
+    };
+
+    (0..c)
+        .map(|k| {
+            let mut g = Matrix::from_vec(d, d, data[k * d * d..(k + 1) * d * d].to_vec());
+            for p in 0..d {
+                for q in (p + 1)..d {
+                    g[(q, p)] = g[(p, q)];
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum())
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        // Small deterministic LCG so tests need no RNG dependency.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = test_mat(7, 5, 1);
+        let b = test_mat(5, 9, 2);
+        let c = gemm(&a, &b);
+        let r = naive_gemm(&a, &b);
+        assert!((0..7).all(|i| (0..9).all(|j| (c[(i, j)] - r[(i, j)]).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn gemm_parallel_path_matches_naive() {
+        let a = test_mat(80, 40, 3);
+        let b = test_mat(40, 50, 4);
+        let c = gemm(&a, &b);
+        let r = naive_gemm(&a, &b);
+        let diff = (0..80)
+            .flat_map(|i| (0..50).map(move |j| (i, j)))
+            .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn gemm_at_b_matches_explicit_transpose() {
+        let a = test_mat(120, 6, 5);
+        let b = test_mat(120, 4, 6);
+        let c = gemm_at_b(&a, &b);
+        let r = naive_gemm(&a.transpose(), &b);
+        let diff = (0..6)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn gemm_a_bt_matches_explicit_transpose() {
+        let a = test_mat(30, 8, 7);
+        let b = test_mat(20, 8, 8);
+        let c = gemm_a_bt(&a, &b);
+        let r = naive_gemm(&a, &b.transpose());
+        let diff = (0..30)
+            .flat_map(|i| (0..20).map(move |j| (i, j)))
+            .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn gram_weighted_matches_definition() {
+        let x = test_mat(50, 6, 9);
+        let w: Vec<f64> = (0..50).map(|i| 0.01 * i as f64).collect();
+        let g = gram_weighted(&x, &w);
+        // Reference: Σ wᵢ xᵢxᵢᵀ
+        let mut r = Matrix::<f64>::zeros(6, 6);
+        for i in 0..50 {
+            let xi = x.row(i);
+            for p in 0..6 {
+                for q in 0..6 {
+                    r[(p, q)] += w[i] * xi[p] * xi[q];
+                }
+            }
+        }
+        let diff = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| (g[(i, j)] - r[(i, j)]).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn gram_weighted_multi_matches_per_class() {
+        let x = test_mat(40, 5, 10);
+        let w = test_mat(40, 3, 11);
+        // make weights positive
+        let w = Matrix::from_fn(40, 3, |i, j| w[(i, j)].abs() + 0.1);
+        let gs = gram_weighted_multi(&x, &w);
+        assert_eq!(gs.len(), 3);
+        for k in 0..3 {
+            let wk = w.col(k);
+            let g_ref = gram_weighted(&x, &wk);
+            let diff = (0..5)
+                .flat_map(|i| (0..5).map(move |j| (i, j)))
+                .map(|(i, j)| (gs[k][(i, j)] - g_ref[(i, j)]).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-10, "class {k} max diff {diff}");
+        }
+    }
+
+    #[test]
+    fn gram_weighted_is_symmetric() {
+        let x = test_mat(64, 7, 12);
+        let w = vec![1.0; 64];
+        let g = gram_weighted(&x, &w);
+        for p in 0..7 {
+            for q in 0..7 {
+                assert_eq!(g[(p, q)], g[(q, p)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: A is")]
+    fn gemm_shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let _ = gemm(&a, &b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Kronecker products and vectorization helpers.
+//!
+//! Exact-FIRAL materializes Fisher-information matrices
+//! `H_i = [diag(h)-hhᵀ] ⊗ (x xᵀ)` (Eq. 2); the fast matvec of Lemma 2 is
+//! verified in tests against these dense forms. `vec`/`unvec` implement the
+//! column-stacking convention the paper uses (`vec(V) = v`).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Kronecker product `A ⊗ B`.
+pub fn kron<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    crate::counters::add_flops(ar * ac * br * bc);
+    let mut out = Matrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a[(i, j)];
+            if aij == T::ZERO {
+                continue;
+            }
+            for p in 0..br {
+                for q in 0..bc {
+                    out[(i * br + p, j * bc + q)] = aij * b[(p, q)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Column-stacking vectorization: `vec(V)` for `V ∈ R^{d×c}` returns the
+/// length-`dc` vector `[V[:,0]; V[:,1]; …]`.
+pub fn vec_of<T: Scalar>(v: &Matrix<T>) -> Vec<T> {
+    let (d, c) = v.shape();
+    let mut out = Vec::with_capacity(d * c);
+    for j in 0..c {
+        for i in 0..d {
+            out.push(v[(i, j)]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`vec_of`]: reshape a length-`d·c` vector into `V ∈ R^{d×c}`
+/// column by column.
+pub fn unvec<T: Scalar>(v: &[T], d: usize, c: usize) -> Matrix<T> {
+    assert_eq!(v.len(), d * c, "unvec length mismatch");
+    let mut out = Matrix::zeros(d, c);
+    for j in 0..c {
+        for i in 0..d {
+            out[(i, j)] = v[j * d + i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_identity() {
+        let a = Matrix::<f64>::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        assert_eq!(k[(0, 0)], 1.0);
+        assert_eq!(k[(0, 1)], 2.0);
+        assert_eq!(k[(2, 2)], 1.0);
+        assert_eq!(k[(3, 3)], 4.0);
+        assert_eq!(k[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![0.5, 0.0, 1.0, 2.0]);
+        let c = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 0.0]);
+        let d = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 2.0]);
+        let lhs = crate::gemm::gemm(&kron(&a, &b), &kron(&c, &d));
+        let rhs = kron(&crate::gemm::gemm(&a, &c), &crate::gemm::gemm(&b, &d));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_unvec_roundtrip() {
+        let v = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        let stacked = vec_of(&v);
+        assert_eq!(stacked, vec![0.0, 10.0, 20.0, 1.0, 11.0, 21.0]);
+        let back = unvec(&stacked, 3, 2);
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn kron_vec_identity() {
+        // vec(B X Aᵀ) = (A ⊗ B) vec(X): the identity behind Lemma 2's proof.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(3, 3, vec![1.0, 0.0, 1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        let x = Matrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let lhs = kron(&a, &b).matvec(&vec_of(&x));
+        let rhs = vec_of(&crate::gemm::gemm(
+            &crate::gemm::gemm(&b, &x),
+            &a.transpose(),
+        ));
+        for (u, v) in lhs.iter().zip(rhs.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

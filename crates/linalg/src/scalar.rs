@@ -1,0 +1,186 @@
+//! Floating-point abstraction over `f32` and `f64`.
+//!
+//! The paper's HPC implementation uses single precision end-to-end
+//! (§III-C); the accuracy experiments are insensitive to precision. Writing
+//! every kernel against [`Scalar`] lets the test-suite cross-check `f32`
+//! results against `f64` references and lets the benchmark harness measure
+//! the precision ablation.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in all firal kernels.
+///
+/// Implemented for `f32` and `f64`. The constants and conversions are the
+/// minimal set the workspace needs; this avoids pulling a numeric-traits
+/// dependency into an HPC crate that wants full control over inlining.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Two.
+    const TWO: Self;
+    /// One half.
+    const HALF: Self;
+    /// Machine epsilon of the underlying type.
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Positive infinity.
+    const INFINITY: Self;
+
+    /// Lossy conversion from `f64` (used for constants and tolerances).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (used for reporting and reductions).
+    fn to_f64(self) -> f64;
+    /// Conversion from a count.
+    fn from_usize(n: usize) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// `max` that propagates the non-NaN operand.
+    fn maxv(self, other: Self) -> Self;
+    /// `min` that propagates the non-NaN operand.
+    fn minv(self, other: Self) -> Self;
+    /// Euclidean norm of (self, other) without overflow.
+    fn hypot(self, other: Self) -> Self;
+    /// True when finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+    /// Copysign: magnitude of `self`, sign of `sign`.
+    fn copysign(self, sign: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const INFINITY: Self = <$t>::INFINITY;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(n: usize) -> Self {
+                n as $t
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline(always)]
+            fn maxv(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn minv(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                self.hypot(other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline(always)]
+            fn copysign(self, sign: Self) -> Self {
+                self.copysign(sign)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert!((T::from_f64(2.0).sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert!(T::ONE.is_finite());
+        assert!(!T::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn scalar_f32_roundtrip() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn scalar_f64_roundtrip() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn copysign_and_hypot() {
+        assert_eq!(3.0f64.copysign(-1.0), -3.0);
+        assert!((Scalar::hypot(3.0f32, 4.0f32) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_propagate() {
+        assert_eq!(Scalar::maxv(1.0f64, 2.0), 2.0);
+        assert_eq!(Scalar::minv(1.0f32, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Level-1 vector kernels (dot, axpy, norms) with rayon fan-out for long
+//! vectors. Used by the CG solver on `d(c-1)`-length stacked vectors and by
+//! the mirror-descent weight updates on `n`-length pool vectors.
+
+use rayon::prelude::*;
+
+use crate::counters;
+use crate::scalar::Scalar;
+
+/// Length above which level-1 kernels parallelize.
+const PAR_LEN: usize = 1 << 16;
+
+/// Dot product `xᵀy`.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    counters::add_flops(2 * x.len());
+    if x.len() >= PAR_LEN {
+        x.par_chunks(PAR_LEN / 4)
+            .zip(y.par_chunks(PAR_LEN / 4))
+            .map(|(a, b)| {
+                let mut acc = T::ZERO;
+                for (u, v) in a.iter().zip(b.iter()) {
+                    acc += *u * *v;
+                }
+                acc
+            })
+            .reduce(|| T::ZERO, |a, b| a + b)
+    } else {
+        let mut acc = T::ZERO;
+        for (u, v) in x.iter().zip(y.iter()) {
+            acc += *u * *v;
+        }
+        acc
+    }
+}
+
+/// `y ← y + alpha · x`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    counters::add_flops(2 * x.len());
+    if x.len() >= PAR_LEN {
+        y.par_chunks_mut(PAR_LEN / 4)
+            .zip(x.par_chunks(PAR_LEN / 4))
+            .for_each(|(yc, xc)| {
+                for (v, u) in yc.iter_mut().zip(xc.iter()) {
+                    *v += alpha * *u;
+                }
+            });
+    } else {
+        for (v, u) in y.iter_mut().zip(x.iter()) {
+            *v += alpha * *u;
+        }
+    }
+}
+
+/// `x ← alpha · x`.
+pub fn scale<T: Scalar>(alpha: T, x: &mut [T]) {
+    counters::add_flops(x.len());
+    if x.len() >= PAR_LEN {
+        x.par_chunks_mut(PAR_LEN / 4).for_each(|c| {
+            for v in c.iter_mut() {
+                *v *= alpha;
+            }
+        });
+    } else {
+        for v in x.iter_mut() {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_parallel_matches_serial() {
+        let n = PAR_LEN + 123;
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let par = dot(&x, &y);
+        let ser: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        assert!((par - ser).abs() < 1e-6 * ser.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut y = vec![1.0f32, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn scale_and_nrm2() {
+        let mut x = vec![3.0f64, 4.0];
+        scale(2.0, &mut x);
+        assert_eq!(nrm2(&x), 10.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Classification metrics.
+//!
+//! The paper reports plain accuracy (pool and evaluation, Fig. 2),
+//! class-balanced accuracy (Fig. 3(B): "accuracy is averaged with each
+//! class having the same weight"), and uses prediction entropy for the
+//! Entropy selection baseline.
+
+use firal_linalg::{Matrix, Scalar};
+
+/// Fraction of predictions matching labels.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Mean of per-class recalls: every class contributes equally regardless of
+/// its frequency. Classes absent from `labels` are skipped.
+pub fn balanced_accuracy(predictions: &[usize], labels: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut correct = vec![0usize; num_classes];
+    let mut total = vec![0usize; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels.iter()) {
+        total[l] += 1;
+        if p == l {
+            correct[l] += 1;
+        }
+    }
+    let mut acc = 0.0;
+    let mut present = 0usize;
+    for k in 0..num_classes {
+        if total[k] > 0 {
+            acc += correct[k] as f64 / total[k] as f64;
+            present += 1;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        acc / present as f64
+    }
+}
+
+/// Shannon entropy of each probability row: `-Σ_c p log p`.
+///
+/// The Entropy baseline of §IV-A selects the top-`b` pool points by this
+/// score (the paper's "select top-b points that minimize Σ p log p", i.e.
+/// maximize entropy).
+pub fn row_entropies<T: Scalar>(probs: &Matrix<T>) -> Vec<T> {
+    (0..probs.rows())
+        .map(|i| {
+            let mut h = T::ZERO;
+            for &p in probs.row(i) {
+                if p > T::ZERO {
+                    h -= p * p.ln();
+                }
+            }
+            h
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_weights_classes_equally() {
+        // Class 0: 9/10 correct. Class 1: 0/1 correct.
+        let mut preds = vec![0usize; 10];
+        preds[9] = 1; // one class-0 point misclassified
+        preds.push(0); // the single class-1 point misclassified
+        let mut labels = vec![0usize; 10];
+        labels.push(1);
+        let plain = accuracy(&preds, &labels);
+        let balanced = balanced_accuracy(&preds, &labels, 2);
+        assert!((plain - 9.0 / 11.0).abs() < 1e-12);
+        assert!((balanced - 0.45).abs() < 1e-12); // (0.9 + 0.0)/2
+    }
+
+    #[test]
+    fn balanced_accuracy_skips_absent_classes() {
+        let b = balanced_accuracy(&[0, 0], &[0, 0], 5);
+        assert_eq!(b, 1.0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let probs = Matrix::from_vec(2, 2, vec![1.0f64, 0.0, 0.5, 0.5]);
+        let h = row_entropies(&probs);
+        assert!(h[0].abs() < 1e-12, "deterministic row has zero entropy");
+        assert!((h[1] - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(h[1] > h[0]);
+    }
+
+    #[test]
+    fn uniform_has_max_entropy() {
+        let c = 5usize;
+        let uniform = Matrix::from_fn(1, c, |_, _| 1.0f64 / c as f64);
+        let spiky = Matrix::from_vec(1, c, vec![0.9, 0.025, 0.025, 0.025, 0.025]);
+        assert!(row_entropies(&uniform)[0] > row_entropies(&spiky)[0]);
+        assert!((row_entropies(&uniform)[0] - (c as f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Bisection root finding, and the FTRL normalization solve.
+//!
+//! At every ROUND iteration the follow-the-regularized-leader matrix is
+//! `A_{t+1} = ν_{t+1} I + η H̃_t` with `ν_{t+1}` the unique scalar making
+//! `Tr(A_{t+1}^{-2}) = 1`, i.e. `Σ_j (ν + ηλ_j)^{-2} = 1` over the
+//! eigenvalues `λ_j` of `H̃_t` (Algorithm 1 line 17, Algorithm 3 line 10).
+//! The left side is strictly decreasing in `ν` on `(-ηλ_min, ∞)`, so the
+//! root brackets cleanly and bisection is exact enough and branch-free.
+
+use firal_linalg::Scalar;
+
+/// Generic bisection: find `x ∈ (lo, hi)` with `f(x) = 0`, assuming
+/// `f(lo) > 0 > f(hi)` (strictly decreasing `f`). Panics if the bracket is
+/// invalid in debug builds; converges to `tol` on the argument.
+pub fn bisect<T: Scalar>(f: impl Fn(T) -> T, mut lo: T, mut hi: T, tol: T, max_iter: usize) -> T {
+    debug_assert!(lo < hi, "bisect: invalid bracket");
+    let mut mid = (lo + hi) * T::HALF;
+    for _ in 0..max_iter {
+        mid = (lo + hi) * T::HALF;
+        if hi - lo <= tol {
+            break;
+        }
+        let fm = f(mid);
+        if fm > T::ZERO {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    mid
+}
+
+/// Solve `Σ_j (ν + η λ_j)^{-2} = 1` for `ν`.
+///
+/// `lambdas` are the eigenvalues of the accumulated whitened Hessian `H̃_t`
+/// (all non-negative up to rounding) and `η > 0` the FTRL learning rate.
+/// Returns the unique `ν > -η λ_min` satisfying the trace normalization.
+pub fn solve_nu<T: Scalar>(lambdas: &[T], eta: T) -> T {
+    assert!(!lambdas.is_empty(), "solve_nu needs a non-empty spectrum");
+    let m = T::from_usize(lambdas.len());
+
+    let lam_min = lambdas
+        .iter()
+        .fold(T::INFINITY, |acc, &v| acc.minv(eta * v));
+
+    let g = |nu: T| -> T {
+        let mut acc = T::ZERO;
+        for &l in lambdas {
+            let t = nu + eta * l;
+            acc += T::ONE / (t * t);
+        }
+        acc - T::ONE
+    };
+
+    // Lower end: ν → -λ'_min⁺ makes g → +∞. Step in from the pole until g>0.
+    let span = m.sqrt().maxv(T::ONE);
+    let mut lo = -lam_min + T::from_f64(1e-12).maxv(T::EPSILON * span);
+    while !g(lo).is_finite() || g(lo) <= T::ZERO {
+        // If even just inside the pole g ≤ 0 the root is further right of
+        // the pole; nudge right geometrically (handles λ'_min huge).
+        lo += (span + lam_min.abs()) * T::from_f64(1e-6);
+        if lo > span * T::TWO {
+            break;
+        }
+    }
+    // Upper end: ν = √m ⇒ each term ≤ 1/m (λ' ≥ 0) ⇒ g ≤ 0.
+    let mut hi = span;
+    while g(hi) > T::ZERO {
+        hi *= T::TWO;
+    }
+
+    let tol = T::EPSILON.sqrt() * span;
+    bisect(g, lo, hi, tol, 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        // f(x) = 2 - x², decreasing on [0, 2], root at √2.
+        let root = bisect(|x: f64| 2.0 - x * x, 0.0, 2.0, 1e-12, 100);
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nu_for_zero_spectrum_is_sqrt_m() {
+        // λ = 0: Σ ν⁻² = m/ν² = 1 ⇒ ν = √m. This is exactly the
+        // initialization A₁ = √ê·I of the ROUND step.
+        for m in [1usize, 4, 16, 100] {
+            let lambdas = vec![0.0f64; m];
+            let nu = solve_nu(&lambdas, 1.0);
+            assert!(
+                (nu - (m as f64).sqrt()).abs() < 1e-6,
+                "m={m}: ν={nu} vs {}",
+                (m as f64).sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn nu_satisfies_normalization() {
+        let lambdas = vec![0.1f64, 0.5, 1.0, 2.0, 7.5];
+        let eta = 3.0;
+        let nu = solve_nu(&lambdas, eta);
+        let sum: f64 = lambdas.iter().map(|&l| (nu + eta * l).powi(-2)).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "normalization off: {sum}");
+    }
+
+    #[test]
+    fn nu_can_go_negative_for_large_spectrum() {
+        // If all λ' are huge, ν must be negative to pull terms up to sum 1.
+        let lambdas = vec![100.0f64; 4];
+        let nu = solve_nu(&lambdas, 1.0);
+        assert!(nu < 0.0);
+        let sum: f64 = lambdas.iter().map(|&l| (nu + l).powi(-2)).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // A stays PD: ν + λ'_min > 0
+        assert!(nu + 100.0 > 0.0);
+    }
+
+    #[test]
+    fn nu_f32_matches_f64_loosely() {
+        let l64 = vec![0.2f64, 0.9, 3.0];
+        let l32: Vec<f32> = l64.iter().map(|&x| x as f32).collect();
+        let n64 = solve_nu(&l64, 2.0);
+        let n32 = solve_nu(&l32, 2.0f32);
+        assert!((n64 - n32 as f64).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's motivating story, §I + Fig. 2(H): with a limited labeling
+//! budget on an *imbalanced* pool, random-ish baselines under-sample rare
+//! classes and their accuracy is both lower and high-variance; FIRAL's
+//! deterministic Fisher-information objective keeps covering rare classes.
+//!
+//! This example quantifies that with per-class label counts and
+//! class-balanced accuracy.
+//!
+//! Run with: `cargo run --release --example imbalanced_rescue`
+
+use firal::core::{run_experiment, ApproxFiral, RandomStrategy, Strategy};
+use firal::data::SyntheticConfig;
+use firal::logreg::TrainConfig;
+
+fn main() {
+    // 8 classes with a 10:1 size ratio — rare classes have few pool points.
+    let dataset = SyntheticConfig::new(8, 16)
+        .with_pool_size(800)
+        .with_initial_per_class(1)
+        .with_eval_size(800)
+        .with_separation(2.6)
+        .with_imbalance(10.0)
+        .with_seed(11)
+        .generate::<f64>();
+
+    println!("pool class counts: {:?}", dataset.pool_class_counts());
+    let rounds = 3;
+    let budget = 16;
+    let train = TrainConfig::default();
+
+    let report = |name: &str, strategy: &dyn Strategy<f64>, trials: u64| {
+        let mut eval = Vec::new();
+        let mut balanced = Vec::new();
+        let mut rare_labels = Vec::new();
+        for trial in 0..trials {
+            let res = run_experiment(&dataset, strategy, rounds, budget, trial, &train)
+                .expect("experiment failed");
+            let last = res.rounds.last().unwrap();
+            eval.push(last.eval_accuracy);
+            balanced.push(last.balanced_eval_accuracy);
+            // How many of the bought labels came from the three rarest
+            // classes (5, 6, 7 in the geometric profile)?
+            let rare = res
+                .acquired
+                .iter()
+                .filter(|&&i| dataset.pool_labels[i] >= 5)
+                .count();
+            rare_labels.push(rare as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let std = |v: &[f64]| {
+            let m = mean(v);
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        println!(
+            "{:<14} eval {:>5.1}% ± {:>4.1}   balanced {:>5.1}%   rare-class labels {:>4.1}/{}",
+            name,
+            100.0 * mean(&eval),
+            100.0 * std(&eval),
+            100.0 * mean(&balanced),
+            mean(&rare_labels),
+            rounds * budget,
+        );
+    };
+
+    report("Random", &RandomStrategy, 8);
+    report("Approx-FIRAL", &ApproxFiral::default(), 1);
+
+    println!(
+        "\nExpected shape (paper Fig. 2(C)/(H)): FIRAL holds accuracy under \
+         imbalance with low variance, while Random drops and fluctuates; \
+         FIRAL also buys proportionally more rare-class labels."
+    );
+}

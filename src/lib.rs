@@ -1,0 +1,52 @@
+//! # firal — scalable active learning for multiclass logistic regression
+//!
+//! Umbrella crate re-exporting the full workspace: a Rust reproduction of
+//! **"A Scalable Algorithm for Active Learning"** (Chen, Wen, Biros —
+//! SC 2024), i.e. the Approx-FIRAL algorithm, the exact FIRAL baseline, the
+//! classical active-learning baselines, and the supporting HPC substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use firal::core::{ApproxFiral, SelectionProblem, Strategy};
+//! use firal::data::SyntheticConfig;
+//! use firal::logreg::LogisticRegression;
+//!
+//! // 3-class toy pool in 4 dimensions.
+//! let ds = SyntheticConfig::new(3, 4).with_pool_size(90).with_seed(7).generate::<f64>();
+//! let model = LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels).unwrap();
+//! let problem = SelectionProblem::new(
+//!     ds.pool_features.clone(),
+//!     model.class_probs_cm1(&ds.pool_features),
+//!     ds.initial_features.clone(),
+//!     model.class_probs_cm1(&ds.initial_features),
+//!     ds.num_classes,
+//! );
+//! let picked = ApproxFiral::default().select(&problem, 6, 0).unwrap();
+//! assert_eq!(picked.len(), 6);
+//! ```
+//!
+//! See `examples/` for full active-learning loops, strong/weak scaling runs
+//! and method comparisons, and `crates/bench` for the harnesses that
+//! regenerate every table and figure of the paper.
+
+/// Dense linear algebra kernels (matrices, GEMM, Cholesky, eigensolvers).
+pub use firal_linalg as linalg;
+
+/// Iterative solvers: preconditioned CG, Hutchinson traces, bisection, L-BFGS.
+pub use firal_solvers as solvers;
+
+/// Simulated message-passing substrate (SPMD ranks, collectives, cost model).
+pub use firal_comm as comm;
+
+/// Synthetic embedding-style datasets with the paper's Table V presets.
+pub use firal_data as data;
+
+/// k-means clustering (the K-Means selection baseline).
+pub use firal_cluster as cluster;
+
+/// Multinomial logistic regression classifier and metrics.
+pub use firal_logreg as logreg;
+
+/// FIRAL / Approx-FIRAL algorithms, baselines, experiment driver.
+pub use firal_core as core;

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests for the SPMD implementation: the
+//! distributed RELAX/ROUND must agree with the serial solvers for every
+//! rank count, and the collectives must compose correctly under the real
+//! multi-threaded runtime.
+
+use firal::comm::{launch, Communicator, ReduceOp};
+use firal::core::parallel::{parallel_approx_firal, parallel_relax, ShardedProblem};
+use firal::core::{RelaxConfig, SelectionProblem};
+use firal::data::SyntheticConfig;
+use firal::logreg::LogisticRegression;
+
+fn problem(seed: u64, n: usize) -> SelectionProblem<f64> {
+    let ds = SyntheticConfig::new(4, 6)
+        .with_pool_size(n)
+        .with_initial_per_class(2)
+        .with_seed(seed)
+        .generate::<f64>();
+    let model = LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels).unwrap();
+    SelectionProblem::new(
+        ds.pool_features.clone(),
+        model.class_probs_cm1(&ds.pool_features),
+        ds.initial_features.clone(),
+        model.class_probs_cm1(&ds.initial_features),
+        4,
+    )
+}
+
+#[test]
+fn full_pipeline_rank_invariance() {
+    let p = problem(1, 60);
+    let eta = 6.0 * (p.ehat() as f64).sqrt();
+    let cfg = RelaxConfig {
+        seed: 5,
+        ..Default::default()
+    };
+    let mut reference: Option<Vec<usize>> = None;
+    for ranks in [1usize, 2, 3, 5] {
+        let prob = p.clone();
+        let config = cfg;
+        let results = launch(ranks, move |comm| {
+            parallel_approx_firal(comm, &prob, 8, &config, eta)
+        });
+        // Identical on every rank.
+        for sel in &results[1..] {
+            assert_eq!(sel, &results[0], "ranks disagreed at p={ranks}");
+        }
+        match &reference {
+            None => reference = Some(results[0].clone()),
+            Some(r) => {
+                let overlap = r.iter().filter(|i| results[0].contains(i)).count();
+                assert!(
+                    overlap >= 7,
+                    "p={ranks} selection {:?} drifted from p=1 {:?}",
+                    results[0],
+                    r
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relax_weights_sum_to_budget_across_ranks() {
+    let p = problem(2, 45);
+    for ranks in [2usize, 3] {
+        let prob = p.clone();
+        let results = launch(ranks, move |comm| {
+            let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
+            let out = parallel_relax(comm, &shard, 6, &RelaxConfig::default());
+            (out.z_local.iter().sum::<f64>(), out.z_diamond.iter().sum::<f64>())
+        });
+        let local_total: f64 = results.iter().map(|(l, _)| l).sum();
+        assert!((local_total - 6.0).abs() < 1e-8, "locals sum to {local_total}");
+        for (_, global) in &results {
+            assert!((global - 6.0).abs() < 1e-8, "global sums to {global}");
+        }
+    }
+}
+
+#[test]
+fn collectives_compose_under_load() {
+    // A mixed sequence of collectives with data dependencies — exercises
+    // slot reuse and barrier correctness under the real thread runtime.
+    let results = launch(4, |comm| {
+        let mut acc = 0.0f64;
+        for round in 0..20 {
+            let mut v = vec![(comm.rank() * (round + 1)) as f64; 8];
+            comm.allreduce_f64(&mut v, ReduceOp::Sum);
+            let gathered = comm.allgatherv_f64(&v[..1]);
+            let mut top = vec![gathered.iter().sum::<f64>()];
+            comm.bcast_f64(&mut top, round % 4);
+            let (mx, who) = comm.allreduce_maxloc(top[0] + comm.rank() as f64, comm.rank() as u64);
+            assert_eq!(who, 3, "max always at the highest rank");
+            acc += mx;
+        }
+        acc
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn sharded_problem_covers_pool_for_odd_sizes() {
+    let p = problem(3, 53); // deliberately not divisible
+    for ranks in [2usize, 3, 7] {
+        let total: usize = (0..ranks)
+            .map(|r| ShardedProblem::shard(&p, r, ranks).local_n())
+            .sum();
+        assert_eq!(total, 53);
+    }
+}
