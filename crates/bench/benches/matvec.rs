@@ -14,7 +14,9 @@ fn point<T: firal_linalg::Scalar>(d: usize) -> Vec<T> {
 }
 
 fn probs<T: firal_linalg::Scalar>(cm1: usize) -> Vec<T> {
-    (0..cm1).map(|k| T::from_f64(0.5 / (k + 2) as f64)).collect()
+    (0..cm1)
+        .map(|k| T::from_f64(0.5 / (k + 2) as f64))
+        .collect()
 }
 
 fn bench_matvec(c: &mut Criterion) {
@@ -24,11 +26,15 @@ fn bench_matvec(c: &mut Criterion) {
         let cm1 = cls - 1;
         let x = point::<f64>(d);
         let h = probs::<f64>(cm1);
-        let v: Vec<f64> = (0..d * cm1).map(|j| ((j % 11) as f64 - 5.0) * 0.1).collect();
+        let v: Vec<f64> = (0..d * cm1)
+            .map(|j| ((j % 11) as f64 - 5.0) * 0.1)
+            .collect();
 
-        group.bench_with_input(BenchmarkId::new("fast", format!("d{d}_c{cls}")), &(), |b, _| {
-            b.iter(|| fast_matvec(&x, &h, &v))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fast", format!("d{d}_c{cls}")),
+            &(),
+            |b, _| b.iter(|| fast_matvec(&x, &h, &v)),
+        );
         group.bench_with_input(
             BenchmarkId::new("direct", format!("d{d}_c{cls}")),
             &(),

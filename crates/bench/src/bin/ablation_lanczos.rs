@@ -58,13 +58,7 @@ fn main() {
 
     for steps in [d / 8, d / 4, d / 2, d] {
         let steps = steps.max(2);
-        let run = diag_round_with_eig(
-            &problem,
-            &z,
-            budget,
-            eta,
-            EigSolver::Lanczos { steps },
-        );
+        let run = diag_round_with_eig(&problem, &z, budget, eta, EigSolver::Lanczos { steps });
         let overlap = run
             .selected
             .iter()

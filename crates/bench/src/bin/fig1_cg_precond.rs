@@ -50,8 +50,10 @@ fn study(label: &str, preset: &ExperimentPreset, csv: bool, dense_condition: boo
         problem.num_classes,
         problem.ehat()
     );
-    for (name, tel) in [("w/o preconditioner", &tel_plain[0]), ("w/ preconditioner", &tel_prec[0])]
-    {
+    for (name, tel) in [
+        ("w/o preconditioner", &tel_plain[0]),
+        ("w/ preconditioner", &tel_prec[0]),
+    ] {
         let xs: Vec<f64> = (1..=tel.residuals.len()).map(|i| i as f64).collect();
         let ys: Vec<f64> = tel.residuals.clone();
         let series = Series::new(format!("{label}:{name}"), xs, ys);

@@ -134,16 +134,13 @@ fn main() {
             ("pool accuracy", 0usize, 0usize),
             ("evaluation accuracy", 1, 1),
         ] {
-            let mut table = Table::new(
-                format!("Fig. 2 — {} — {}", name.label(), panel),
-                &{
-                    let mut h = vec!["labels"];
-                    for r in &results {
-                        h.push(r.name);
-                    }
-                    h
-                },
-            );
+            let mut table = Table::new(format!("Fig. 2 — {} — {}", name.label(), panel), &{
+                let mut h = vec!["labels"];
+                for r in &results {
+                    h.push(r.name);
+                }
+                h
+            });
             let nrows = results[0].num_labeled.len();
             for row in 0..nrows {
                 let mut cells = vec![results[0].num_labeled[row].to_string()];

@@ -101,7 +101,8 @@ fn main() {
             });
         }
 
-        let panels: &[(&str, fn(&Rec, usize) -> f64)] = if name == PresetName::Caltech101 {
+        type PanelAccessor = fn(&Rec, usize) -> f64;
+        let panels: &[(&str, PanelAccessor)] = if name == PresetName::Caltech101 {
             &[
                 ("(A) evaluation accuracy", |r, i| r.eval[i]),
                 ("(B) class-balanced evaluation accuracy", |r, i| {

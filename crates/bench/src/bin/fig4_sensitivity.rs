@@ -58,7 +58,9 @@ fn main() {
             let (_, tel) = exact_relax(&problem, b, &md);
             series.push(Series::new(
                 "Exact",
-                (1..=tel.objective_history.len()).map(|i| i as f64).collect(),
+                (1..=tel.objective_history.len())
+                    .map(|i| i as f64)
+                    .collect(),
                 tel.objective_history.clone(),
             ));
         }

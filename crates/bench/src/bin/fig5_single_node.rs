@@ -73,7 +73,12 @@ fn run_case(
         },
     );
     // One ROUND iteration.
-    let round_out = diag_round(&problem, &relax_out.z_diamond, 1, 4.0 * ((d * (c - 1)) as f32).sqrt());
+    let round_out = diag_round(
+        &problem,
+        &relax_out.z_diamond,
+        1,
+        4.0 * ((d * (c - 1)) as f32).sqrt(),
+    );
 
     // Theoretical times (seconds) at the calibrated peak. CG runs twice per
     // iteration (lines 6 and 8), each with `ncg` panel matvecs.

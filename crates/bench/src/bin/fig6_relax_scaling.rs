@@ -17,11 +17,10 @@
 //! Usage: cargo run --release -p firal-bench --bin fig6_relax_scaling
 //!   [--csv] [--n N] [--per-rank N] [--ncg N]
 
-use firal_bench::report::{arg_value, has_flag, Table};
+use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::selection_problem_from_dataset;
 use firal_comm::{launch, Communicator, CostModel};
-use firal_core::parallel::{parallel_relax, ShardedProblem};
-use firal_core::{MirrorDescentConfig, RelaxConfig, SelectionProblem};
+use firal_core::{Executor, MirrorDescentConfig, RelaxConfig, SelectionProblem, ShardedProblem};
 use firal_data::{extend_with_noise, SyntheticConfig};
 
 const RANKS: [usize; 5] = [1, 2, 3, 6, 12];
@@ -71,13 +70,10 @@ fn scaling_table(
     model: &CostModel,
     csv: bool,
 ) {
-    let mut table = Table::new(
-        title.to_string(),
-        &[
-            "p", "mode", "precond", "cg", "gradient", "comm", "total",
-            "th:compute", "th:comm",
-        ],
-    );
+    let mut headers = vec!["p", "mode", "precond", "cg", "gradient"];
+    headers.extend(COMM_HEADERS);
+    headers.extend(["total", "th:compute", "th:comm"]);
+    let mut table = Table::new(title.to_string(), &headers);
     for mode in ["strong", "weak"] {
         for p in RANKS {
             let n = if mode == "strong" {
@@ -90,9 +86,8 @@ fn scaling_table(
             let budget = 10;
             let results = launch(p, |comm| {
                 let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                comm.reset_stats();
-                let out = parallel_relax(comm, &shard, budget, &cfg);
-                (out.timer, comm.stats())
+                let out = Executor::new(comm, &shard).relax(budget, &cfg);
+                (out.timer, out.comm_stats)
             });
             let (timer, stats) = &results[0];
             // Theoretical per-rank compute: the §III-C flop terms at n/p,
@@ -105,17 +100,20 @@ fn scaling_table(
                 + 4.0 * nf * cm1 * sf * df;
             let th_compute = model.flop_time(flops as u64);
             let th_comm = model.predict_comm(stats, p);
-            table.row(&[
+            let mut row = vec![
                 p.to_string(),
                 mode.to_string(),
                 format!("{:.3}", timer.get("precond").as_secs_f64()),
                 format!("{:.3}", timer.get("cg").as_secs_f64()),
                 format!("{:.3}", timer.get("gradient").as_secs_f64()),
-                format!("{:.3}", stats.time.as_secs_f64()),
+            ];
+            row.extend(comm_cells(stats));
+            row.extend([
                 format!("{:.3}", timer.total().as_secs_f64()),
                 format!("{th_compute:.3}"),
                 format!("{th_comm:.4}"),
             ]);
+            table.row(&row);
         }
     }
     if csv {
@@ -140,7 +138,10 @@ fn main() {
     // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
     let host = CostModel::calibrate_on_host(160);
     eprintln!("calibrated peak: {:.2} GFLOP/s", host.peak_flops / 1e9);
-    let model = CostModel { peak_flops: host.peak_flops, ..CostModel::paper_a100() };
+    let model = CostModel {
+        peak_flops: host.peak_flops,
+        ..CostModel::paper_a100()
+    };
 
     // ImageNet-1k-like (host-scaled c=100, d=96 — see EXPERIMENTS.md).
     scaling_table(

@@ -10,11 +10,10 @@
 //! Usage: cargo run --release -p firal-bench --bin fig7_round_scaling
 //!   [--csv] [--n N] [--per-rank N]
 
-use firal_bench::report::{arg_value, has_flag, Table};
+use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::selection_problem_from_dataset;
 use firal_comm::{launch, Communicator, CostModel};
-use firal_core::parallel::{parallel_round, ShardedProblem};
-use firal_core::SelectionProblem;
+use firal_core::{EigSolver, Executor, SelectionProblem, ShardedProblem};
 use firal_data::{extend_with_noise, SyntheticConfig};
 
 const RANKS: [usize; 5] = [1, 2, 3, 6, 12];
@@ -46,13 +45,10 @@ fn scaling_table(
     model: &CostModel,
     csv: bool,
 ) {
-    let mut table = Table::new(
-        title.to_string(),
-        &[
-            "p", "mode", "objective", "eig", "other", "comm", "total",
-            "th:compute",
-        ],
-    );
+    let mut headers = vec!["p", "mode", "objective", "eig", "other"];
+    headers.extend(COMM_HEADERS);
+    headers.extend(["total", "th:compute"]);
+    let mut table = Table::new(title.to_string(), &headers);
     for mode in ["strong", "weak"] {
         for p in RANKS {
             let n = if mode == "strong" {
@@ -65,11 +61,10 @@ fn scaling_table(
             let eta = 4.0 * ((d * (c - 1)) as f32).sqrt();
             let results = launch(p, |comm| {
                 let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                let z_local =
-                    vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
-                comm.reset_stats();
-                let out = parallel_round(comm, &shard, &z_local, budget, eta);
-                (out.timer, comm.stats())
+                let z_local = vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
+                let out =
+                    Executor::new(comm, &shard).round(&z_local, budget, eta, EigSolver::Exact);
+                (out.timer, out.comm_stats)
             });
             let (timer, stats) = &results[0];
             // Theoretical compute (§III-C): objective n/p·c·d², distributed
@@ -80,16 +75,19 @@ fn scaling_table(
                 + 300.0 * (cm1 / p as f64) * df * df * df
                 + cm1 * df * df * df;
             let th_compute = model.flop_time(flops as u64);
-            table.row(&[
+            let mut row = vec![
                 p.to_string(),
                 mode.to_string(),
                 format!("{:.4}", timer.get("objective").as_secs_f64()),
                 format!("{:.4}", timer.get("eig").as_secs_f64()),
                 format!("{:.4}", timer.get("other").as_secs_f64()),
-                format!("{:.4}", stats.time.as_secs_f64()),
+            ];
+            row.extend(comm_cells(stats));
+            row.extend([
                 format!("{:.4}", timer.total().as_secs_f64()),
                 format!("{th_compute:.4}"),
             ]);
+            table.row(&row);
         }
     }
     if csv {
@@ -112,7 +110,10 @@ fn main() {
     // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
     let host = CostModel::calibrate_on_host(160);
     eprintln!("calibrated peak: {:.2} GFLOP/s", host.peak_flops / 1e9);
-    let model = CostModel { peak_flops: host.peak_flops, ..CostModel::paper_a100() };
+    let model = CostModel {
+        peak_flops: host.peak_flops,
+        ..CostModel::paper_a100()
+    };
 
     scaling_table(
         "Fig. 7 — ROUND scaling, ImageNet-1k-like (c=100, d=96)",

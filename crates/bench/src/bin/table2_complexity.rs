@@ -13,9 +13,7 @@
 
 use firal_bench::report::{has_flag, Table};
 use firal_bench::workloads::selection_problem_from_dataset;
-use firal_core::{
-    diag_round, exact_relax, fast_relax, MirrorDescentConfig, RelaxConfig,
-};
+use firal_core::{diag_round, exact_relax, fast_relax, MirrorDescentConfig, RelaxConfig};
 use firal_data::SyntheticConfig;
 use firal_linalg::counters;
 
@@ -65,7 +63,12 @@ fn measure(shape: Shape, with_exact: bool) -> (u64, u64, Option<u64>) {
 
     let z = vec![budget as f64 / shape.n as f64; shape.n];
     let (_, round_flops) = counters::measure(|| {
-        diag_round(&problem, &z, 1, 4.0 * ((shape.d * (shape.c - 1)) as f64).sqrt())
+        diag_round(
+            &problem,
+            &z,
+            1,
+            4.0 * ((shape.d * (shape.c - 1)) as f64).sqrt(),
+        )
     });
 
     let exact_flops = with_exact.then(|| {
@@ -78,12 +81,20 @@ fn measure(shape: Shape, with_exact: bool) -> (u64, u64, Option<u64>) {
 
 fn main() {
     let csv = has_flag("--csv");
-    let base = Shape { n: 2000, d: 24, c: 8 };
+    let base = Shape {
+        n: 2000,
+        d: 24,
+        c: 8,
+    };
 
     let mut table = Table::new(
         "Table II — measured vs predicted flop growth per solver iteration",
         &[
-            "scaled", "solver", "flops(base)", "flops(2x)", "measured x",
+            "scaled",
+            "solver",
+            "flops(base)",
+            "flops(2x)",
+            "measured x",
             "predicted x",
         ],
     );
@@ -91,9 +102,30 @@ fn main() {
     // Predicted growth factors from the Table II formulas when one
     // parameter doubles (s, n_CG fixed; dominant terms at these shapes).
     let cases: Vec<(&str, Shape, Shape)> = vec![
-        ("n x2", base, Shape { n: 2 * base.n, ..base }),
-        ("d x2", base, Shape { d: 2 * base.d, ..base }),
-        ("c x2", base, Shape { c: 2 * base.c, ..base }),
+        (
+            "n x2",
+            base,
+            Shape {
+                n: 2 * base.n,
+                ..base
+            },
+        ),
+        (
+            "d x2",
+            base,
+            Shape {
+                d: 2 * base.d,
+                ..base
+            },
+        ),
+        (
+            "c x2",
+            base,
+            Shape {
+                c: 2 * base.c,
+                ..base
+            },
+        ),
     ];
 
     for (label, a, b) in cases {
@@ -121,9 +153,7 @@ fn main() {
                 // fitted CuPy-kernel prefactor — ours reflects the
                 // tridiagonal-QL implementation in firal-linalg).
                 "round" => {
-                    let f = |n: f64, d: f64, c: f64| {
-                        4.0 * n * c * d * d + 12.0 * c * d * d * d
-                    };
+                    let f = |n: f64, d: f64, c: f64| 4.0 * n * c * d * d + 12.0 * c * d * d * d;
                     f(n1, d1, c1) / f(n0, d0, c0)
                 }
                 // exact relax/iter: gradient n c² d² + dense solves (cd)³
@@ -166,7 +196,11 @@ fn main() {
 
     // Storage comparison at one representative shape (bytes allocated for
     // the dominant panels).
-    let s = Shape { n: 2000, d: 24, c: 8 };
+    let s = Shape {
+        n: 2000,
+        d: 24,
+        c: 8,
+    };
     let cm1 = (s.c - 1) as u64;
     let (n64, d64) = (s.n as u64, s.d as u64);
     let exact_bytes = 8 * (cm1 * cm1 * d64 * d64 + n64 * cm1 * cm1 * d64);

@@ -17,8 +17,15 @@ fn main() {
     let mut table = Table::new(
         "Table III — direct vs fast Hessian matvec",
         &[
-            "d", "c", "direct flops", "fast flops", "flop ratio", "dc",
-            "direct µs", "fast µs", "time ratio",
+            "d",
+            "c",
+            "direct flops",
+            "fast flops",
+            "flop ratio",
+            "dc",
+            "direct µs",
+            "fast µs",
+            "time ratio",
         ],
     );
 
@@ -27,7 +34,9 @@ fn main() {
         // A synthetic point + probability row.
         let x: Vec<f64> = (0..d).map(|j| ((j * 7 % 13) as f64 - 6.0) * 0.1).collect();
         let h: Vec<f64> = (0..cm1).map(|k| 0.5 / (k + 2) as f64).collect();
-        let v: Vec<f64> = (0..d * cm1).map(|j| ((j * 3 % 7) as f64 - 3.0) * 0.2).collect();
+        let v: Vec<f64> = (0..d * cm1)
+            .map(|j| ((j * 3 % 7) as f64 - 3.0) * 0.2)
+            .collect();
 
         // Direct: materialize H then dense matvec.
         let (y_direct, direct_cost) = counters::measure(|| {
@@ -64,7 +73,10 @@ fn main() {
             c.to_string(),
             direct_cost.flops.to_string(),
             fast_cost.flops.to_string(),
-            format!("{:.0}", direct_cost.flops as f64 / fast_cost.flops.max(1) as f64),
+            format!(
+                "{:.0}",
+                direct_cost.flops as f64 / fast_cost.flops.max(1) as f64
+            ),
             (d * cm1).to_string(),
             format!("{direct_us:.1}"),
             format!("{fast_us:.2}"),

@@ -74,9 +74,7 @@ fn main() {
 
     let mut table = Table::new(
         "Table VI — Exact-FIRAL vs Approx-FIRAL wall-clock (seconds)",
-        &[
-            "dataset", "phase", "Exact", "Approx", "speedup",
-        ],
+        &["dataset", "phase", "Exact", "Approx", "speedup"],
     );
 
     for case in &cases {
@@ -110,8 +108,7 @@ fn main() {
             ..Default::default()
         };
         let (out, t_approx_relax) = timed(|| fast_relax(&problem, case.budget, &relax_cfg));
-        let (_, t_approx_round) =
-            timed(|| diag_round(&problem, &out.z_diamond, case.budget, eta));
+        let (_, t_approx_round) = timed(|| diag_round(&problem, &out.z_diamond, case.budget, eta));
 
         for (phase, te, ta) in [
             ("RELAX", t_exact_relax, t_approx_relax),

@@ -2,6 +2,30 @@
 //!
 //! Every harness prints the same rows/series the paper reports, as aligned
 //! text for eyeballing and optionally as CSV (`--csv`) for plotting.
+//! Scaling harnesses append the per-rank communication-volume columns of
+//! [`comm_cells`] so runs show collective call/byte counts, not just wall
+//! time.
+
+use firal_comm::CommStats;
+
+/// Column headers matching [`comm_cells`]: per-collective call counts,
+/// total megabytes contributed to collectives, and measured seconds spent
+/// inside them.
+pub const COMM_HEADERS: [&str; 3] = ["coll calls (ar/bc/ag)", "coll MB", "comm s"];
+
+/// Render one rank's [`CommStats`] as table cells (pairs with
+/// [`COMM_HEADERS`]). Byte counts are this rank's contributions; on
+/// symmetric SPMD runs rank 0 is representative.
+pub fn comm_cells(stats: &CommStats) -> [String; 3] {
+    [
+        format!(
+            "{}/{}/{}",
+            stats.allreduce_calls, stats.bcast_calls, stats.allgather_calls
+        ),
+        format!("{:.2}", stats.total_bytes() as f64 / 1e6),
+        format!("{:.3}", stats.time.as_secs_f64()),
+    ]
+}
 
 /// A labelled (x, y) series, e.g. "accuracy vs number of labeled samples".
 #[derive(Debug, Clone)]
@@ -154,5 +178,23 @@ mod tests {
         assert_eq!(fmt_secs(123.4), "123");
         assert_eq!(fmt_secs(1.234), "1.23");
         assert_eq!(fmt_secs(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn comm_cells_render_counts_and_megabytes() {
+        let stats = CommStats {
+            allreduce_calls: 3,
+            allreduce_bytes: 1_500_000,
+            bcast_calls: 2,
+            bcast_bytes: 500_000,
+            allgather_calls: 1,
+            allgather_bytes: 0,
+            time: std::time::Duration::from_millis(250),
+        };
+        let cells = comm_cells(&stats);
+        assert_eq!(cells[0], "3/2/1");
+        assert_eq!(cells[1], "2.00");
+        assert_eq!(cells[2], "0.250");
+        assert_eq!(cells.len(), COMM_HEADERS.len());
     }
 }

@@ -237,7 +237,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 12345u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.5
         };
         for i in 0..60 {
@@ -265,7 +267,11 @@ mod tests {
         for k in 0..3 {
             seen[res.assignments[k * 20]] = true;
         }
-        assert!(seen.iter().all(|&s| s), "blobs merged: {:?}", res.assignments);
+        assert!(
+            seen.iter().all(|&s| s),
+            "blobs merged: {:?}",
+            res.assignments
+        );
         let _ = labels;
     }
 

@@ -48,6 +48,31 @@ pub struct CommStats {
 }
 
 impl CommStats {
+    /// Counters accumulated since an earlier snapshot of the same rank
+    /// (pairs with [`Communicator::stats`] to attribute communication to one
+    /// phase of a run without resetting the global counters).
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            allreduce_calls: self.allreduce_calls - earlier.allreduce_calls,
+            allreduce_bytes: self.allreduce_bytes - earlier.allreduce_bytes,
+            bcast_calls: self.bcast_calls - earlier.bcast_calls,
+            bcast_bytes: self.bcast_bytes - earlier.bcast_bytes,
+            allgather_calls: self.allgather_calls - earlier.allgather_calls,
+            allgather_bytes: self.allgather_bytes - earlier.allgather_bytes,
+            time: self.time.saturating_sub(earlier.time),
+        }
+    }
+
+    /// Total bytes contributed across all collective kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.allreduce_bytes + self.bcast_bytes + self.allgather_bytes
+    }
+
+    /// Total collective calls across all kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.allreduce_calls + self.bcast_calls + self.allgather_calls
+    }
+
     /// Merge another stats record into this one.
     pub fn merge(&mut self, other: &CommStats) {
         self.allreduce_calls += other.allreduce_calls;

@@ -45,8 +45,8 @@ impl CostModel {
     /// and shared-memory-ish transport constants.
     pub fn calibrated(peak_flops: f64) -> Self {
         Self {
-            ts: 2.0e-6,        // thread-barrier scale latency
-            tw: 1.0 / 1.0e10,  // ~10 GB/s effective shared-memory bandwidth
+            ts: 2.0e-6,       // thread-barrier scale latency
+            tw: 1.0 / 1.0e10, // ~10 GB/s effective shared-memory bandwidth
             tc: 1.0e-10,
             peak_flops,
         }
@@ -89,17 +89,12 @@ impl CostModel {
     /// calls (treats every call at its average payload; exact per-call replay
     /// is available to harnesses that need it).
     pub fn predict_comm(&self, stats: &CommStats, p: usize) -> f64 {
-        let avg = |bytes: u64, calls: u64| -> usize {
-            if calls == 0 {
-                0
-            } else {
-                (bytes / calls) as usize
-            }
-        };
+        let avg =
+            |bytes: u64, calls: u64| -> usize { bytes.checked_div(calls).unwrap_or(0) as usize };
         let ar = self.allreduce_time(avg(stats.allreduce_bytes, stats.allreduce_calls), p)
             * stats.allreduce_calls as f64;
-        let bc =
-            self.bcast_time(avg(stats.bcast_bytes, stats.bcast_calls), p) * stats.bcast_calls as f64;
+        let bc = self.bcast_time(avg(stats.bcast_bytes, stats.bcast_calls), p)
+            * stats.bcast_calls as f64;
         let ag = self.allgather_time(avg(stats.allgather_bytes, stats.allgather_calls), p)
             * stats.allgather_calls as f64;
         ar + bc + ag
@@ -151,7 +146,11 @@ mod tests {
         let m = CostModel::paper_a100();
         let t2 = m.allreduce_time(1 << 20, 2);
         let t8 = m.allreduce_time(1 << 20, 8);
-        assert!((t8 / t2 - 3.0).abs() < 1e-9, "log₂8/log₂2 = 3, got {}", t8 / t2);
+        assert!(
+            (t8 / t2 - 3.0).abs() < 1e-9,
+            "log₂8/log₂2 = 3, got {}",
+            t8 / t2
+        );
     }
 
     #[test]

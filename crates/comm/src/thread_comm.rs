@@ -16,18 +16,31 @@
 //! modelled analytically by [`crate::CostModel`].
 
 use std::cell::RefCell;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
-use crossbeam::utils::CachePadded;
-use parking_lot::RwLock;
-
 use crate::communicator::{CommStats, Communicator, ReduceOp};
+
+/// Pad each slot to its own cache line so rank publications don't false-share.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(value: T) -> Self {
+        Self(value)
+    }
+}
 
 struct Shared {
     size: usize,
     slots: Vec<CachePadded<RwLock<Vec<f64>>>>,
     barrier: Barrier,
+}
+
+impl Shared {
+    fn read_slot(&self, rank: usize) -> RwLockReadGuard<'_, Vec<f64>> {
+        self.slots[rank].0.read().expect("slot lock poisoned")
+    }
 }
 
 /// One rank's endpoint of a shared-memory process group.
@@ -47,7 +60,10 @@ impl ThreadComm {
     }
 
     fn publish(&self, data: &[f64]) {
-        let mut slot = self.shared.slots[self.rank].write();
+        let mut slot = self.shared.slots[self.rank]
+            .0
+            .write()
+            .expect("slot lock poisoned");
         slot.clear();
         slot.extend_from_slice(data);
     }
@@ -71,12 +87,16 @@ impl Communicator for ThreadComm {
         self.publish(buf);
         self.shared.barrier.wait();
         {
-            let s0 = self.shared.slots[0].read();
-            assert_eq!(s0.len(), buf.len(), "allreduce length mismatch across ranks");
+            let s0 = self.shared.read_slot(0);
+            assert_eq!(
+                s0.len(),
+                buf.len(),
+                "allreduce length mismatch across ranks"
+            );
             buf.copy_from_slice(&s0);
         }
         for r in 1..self.shared.size {
-            let s = self.shared.slots[r].read();
+            let s = self.shared.read_slot(r);
             for (b, v) in buf.iter_mut().zip(s.iter()) {
                 *b = op.combine(*b, *v);
             }
@@ -96,7 +116,7 @@ impl Communicator for ThreadComm {
         }
         self.shared.barrier.wait();
         if self.rank != root {
-            let s = self.shared.slots[root].read();
+            let s = self.shared.read_slot(root);
             assert_eq!(s.len(), buf.len(), "bcast length mismatch across ranks");
             buf.copy_from_slice(&s);
         }
@@ -113,7 +133,7 @@ impl Communicator for ThreadComm {
         self.shared.barrier.wait();
         let mut out = Vec::new();
         for r in 0..self.shared.size {
-            let s = self.shared.slots[r].read();
+            let s = self.shared.read_slot(r);
             out.extend_from_slice(&s);
         }
         self.shared.barrier.wait();
@@ -129,11 +149,16 @@ impl Communicator for ThreadComm {
         // Payload travels as raw bits so all 64 bits survive the f64 slot.
         self.publish(&[value, f64::from_bits(payload)]);
         self.shared.barrier.wait();
-        let mut best_val = f64::NEG_INFINITY;
-        let mut best_payload = 0u64;
-        for r in 0..self.shared.size {
-            let s = self.shared.slots[r].read();
-            // Strict > keeps the lowest rank on ties (MPI MAXLOC semantics).
+        // Seed from rank 0 so degenerate inputs (every rank at -inf with a
+        // sentinel payload) propagate a real contribution instead of a
+        // fabricated one; strict > then keeps the lowest rank on ties (MPI
+        // MAXLOC semantics).
+        let (mut best_val, mut best_payload) = {
+            let s0 = self.shared.read_slot(0);
+            (s0[0], s0[1].to_bits())
+        };
+        for r in 1..self.shared.size {
+            let s = self.shared.read_slot(r);
             if s[0] > best_val {
                 best_val = s[0];
                 best_payload = s[1].to_bits();
@@ -265,7 +290,11 @@ mod tests {
     #[test]
     fn maxloc_finds_global_argmax_with_payload() {
         let results = launch(4, |comm| {
-            let value = if comm.rank() == 2 { 100.0 } else { comm.rank() as f64 };
+            let value = if comm.rank() == 2 {
+                100.0
+            } else {
+                comm.rank() as f64
+            };
             let payload = 1000 + comm.rank() as u64;
             comm.allreduce_maxloc(value, payload)
         });
@@ -280,6 +309,18 @@ mod tests {
         let results = launch(3, |comm| comm.allreduce_maxloc(1.0, comm.rank() as u64));
         for (_, p) in results {
             assert_eq!(p, 0);
+        }
+    }
+
+    #[test]
+    fn maxloc_all_neg_infinity_propagates_rank0_sentinel() {
+        // Degenerate case: no rank has a candidate. The sentinel payload
+        // must survive the reduction (matching SelfComm) so callers can
+        // detect exhaustion instead of receiving a fabricated index 0.
+        let results = launch(3, |comm| comm.allreduce_maxloc(f64::NEG_INFINITY, u64::MAX));
+        for (v, p) in results {
+            assert_eq!(v, f64::NEG_INFINITY);
+            assert_eq!(p, u64::MAX);
         }
     }
 

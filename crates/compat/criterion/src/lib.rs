@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal benchmark harness with criterion's API shape: each benchmark
+//! closure is warmed up once and then timed over a fixed number of
+//! iterations; mean wall time is printed to stdout. No statistics, HTML
+//! reports, or comparison baselines — just enough to keep the workspace's
+//! `benches/` targets building and runnable offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            iterations: 20,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 20, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    iterations: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's statistical sample count; reused here as the measured
+    /// iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure that receives an input reference.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.0, self.iterations, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.iterations, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iterations: usize,
+    total_secs: f64,
+}
+
+impl Bencher {
+    /// Time `f` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.total_secs = t0.elapsed().as_secs_f64();
+    }
+}
+
+fn run_one(name: &str, iterations: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations,
+        total_secs: 0.0,
+    };
+    f(&mut b);
+    let mean = b.total_secs / iterations.max(1) as f64;
+    println!(
+        "  {name:<48} {:>12.6} ms/iter ({iterations} iters)",
+        mean * 1e3
+    );
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 20, "closure should run warmup + iterations");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_with_input(BenchmarkId::new("f", "p"), &7usize, |b, &x| {
+                b.iter(|| x * 2)
+            });
+        group.finish();
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes rayon's combinator *signatures* over plain sequential iterators.
+//! The firal workspace gets its parallelism from `firal-comm`'s SPMD rank
+//! threads (each rank drives these kernels independently), so the sequential
+//! fallback keeps per-rank arithmetic deterministic while preserving the
+//! chunked accumulation order of the real rayon kernels.
+
+/// Sequential wrapper with rayon's parallel-iterator surface.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair with another parallel iterator, element-wise.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Transform each element.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Consume each element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Fold with an identity constructor (rayon's `reduce` signature).
+    pub fn reduce<F>(self, identity: impl Fn() -> I::Item, op: F) -> I::Item
+    where
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` container (e.g. `Vec`, `Result<Vec>`).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    /// Immutable chunk iterator.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Per-element iterator (`rayon::iter::IntoParallelRefIterator`).
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunk iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Number of worker threads (always 1: the shim is sequential; ranks
+/// parallelize above this layer).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// No-op stand-in for rayon's global pool configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted and ignored (the shim is sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    /// Always succeeds.
+    pub fn build_global(self) -> Result<(), BuildError> {
+        Ok(())
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced).
+#[derive(Debug)]
+pub struct BuildError;
+
+pub mod prelude {
+    //! Rayon-style prelude.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_reduce_matches_serial_sum() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let total = v
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, 499_500.0);
+    }
+
+    #[test]
+    fn zip_for_each_mutates() {
+        let mut y = [0i64; 10];
+        let x: Vec<i64> = (0..10).collect();
+        y.par_chunks_mut(3)
+            .zip(x.par_chunks(3))
+            .for_each(|(yc, xc)| {
+                for (a, b) in yc.iter_mut().zip(xc) {
+                    *a = 2 * b;
+                }
+            });
+        assert_eq!(y[9], 18);
+    }
+
+    #[test]
+    fn range_collects() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let r: Result<Vec<usize>, &str> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(|i| if i == 2 { Err("boom") } else { Ok(i) })
+            .collect();
+        assert_eq!(r, Err("boom"));
+    }
+}

@@ -10,13 +10,12 @@
 use firal_data::Dataset;
 use firal_linalg::Scalar;
 use firal_logreg::{LogisticRegression, TrainConfig};
-use serde::Serialize;
 
 use crate::problem::SelectionProblem;
 use crate::strategies::{SelectError, Strategy};
 
 /// One round's record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RoundRecord {
     /// Labeled-set size when the classifier was trained.
     pub num_labeled: usize,
@@ -32,7 +31,7 @@ pub struct RoundRecord {
 }
 
 /// Full experiment outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Strategy name.
     pub strategy: String,
@@ -144,15 +143,7 @@ mod tests {
     #[test]
     fn experiment_produces_rounds_plus_final() {
         let ds = tiny_dataset(1);
-        let res = run_experiment(
-            &ds,
-            &RandomStrategy,
-            3,
-            5,
-            0,
-            &TrainConfig::default(),
-        )
-        .unwrap();
+        let res = run_experiment(&ds, &RandomStrategy, 3, 5, 0, &TrainConfig::default()).unwrap();
         assert_eq!(res.rounds.len(), 4);
         assert_eq!(res.acquired.len(), 15);
         // Labeled count grows by the budget each round.

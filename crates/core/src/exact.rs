@@ -103,7 +103,7 @@ pub fn exact_relax<T: Scalar>(
 
         // M = Σ⁻¹ H_p Σ⁻¹ (dense).
         let m1 = ch.solve_mat(&hp_dense); // Σ⁻¹H_p
-        let m = ch.solve_mat(&m1.transpose()); // Σ⁻¹(Σ⁻¹H_p)ᵀ = Σ⁻¹H_pΣ⁻¹
+        let m = ch.solve_mat_t(&m1); // Σ⁻¹(Σ⁻¹H_p)ᵀ = Σ⁻¹H_pΣ⁻¹
 
         // g_i = -Σ_{k,l} G_i[k,l] · x_iᵀ M_{(l,k)} x_i, batched per block.
         let mut quads = Matrix::zeros(n, cm1 * cm1);

@@ -1,0 +1,839 @@
+//! The communicator-generic execution layer.
+//!
+//! RELAX (Algorithm 2) and ROUND (Algorithm 3) are written **once** here,
+//! against the [`firal_comm::Communicator`] collectives. The paper's central
+//! structural claim — Approx-FIRAL is *one* algorithm whose collectives
+//! degenerate to no-ops at `p = 1` — is reflected directly in the code:
+//!
+//! * the serial solvers ([`crate::relax::fast_relax`],
+//!   [`crate::round::diag_round`]) are thin wrappers instantiating this
+//!   layer over [`firal_comm::SelfComm`] with the trivial shard
+//!   (`offset = 0`, `local_n = n`);
+//! * the SPMD entry points ([`crate::parallel`]) instantiate the same code
+//!   over a real process group (e.g. [`firal_comm::ThreadComm`]).
+//!
+//! Collective placement follows §III-C operation-for-operation:
+//!
+//! * RELAX: the probe panel is **Bcast** from rank 0; `B(Σ_z)` partial
+//!   block sums and the two-GEMM matvec partial results are **Allreduce**d
+//!   (the matvec reduction lives in
+//!   [`firal_solvers::AllreduceOperator`], so the CG solver itself is
+//!   communicator-agnostic); gradients are purely local; the mirror-descent
+//!   normalizer is a scalar Allreduce;
+//! * ROUND: the Eq. 17 argmax is an **Allreduce (MAXLOC)**; the winning
+//!   point's `(x, h)` is **Bcast** from its owner; the per-block
+//!   eigenvalue solves are distributed over ranks and **Allgather**ed.
+//!
+//! An [`Executor`] owns the run-wide context: the communicator endpoint,
+//! this rank's shard geometry, probe-RNG seeding, the [`PhaseTimer`] phase
+//! breakdown, and per-run [`CommStats`] deltas.
+
+use firal_comm::{shard_range, CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
+use firal_linalg::{eigvalsh, BlockDiag, Cholesky, Matrix, Scalar};
+use firal_solvers::{
+    cg_solve_panel, lanczos_spectrum, rademacher_panel, AllreduceOperator, CgConfig, CgTelemetry,
+    LinearOperator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{FiralConfig, RelaxConfig};
+use crate::exact::RelaxTelemetry;
+use crate::hessian::{hutchinson_gradients, BlockJacobi, PoolHessian};
+use crate::problem::SelectionProblem;
+use crate::round::{pad_spectrum, round_scores, EigSolver, WhitenedBlock};
+use crate::timing::PhaseTimer;
+
+/// One rank's shard of a selection problem.
+///
+/// The pool (`x_i`, `h_i`) is sharded evenly across ranks
+/// ([`firal_comm::shard_range`]); the labeled panel and all `O(cd²)`
+/// block-diagonal state are replicated. On a single rank the shard is
+/// trivial: `offset = 0`, `local_n = n` (see [`ShardedProblem::replicate`]).
+#[derive(Debug, Clone)]
+pub struct ShardedProblem<T: Scalar> {
+    /// Local pool features (`n_local × d`).
+    pub local_x: Matrix<T>,
+    /// Local pool probabilities (`n_local × (c-1)`).
+    pub local_h: Matrix<T>,
+    /// Replicated labeled features.
+    pub labeled_x: Matrix<T>,
+    /// Replicated labeled probabilities.
+    pub labeled_h: Matrix<T>,
+    /// Class count.
+    pub num_classes: usize,
+    /// Global pool size `n`.
+    pub global_n: usize,
+    /// Global index of the first local point.
+    pub offset: usize,
+}
+
+impl<T: Scalar> ShardedProblem<T> {
+    /// Take this rank's shard of a full problem (the §III-C "evenly
+    /// distributing h_i and x_i of n points" decomposition).
+    pub fn shard(problem: &SelectionProblem<T>, rank: usize, size: usize) -> Self {
+        if size == 1 {
+            return Self::replicate(problem);
+        }
+        let n = problem.pool_size();
+        let d = problem.dim();
+        let cm1 = problem.nblocks();
+        let range = shard_range(n, rank, size);
+        let mut local_x = Matrix::zeros(range.len(), d);
+        let mut local_h = Matrix::zeros(range.len(), cm1);
+        for (row, i) in range.clone().enumerate() {
+            local_x.row_mut(row).copy_from_slice(problem.pool_x.row(i));
+            local_h.row_mut(row).copy_from_slice(problem.pool_h.row(i));
+        }
+        Self {
+            local_x,
+            local_h,
+            labeled_x: problem.labeled_x.clone(),
+            labeled_h: problem.labeled_h.clone(),
+            num_classes: problem.num_classes,
+            global_n: n,
+            offset: range.start,
+        }
+    }
+
+    /// The trivial single-rank shard: the whole pool, `offset = 0`.
+    pub fn replicate(problem: &SelectionProblem<T>) -> Self {
+        Self {
+            local_x: problem.pool_x.clone(),
+            local_h: problem.pool_h.clone(),
+            labeled_x: problem.labeled_x.clone(),
+            labeled_h: problem.labeled_h.clone(),
+            num_classes: problem.num_classes,
+            global_n: problem.pool_size(),
+            offset: 0,
+        }
+    }
+
+    /// Local pool size.
+    pub fn local_n(&self) -> usize {
+        self.local_x.rows()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.local_x.cols()
+    }
+
+    /// Block count `c-1`.
+    pub fn nblocks(&self) -> usize {
+        self.num_classes - 1
+    }
+
+    /// Stacked order `ê`.
+    pub fn ehat(&self) -> usize {
+        self.dim() * self.nblocks()
+    }
+}
+
+/// Per-rank result of a RELAX solve through the unified layer.
+#[derive(Debug, Clone)]
+pub struct RelaxRun<T> {
+    /// This rank's shard of `z⋄ = b·z` (aligned with its local pool rows).
+    pub z_local: Vec<T>,
+    /// The full `z⋄` assembled with Allgather (identical on all ranks).
+    pub z_diamond: Vec<T>,
+    /// Objective history / convergence record (identical on all ranks).
+    pub telemetry: RelaxTelemetry<T>,
+    /// CG telemetry of the first mirror-descent iteration's first solve
+    /// (the residual curves plotted in Fig. 1).
+    pub first_cg: Vec<CgTelemetry<T>>,
+    /// Phase timings (precond / cg / matvec / gradient / other).
+    pub timer: PhaseTimer,
+    /// Total CG iterations across the whole solve.
+    pub total_cg_iters: usize,
+    /// Collective calls/bytes/time this rank spent inside the solve.
+    pub comm_stats: CommStats,
+}
+
+/// Per-rank result of a ROUND solve through the unified layer.
+#[derive(Debug, Clone)]
+pub struct RoundRun<T> {
+    /// Selected **global** pool indices, identical on all ranks.
+    pub selected: Vec<usize>,
+    /// η used.
+    pub eta: T,
+    /// Phase timings (objective / eig / other).
+    pub timer: PhaseTimer,
+    /// Collective calls/bytes/time this rank spent inside the solve.
+    pub comm_stats: CommStats,
+}
+
+/// One rank's execution context: communicator endpoint + shard geometry.
+///
+/// All of Approx-FIRAL routes through here; `p = 1` callers use
+/// [`Executor::serial`] and the collectives reduce to no-ops.
+pub struct Executor<'a, T: CommScalar> {
+    comm: &'a dyn Communicator,
+    shard: &'a ShardedProblem<T>,
+}
+
+impl<'a, T: CommScalar> Executor<'a, T> {
+    /// Context for one rank of an SPMD group.
+    pub fn new(comm: &'a dyn Communicator, shard: &'a ShardedProblem<T>) -> Self {
+        assert!(
+            shard.offset + shard.local_n() <= shard.global_n,
+            "shard exceeds the global pool"
+        );
+        Self { comm, shard }
+    }
+
+    /// Serial context: the single-rank instantiation over a caller-owned
+    /// [`SelfComm`] and the trivial full shard.
+    pub fn serial(comm: &'a SelfComm, shard: &'a ShardedProblem<T>) -> Self {
+        Self::new(comm, shard)
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Group size `p`.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The underlying communicator endpoint.
+    pub fn comm(&self) -> &dyn Communicator {
+        self.comm
+    }
+
+    /// This rank's shard.
+    pub fn shard(&self) -> &ShardedProblem<T> {
+        self.shard
+    }
+
+    /// Snapshot of this rank's cumulative communication statistics.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm.stats()
+    }
+
+    /// Rank owning global pool index `i` under the even decomposition.
+    fn owner_of(&self, i: usize) -> usize {
+        (0..self.size())
+            .find(|&r| shard_range(self.shard.global_n, r, self.size()).contains(&i))
+            .expect("global index outside the pool")
+    }
+
+    /// Allreduce-sum a block diagonal in place (the §III-C partial-sum
+    /// pattern for `B(Σ_z)` and `(Σ⋄)_k`).
+    fn allreduce_block_diag(&self, bd: &mut BlockDiag<T>) {
+        let d = bd.dim();
+        let cm1 = bd.nblocks();
+        let mut flat: Vec<T> = Vec::with_capacity(cm1 * d * d);
+        for k in 0..cm1 {
+            flat.extend_from_slice(bd.block(k).as_slice());
+        }
+        T::allreduce(self.comm, &mut flat, ReduceOp::Sum);
+        for k in 0..cm1 {
+            bd.block_mut(k)
+                .as_mut_slice()
+                .copy_from_slice(&flat[k * d * d..(k + 1) * d * d]);
+        }
+    }
+
+    /// Scalar allreduce through the f64 wire format.
+    fn allreduce_scalar(&self, value: T, op: ReduceOp) -> T {
+        let mut buf = [value.to_f64()];
+        self.comm.allreduce_f64(&mut buf, op);
+        T::from_f64(buf[0])
+    }
+
+    /// Algorithm 2 (RELAX), communicator-generic.
+    ///
+    /// Per mirror-descent iteration: Bcast a fresh `ê × s` Rademacher panel
+    /// from rank 0; build and factor the block-Jacobi preconditioner
+    /// `B(Σ_z)⁻¹` from Allreduced partial block sums; run batched
+    /// preconditioned CG `W ← Σ_z⁻¹V`, `W ← H_pW`, `W ← Σ_z⁻¹W` with the
+    /// matvec Allreduce inside [`AllreduceOperator`]; take purely local
+    /// Hutchinson gradients; and close with the entropic mirror-descent
+    /// update (global max-|g| and normalizer are scalar Allreduces). The
+    /// objective estimate and its 1e-4 relative stopping rule are evaluated
+    /// from replicated panels, so every rank decides identically.
+    pub fn relax(&self, budget: usize, config: &RelaxConfig<T>) -> RelaxRun<T> {
+        let shard = self.shard;
+        let n = shard.global_n;
+        let ehat = shard.ehat();
+        let b = T::from_usize(budget);
+        let stats0 = self.comm.stats();
+        let mut timer = PhaseTimer::new();
+
+        let mut z_local = vec![T::ONE / T::from_usize(n); shard.local_n()];
+        let cg_cfg = CgConfig {
+            rel_tol: config.cg_tol,
+            max_iter: config.cg_max_iter,
+        };
+
+        // B(H_o) is weight-independent: build once outside the loop. The
+        // unweighted pool/labeled operators are also loop-invariant.
+        let ho = PoolHessian::unweighted(&shard.labeled_x, &shard.labeled_h);
+        let bho = timer.time("precond", || ho.block_diagonal());
+        let hp_local = PoolHessian::unweighted(&shard.local_x, &shard.local_h);
+        let hp = AllreduceOperator::new(self.comm, &hp_local, None);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut telemetry = RelaxTelemetry {
+            objective_history: Vec::new(),
+            iterations: 0,
+            converged: false,
+        };
+        let mut first_cg: Vec<CgTelemetry<T>> = Vec::new();
+        let mut total_cg_iters = 0usize;
+
+        for t in 1..=config.md.max_iters {
+            telemetry.iterations = t;
+
+            // Line 4: probe panel drawn on rank 0, Bcast to the group.
+            let mut v: Matrix<T> = if self.rank() == 0 {
+                rademacher_panel(ehat, config.probes, &mut rng)
+            } else {
+                Matrix::zeros(ehat, config.probes)
+            };
+            T::bcast(self.comm, v.as_mut_slice(), 0);
+
+            // Gradients are evaluated at the feasible point b·z of Eq. 5 (z
+            // itself stays on the unit simplex for the multiplicative
+            // update).
+            let zb_local: Vec<T> = z_local.iter().map(|&v| v * b).collect();
+            let local_hz = PoolHessian::weighted(&shard.local_x, &shard.local_h, zb_local);
+            let sigma = AllreduceOperator::new(self.comm, &local_hz, Some(&ho));
+
+            // Line 5: B(Σ_z) = B(H_o) + allreduce(B(H_{b·z})_local),
+            // factored per block on every rank.
+            let prec = timer.time("precond", || {
+                let mut bsz = local_hz.block_diagonal();
+                self.allreduce_block_diag(&mut bsz);
+                bsz.add_scaled(T::ONE, &bho);
+                if config.ridge > T::ZERO {
+                    BlockJacobi::new_with_ridge(&bsz, config.ridge)
+                } else {
+                    BlockJacobi::new(&bsz).or_else(|_| {
+                        // Lazy ridge fallback for numerically semidefinite
+                        // blocks.
+                        BlockJacobi::new_with_ridge(&bsz, T::from_f64(1e-8))
+                    })
+                }
+                .expect("preconditioner factorization failed")
+            });
+
+            // Line 6: W ← Σ_z⁻¹ V.
+            let (w1, tel1) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &v, &cg_cfg));
+            total_cg_iters += tel1.iter().map(|t| t.iterations).sum::<usize>();
+            if t == 1 {
+                first_cg = tel1;
+            }
+
+            // Line 7: W ← H_p W (plus H_p·V for the objective estimate).
+            let w2 = timer.time("matvec", || hp.apply_panel(&w1));
+            let hpv = timer.time("matvec", || hp.apply_panel(&v));
+
+            // Line 8: W ← Σ_z⁻¹ W.
+            let (w3, tel2) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &w2, &cg_cfg));
+            total_cg_iters += tel2.iter().map(|t| t.iterations).sum::<usize>();
+
+            // Line 9: local Hutchinson gradients (no communication).
+            let g = timer.time("gradient", || {
+                hutchinson_gradients(&shard.local_x, &shard.local_h, &v, &w3)
+            });
+
+            // Lines 10–11: multiplicative update + simplex normalization,
+            // with a √t-decaying magnitude-normalized step. The max |g| and
+            // the normalizer are the two scalar collectives of the step.
+            timer.time("other", || {
+                let mut local_max = T::ZERO;
+                for &gi in &g {
+                    local_max = local_max.maxv(gi.abs());
+                }
+                let max_abs = self.allreduce_scalar(local_max, ReduceOp::Max);
+                let beta =
+                    config.md.beta0 / T::from_usize(t).sqrt() / max_abs.maxv(T::MIN_POSITIVE);
+                let mut local_sum = T::ZERO;
+                for (zi, &gi) in z_local.iter_mut().zip(g.iter()) {
+                    // Gradients enter negated: g here is +(1/s)Σvᵀ H w, and
+                    // the objective gradient is its negation, so ascent on g.
+                    *zi *= (beta * gi).exp();
+                    local_sum += *zi;
+                }
+                let total = self.allreduce_scalar(local_sum, ReduceOp::Sum);
+                for zi in z_local.iter_mut() {
+                    *zi /= total;
+                }
+            });
+
+            // Objective estimate f ≈ (1/s) Σ_j (Σ⁻¹v_j)ᵀ(H_p v_j) from
+            // replicated panels (identical on all ranks) and the stopping
+            // rule on its relative change.
+            let f_est = timer.time("other", || {
+                let mut acc = T::ZERO;
+                for j in 0..config.probes {
+                    let mut col = T::ZERO;
+                    for i in 0..ehat {
+                        col += w1[(i, j)] * hpv[(i, j)];
+                    }
+                    acc += col;
+                }
+                acc / T::from_usize(config.probes)
+            });
+            if let Some(&prev) = telemetry.objective_history.last() {
+                if ((f_est - prev) / prev.abs().maxv(T::MIN_POSITIVE)).abs() < config.md.obj_rel_tol
+                {
+                    telemetry.objective_history.push(f_est);
+                    telemetry.converged = true;
+                    break;
+                }
+            }
+            telemetry.objective_history.push(f_est);
+        }
+
+        // Assemble the global z⋄ (Allgatherv in rank order = global order).
+        let z_local: Vec<T> = z_local.iter().map(|&v| v * b).collect();
+        let z_diamond = T::allgatherv(self.comm, &z_local);
+        assert_eq!(z_diamond.len(), n, "allgathered z has wrong length");
+
+        RelaxRun {
+            z_local,
+            z_diamond,
+            telemetry,
+            first_cg,
+            timer,
+            total_cg_iters,
+            comm_stats: self.comm.stats().since(&stats0),
+        }
+    }
+
+    /// Algorithm 3 (ROUND), communicator-generic.
+    ///
+    /// `z_local` is this rank's shard of `z⋄` (budget-scaled). Per
+    /// selection: local Eq. 17 scores and a MAXLOC argmax; the owner Bcasts
+    /// the winning `(x, h)`; the replicated FTRL state updates locally; the
+    /// per-block generalized eigensolves (Line 9) are distributed over
+    /// ranks and Allgathered before the `ν` bisection.
+    pub fn round(&self, z_local: &[T], budget: usize, eta: T, eig: EigSolver) -> RoundRun<T> {
+        let shard = self.shard;
+        let d = shard.dim();
+        let cm1 = shard.nblocks();
+        let ehat = shard.ehat();
+        let n_local = shard.local_n();
+        assert_eq!(z_local.len(), n_local, "z shard length mismatch");
+        assert!(
+            budget <= shard.global_n,
+            "cannot select more points than the pool holds"
+        );
+        let binv = T::ONE / T::from_usize(budget);
+        let stats0 = self.comm.stats();
+        let mut timer = PhaseTimer::new();
+
+        // Line 3: block diagonals of Σ⋄ = H_o + H_{z⋄} (Allreduce of local
+        // partial sums) and of H_o.
+        let bho = PoolHessian::unweighted(&shard.labeled_x, &shard.labeled_h).block_diagonal();
+        let mut sigma = timer.time("other", || {
+            let mut local = PoolHessian::weighted(&shard.local_x, &shard.local_h, z_local.to_vec())
+                .block_diagonal();
+            self.allreduce_block_diag(&mut local);
+            local
+        });
+        sigma.add_scaled(T::ONE, &bho);
+
+        // Cholesky of each (Σ⋄)_k — reused for every generalized eigensolve.
+        let sigma_chol: Vec<Cholesky<T>> = timer.time("other", || {
+            sigma
+                .blocks()
+                .iter()
+                .map(|blk| {
+                    Cholesky::new(blk).or_else(|_| Cholesky::new_with_ridge(blk, T::from_f64(1e-8)))
+                })
+                .collect::<firal_linalg::Result<Vec<_>>>()
+                .expect("Σ⋄ blocks must be SPD")
+        });
+
+        // Line 4: B₁ = √ê·Σ⋄ + (η/b)·H_o, inverted per block (replicated).
+        let mut b_inv = timer.time("other", || {
+            let mut b1 = sigma.clone();
+            let sqrt_ehat = T::from_usize(ehat).sqrt();
+            for k in 0..cm1 {
+                b1.block_mut(k).scale_inplace(sqrt_ehat);
+                b1.block_mut(k).add_scaled(eta * binv, bho.block(k));
+            }
+            b1.inverse().expect("B₁ blocks must be SPD")
+        });
+
+        // g_ik = h_ik (1 - h_ik) for every local pool point.
+        let gik = {
+            let mut g = Matrix::zeros(n_local, cm1);
+            for i in 0..n_local {
+                let hrow = shard.local_h.row(i);
+                let grow = g.row_mut(i);
+                for k in 0..cm1 {
+                    grow[k] = hrow[k] * (T::ONE - hrow[k]);
+                }
+            }
+            g
+        };
+
+        // Line 5: (H)_k ← 0.
+        let mut h_acc = BlockDiag::<T>::zeros(cm1, d);
+        let mut taken_local = vec![false; n_local];
+        let mut selected = Vec::with_capacity(budget);
+
+        // Which blocks this rank owns for the distributed eigensolve.
+        let my_blocks = shard_range(cm1, self.rank(), self.size());
+
+        for _t in 0..budget {
+            // Line 7: local Eq. 17 scores; global argmax via MAXLOC.
+            let scores = timer.time("objective", || {
+                round_scores(&shard.local_x, &gik, &b_inv, &sigma, eta)
+            });
+            let mut local_best = (f64::NEG_INFINITY, u64::MAX);
+            for (i, &s) in scores.iter().enumerate() {
+                if !taken_local[i] {
+                    let sv = s.to_f64();
+                    if sv > local_best.0 {
+                        local_best = (sv, (shard.offset + i) as u64);
+                    }
+                }
+            }
+            let (_, global_idx) = self.comm.allreduce_maxloc(local_best.0, local_best.1);
+            assert!(global_idx != u64::MAX, "ROUND ran out of candidates");
+            let it = global_idx as usize;
+            selected.push(it);
+
+            // The owner broadcasts x_{i_t}, h_{i_t} (the Line-11 Bcast of
+            // §III-C).
+            let owner_local = it.checked_sub(shard.offset).filter(|&l| l < n_local);
+            let mut payload = vec![T::ZERO; d + cm1];
+            let owner_rank = self.owner_of(it);
+            if let Some(l) = owner_local {
+                taken_local[l] = true;
+                payload[..d].copy_from_slice(shard.local_x.row(l));
+                payload[d..].copy_from_slice(shard.local_h.row(l));
+            }
+            T::bcast(self.comm, &mut payload, owner_rank);
+            let (xit, hit) = payload.split_at(d);
+
+            // Line 8: (H)_k += (1/b)(H_o)_k + g_{i_t,k} x_{i_t}x_{i_t}ᵀ
+            // (replicated state, local arithmetic).
+            timer.time("other", || {
+                h_acc.add_scaled(binv, &bho);
+                let gammas: Vec<T> = hit.iter().map(|&h| h * (T::ONE - h)).collect();
+                h_acc.rank_one_update(&gammas, xit);
+            });
+
+            // Line 9: eigenvalues of (H̃)_k = (Σ⋄)_k^{-1/2}(H)_k(Σ⋄)_k^{-1/2}
+            // via the cached Cholesky factors; each rank does its block
+            // share, then Allgather.
+            let lambdas = timer.time("eig", || {
+                let mut local_vals = Vec::with_capacity(my_blocks.len() * d);
+                for k in my_blocks.clone() {
+                    let ch = &sigma_chol[k];
+                    match eig {
+                        EigSolver::Exact => {
+                            // C = L⁻¹ (H)_k L⁻ᵀ: forward-substitute columns,
+                            // then rows.
+                            let hk = h_acc.block(k);
+                            let mut y = Matrix::zeros(d, d);
+                            for j in 0..d {
+                                let col = ch.solve_l(&hk.col(j));
+                                y.set_col(j, &col);
+                            }
+                            let mut c = Matrix::zeros(d, d);
+                            for j in 0..d {
+                                let col = ch.solve_l(y.row(j));
+                                c.set_col(j, &col);
+                            }
+                            c.symmetrize();
+                            local_vals.extend(eigvalsh(&c).expect("generalized eigensolve"));
+                        }
+                        EigSolver::Lanczos { steps } => {
+                            let op = WhitenedBlock {
+                                h: h_acc.block(k),
+                                chol: ch,
+                            };
+                            // Seeded per (block, step) so the Ritz values are
+                            // identical no matter which rank owns the block.
+                            let mut rng =
+                                StdRng::seed_from_u64((k as u64) << 32 | selected.len() as u64);
+                            let ritz = lanczos_spectrum(&op, steps.min(d), &mut rng);
+                            local_vals.extend(pad_spectrum(&ritz.ritz_values, d));
+                        }
+                    }
+                }
+                T::allgatherv(self.comm, &local_vals)
+            });
+
+            // Line 10: ν_{t+1} from Σ_{k,j}(ν + ηλ)^{-2} = 1.
+            let nu = timer.time("other", || firal_solvers::solve_nu(&lambdas, eta));
+
+            // Line 11: B_{t+1} = ν·Σ⋄ + η·(H) + (η/b)·H_o, inverted per
+            // block. With an approximate (Lanczos) spectrum — or in f32 —
+            // ν can come out too small for positive definiteness; back off
+            // by growing ν geometrically: a conservative FTRL regularizer
+            // is always admissible.
+            b_inv = timer.time("other", || {
+                let mut nu_eff = nu;
+                let floor = T::from_usize(ehat).sqrt() * T::from_f64(1e-3);
+                for _attempt in 0..60 {
+                    let mut bt = sigma.clone();
+                    for k in 0..cm1 {
+                        bt.block_mut(k).scale_inplace(nu_eff);
+                        bt.block_mut(k).add_scaled(eta, h_acc.block(k));
+                        bt.block_mut(k).add_scaled(eta * binv, bho.block(k));
+                    }
+                    if let Ok(inv) = bt.inverse() {
+                        return inv;
+                    }
+                    // Clamp to the floor, then keep doubling: the growth must
+                    // engage even when the bisection result was at/below the
+                    // floor, or the retry loop would spin on one value.
+                    nu_eff = nu_eff.maxv(floor) * T::TWO;
+                }
+                panic!("B_{{t+1}} never became SPD (η = {eta}, ν = {nu})");
+            });
+        }
+
+        RoundRun {
+            selected,
+            eta,
+            timer,
+            comm_stats: self.comm.stats().since(&stats0),
+        }
+    }
+
+    /// The §IV-A η-selection criterion over a **global** selection:
+    /// `min_k λ_min(Σ_{i∈sel} g_ik x_ix_iᵀ)`, assembled from local partial
+    /// block sums with one Allreduce.
+    pub fn selection_min_eig(&self, selected: &[usize]) -> T {
+        let shard = self.shard;
+        let d = shard.dim();
+        let cm1 = shard.nblocks();
+        let mut acc = BlockDiag::<T>::zeros(cm1, d);
+        for &i in selected {
+            if let Some(l) = i.checked_sub(shard.offset).filter(|&l| l < shard.local_n()) {
+                let hrow = shard.local_h.row(l);
+                let gammas: Vec<T> = (0..cm1).map(|k| hrow[k] * (T::ONE - hrow[k])).collect();
+                acc.rank_one_update(&gammas, shard.local_x.row(l));
+            }
+        }
+        self.allreduce_block_diag(&mut acc);
+        acc.min_block_eigenvalue()
+            .expect("eigenvalues of selection")
+    }
+
+    /// Run ROUND for every η in `grid · √ê` and keep the run maximizing
+    /// [`Executor::selection_min_eig`] — "we execute the ROUND step with
+    /// different η values, and then select the one that maximizes
+    /// min_k λ_min(H)_k" (§IV-A). Every rank evaluates the identical
+    /// criterion, so the grid choice is rank-invariant.
+    pub fn select_eta(&self, z_local: &[T], budget: usize, grid: &[T]) -> RoundRun<T> {
+        assert!(!grid.is_empty(), "η grid must be non-empty");
+        let scale = T::from_usize(self.shard.ehat()).sqrt();
+        let mut best: Option<(T, RoundRun<T>)> = None;
+        for &mult in grid {
+            let out = self.round(z_local, budget, mult * scale, EigSolver::Exact);
+            let crit = self.selection_min_eig(&out.selected);
+            match &best {
+                Some((c, _)) if *c >= crit => {}
+                _ => best = Some((crit, out)),
+            }
+        }
+        best.expect("grid produced no result").1
+    }
+
+    /// Full Approx-FIRAL (RELAX then ROUND) under one configuration,
+    /// including the η grid rule when `config.round.eta` is `None`.
+    pub fn approx_firal(
+        &self,
+        budget: usize,
+        config: &FiralConfig<T>,
+    ) -> (RelaxRun<T>, RoundRun<T>) {
+        let relax = self.relax(budget, &config.relax);
+        let round = match config.round.eta {
+            Some(eta) => self.round(&relax.z_local, budget, eta, EigSolver::Exact),
+            None => self.select_eta(&relax.z_local, budget, &config.round.eta_grid),
+        };
+        (relax, round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firal_comm::launch;
+
+    fn tiny_problem(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<f64> {
+        let ds = firal_data::SyntheticConfig::new(c, d)
+            .with_pool_size(n)
+            .with_initial_per_class(2)
+            .with_seed(seed)
+            .generate::<f64>();
+        let model =
+            firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
+                .unwrap();
+        SelectionProblem::new(
+            ds.pool_features.clone(),
+            model.class_probs_cm1(&ds.pool_features),
+            ds.initial_features.clone(),
+            model.class_probs_cm1(&ds.initial_features),
+            c,
+        )
+    }
+
+    #[test]
+    fn sharding_partitions_the_pool() {
+        let p = tiny_problem(1, 25, 3, 3);
+        let mut total = 0;
+        for r in 0..4 {
+            let s = ShardedProblem::shard(&p, r, 4);
+            total += s.local_n();
+            assert_eq!(s.global_n, 25);
+            // Shard rows match the global panel.
+            for i in 0..s.local_n() {
+                assert_eq!(s.local_x.row(i), p.pool_x.row(s.offset + i));
+            }
+        }
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn replicate_is_the_trivial_shard() {
+        let p = tiny_problem(2, 17, 3, 3);
+        let s = ShardedProblem::replicate(&p);
+        assert_eq!(s.offset, 0);
+        assert_eq!(s.local_n(), 17);
+        assert_eq!(s.global_n, 17);
+        let via_shard = ShardedProblem::shard(&p, 0, 1);
+        assert_eq!(via_shard.local_x, s.local_x);
+        assert_eq!(via_shard.offset, 0);
+    }
+
+    #[test]
+    fn single_rank_executor_matches_serial_wrapper() {
+        let p = tiny_problem(2, 40, 3, 3);
+        let cfg = RelaxConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let serial = crate::relax::fast_relax(&p, 5, &cfg);
+        let comm = SelfComm::new();
+        let shard = ShardedProblem::replicate(&p);
+        let run = Executor::serial(&comm, &shard).relax(5, &cfg);
+        assert_eq!(run.z_diamond.len(), 40);
+        // Bitwise identical: the wrapper IS this code path.
+        assert_eq!(run.z_diamond, serial.z_diamond);
+        assert_eq!(
+            run.telemetry.objective_history,
+            serial.telemetry.objective_history
+        );
+    }
+
+    #[test]
+    fn multi_rank_relax_agrees_with_serial() {
+        let p = tiny_problem(3, 30, 3, 3);
+        let cfg = RelaxConfig {
+            seed: 4,
+            cg_tol: 1e-8,
+            probes: 20,
+            ..Default::default()
+        };
+        let serial = crate::relax::fast_relax(&p, 4, &cfg);
+        for procs in [2usize, 3] {
+            let problem = p.clone();
+            let config = cfg;
+            let results = launch(procs, move |comm| {
+                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
+                Executor::new(comm, &shard).relax(4, &config).z_diamond
+            });
+            for z in &results {
+                assert_eq!(z.len(), 30);
+                for (a, b) in z.iter().zip(serial.z_diamond.iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-6 * b.abs().max(1e-3),
+                        "p={procs}: {a} vs serial {b}"
+                    );
+                }
+            }
+            // All ranks assembled the identical z.
+            for z in &results[1..] {
+                assert_eq!(z, &results[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_round_matches_serial_selection() {
+        let p = tiny_problem(5, 24, 3, 3);
+        let b = 4;
+        let z: Vec<f64> = (0..24).map(|i| (1.0 + (i % 5) as f64) / 24.0).collect();
+        let eta = 8.0 * (p.ehat() as f64).sqrt();
+        let serial = crate::round::diag_round(&p, &z, b, eta);
+        for procs in [1usize, 2, 3] {
+            let problem = p.clone();
+            let zc = z.clone();
+            let results = launch(procs, move |comm| {
+                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
+                let local_z = zc[shard.offset..shard.offset + shard.local_n()].to_vec();
+                Executor::new(comm, &shard)
+                    .round(&local_z, b, eta, EigSolver::Exact)
+                    .selected
+            });
+            for sel in &results {
+                assert_eq!(
+                    sel, &serial.selected,
+                    "p={procs} selection diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_selects_valid_batch_and_reports_comm() {
+        let p = tiny_problem(6, 36, 4, 3);
+        let eta = 8.0 * (p.ehat() as f64).sqrt();
+        let results = launch(3, move |comm| {
+            let shard = ShardedProblem::shard(&p, comm.rank(), comm.size());
+            let exec = Executor::new(comm, &shard);
+            let relax = exec.relax(6, &RelaxConfig::default());
+            let round = exec.round(&relax.z_local, 6, eta, EigSolver::Exact);
+            (round.selected, relax.comm_stats, round.comm_stats)
+        });
+        for (sel, relax_stats, round_stats) in &results {
+            assert_eq!(sel.len(), 6);
+            let mut sorted = sel.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6, "duplicates: {sel:?}");
+            // The per-run comm deltas must cover the §III-C collectives.
+            assert!(relax_stats.allreduce_calls > 0);
+            assert!(relax_stats.bcast_calls > 0);
+            assert!(round_stats.allgather_calls > 0);
+            assert!(round_stats.total_bytes() > 0);
+        }
+        // Rank-independent result.
+        for (sel, _, _) in &results[1..] {
+            assert_eq!(sel, &results[0].0);
+        }
+    }
+
+    #[test]
+    fn distributed_eta_grid_matches_serial_grid() {
+        let p = tiny_problem(7, 30, 3, 3);
+        let b = 4;
+        let z: Vec<f64> = vec![b as f64 / 30.0; 30];
+        let serial = crate::round::select_eta(&p, &z, b, &[2.0, 8.0]);
+        let results = launch(2, move |comm| {
+            let shard = ShardedProblem::shard(&p, comm.rank(), comm.size());
+            let local_z = z[shard.offset..shard.offset + shard.local_n()].to_vec();
+            let exec = Executor::new(comm, &shard);
+            let out = exec.select_eta(&local_z, b, &[2.0, 8.0]);
+            (out.selected, out.eta)
+        });
+        for (sel, eta) in &results {
+            assert_eq!(sel, &serial.selected);
+            assert_eq!(*eta, serial.eta);
+        }
+    }
+}

@@ -432,7 +432,9 @@ mod tests {
     fn test_pool(n: usize, d: usize, c: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let x = Matrix::from_fn(n, d, |_, _| next() - 1.0);

@@ -11,17 +11,24 @@
 //!   preconditioned CG);
 //! * [`round`] — the diagonal ROUND solver (Algorithm 3: Lemma 3 /
 //!   Proposition 4);
+//! * [`exec`] — **the execution layer**: RELAX and ROUND written once,
+//!   generic over `firal_comm::Communicator`. An [`exec::Executor`] owns
+//!   the communicator endpoint, this rank's shard geometry
+//!   ([`exec::ShardedProblem`]), probe-RNG seeding, phase timing, and
+//!   per-run communication statistics. The serial path is the `SelfComm`
+//!   instantiation (collectives are no-ops); the SPMD path is the same
+//!   code over a real process group;
 //! * [`strategies`] — Random / K-Means / Entropy / Exact-FIRAL /
 //!   Approx-FIRAL behind one [`strategies::Strategy`] trait;
 //! * [`driver`] — the §IV-A multi-round active-learning loop;
-//! * [`parallel`] — the SPMD implementation of §III-C over
-//!   `firal-comm` communicators (pool sharding, allreduce/bcast/allgather
-//!   placement matching the paper operation-for-operation);
+//! * [`parallel`] — thin SPMD-flavoured wrappers over [`exec`] for callers
+//!   that hold a communicator directly;
 //! * [`timing`] — the phase timers behind the Figs. 5–7 breakdowns.
 
 pub mod config;
 pub mod driver;
 pub mod exact;
+pub mod exec;
 pub mod hessian;
 pub mod objective;
 pub mod parallel;
@@ -34,11 +41,11 @@ pub mod timing;
 pub use config::{FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig};
 pub use driver::{run_experiment, ExperimentResult, RoundRecord};
 pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
+pub use exec::{Executor, RelaxRun, RoundRun, ShardedProblem};
 pub use problem::SelectionProblem;
 pub use relax::{fast_relax, RelaxOutput};
 pub use round::{diag_round, diag_round_with_eig, select_eta, EigSolver, RoundOutput};
 pub use strategies::{
-    ApproxFiral, EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError,
-    Strategy,
+    ApproxFiral, EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError, Strategy,
 };
 pub use timing::PhaseTimer;

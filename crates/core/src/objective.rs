@@ -80,11 +80,8 @@ pub fn estimated_objective<T: Scalar>(
     let hp = PoolHessian::unweighted(&problem.pool_x, &problem.pool_h);
     let sigma = SigmaZ::new(ho, hz);
 
-    let prec = BlockJacobi::new_with_ridge(
-        &sigma.block_diagonal(),
-        T::from_f64(1e-10),
-    )
-    .expect("preconditioner blocks must factor");
+    let prec = BlockJacobi::new_with_ridge(&sigma.block_diagonal(), T::from_f64(1e-10))
+        .expect("preconditioner blocks must factor");
 
     // Y = H_p V, then W = Σ^{-1} Y; f ≈ mean_j v_jᵀ w_j … careful: we want
     // vᵀΣ⁻¹(H_p v) = (Σ⁻¹v)ᵀ(H_p v); either grouping works because Σ is

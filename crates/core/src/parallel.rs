@@ -1,310 +1,39 @@
-//! SPMD Approx-FIRAL over a [`firal_comm::Communicator`] (§III-C).
+//! SPMD entry points for Approx-FIRAL (§III-C) — thin wrappers.
 //!
-//! Data decomposition and collective placement follow the paper
-//! operation-for-operation:
-//!
-//! * the pool (`x_i`, `h_i`) is sharded evenly across ranks
-//!   ([`firal_comm::shard_range`]); the labeled panel and all `O(cd²)`
-//!   block-diagonal state are replicated;
-//! * RELAX: the probe panel is **Bcast** from rank 0; `B(Σ_z)` partial
-//!   block sums and the two-GEMM matvec partial results are **Allreduce**d;
-//!   gradients are purely local; the mirror-descent normalizer is a scalar
-//!   Allreduce;
-//! * ROUND: the Eq. 17 argmax is an **Allreduce (MAXLOC)**; the winning
-//!   point's `(x, h)` is **Bcast** from its owner; the per-block
-//!   eigenvalue solves are distributed over ranks and **Allgather**ed.
-//!
-//! With `p = 1` the collectives degenerate to no-ops and the arithmetic is
-//! identical to the serial solvers.
+//! The distributed RELAX/ROUND math lives in [`crate::exec`]; this module
+//! keeps the historical free-function API for callers that hold a
+//! communicator and drive ranks directly (bench harnesses, examples,
+//! integration tests). Each function constructs an [`Executor`] for the
+//! calling rank and delegates — there is no second copy of the algorithms
+//! here.
 
-use firal_comm::{shard_range, CommScalar, Communicator, ReduceOp};
-use firal_linalg::{eigvalsh, BlockDiag, Cholesky, Matrix, Scalar};
-use firal_solvers::{cg_solve_panel, rademacher_panel, CgConfig, LinearOperator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use firal_comm::{CommScalar, Communicator};
 
 use crate::config::RelaxConfig;
-use crate::hessian::{hutchinson_gradients, BlockJacobi, PoolHessian};
+use crate::exec::{Executor, RelaxRun, RoundRun};
 use crate::problem::SelectionProblem;
-use crate::round::round_scores;
-use crate::timing::PhaseTimer;
+use crate::round::EigSolver;
 
-/// One rank's shard of a selection problem.
-#[derive(Debug, Clone)]
-pub struct ShardedProblem<T: Scalar> {
-    /// Local pool features (`n_local × d`).
-    pub local_x: Matrix<T>,
-    /// Local pool probabilities (`n_local × (c-1)`).
-    pub local_h: Matrix<T>,
-    /// Replicated labeled features.
-    pub labeled_x: Matrix<T>,
-    /// Replicated labeled probabilities.
-    pub labeled_h: Matrix<T>,
-    /// Class count.
-    pub num_classes: usize,
-    /// Global pool size `n`.
-    pub global_n: usize,
-    /// Global index of the first local point.
-    pub offset: usize,
-}
-
-impl<T: Scalar> ShardedProblem<T> {
-    /// Take this rank's shard of a full problem (the §III-C "evenly
-    /// distributing h_i and x_i of n points" decomposition).
-    pub fn shard(problem: &SelectionProblem<T>, rank: usize, size: usize) -> Self {
-        let n = problem.pool_size();
-        let d = problem.dim();
-        let cm1 = problem.nblocks();
-        let range = shard_range(n, rank, size);
-        let mut local_x = Matrix::zeros(range.len(), d);
-        let mut local_h = Matrix::zeros(range.len(), cm1);
-        for (row, i) in range.clone().enumerate() {
-            local_x.row_mut(row).copy_from_slice(problem.pool_x.row(i));
-            local_h.row_mut(row).copy_from_slice(problem.pool_h.row(i));
-        }
-        Self {
-            local_x,
-            local_h,
-            labeled_x: problem.labeled_x.clone(),
-            labeled_h: problem.labeled_h.clone(),
-            num_classes: problem.num_classes,
-            global_n: n,
-            offset: range.start,
-        }
-    }
-
-    /// Local pool size.
-    pub fn local_n(&self) -> usize {
-        self.local_x.rows()
-    }
-
-    /// Feature dimension.
-    pub fn dim(&self) -> usize {
-        self.local_x.cols()
-    }
-
-    /// Block count `c-1`.
-    pub fn nblocks(&self) -> usize {
-        self.num_classes - 1
-    }
-
-    /// Stacked order `ê`.
-    pub fn ehat(&self) -> usize {
-        self.dim() * self.nblocks()
-    }
-}
-
-/// Distributed `Σ_z` operator: local two-GEMM partial matvec + Allreduce,
-/// plus the replicated labeled term.
-struct DistributedSigma<'a, T: Scalar> {
-    local_hz: PoolHessian<'a, T>,
-    ho: PoolHessian<'a, T>,
-    comm: &'a dyn Communicator,
-}
-
-impl<T: CommScalar> LinearOperator<T> for DistributedSigma<'_, T> {
-    fn dim(&self) -> usize {
-        self.ho.dim()
-    }
-
-    fn apply(&self, x: &[T], y: &mut [T]) {
-        self.local_hz.apply(x, y);
-        T::allreduce(self.comm, y, ReduceOp::Sum);
-        let mut tmp = vec![T::ZERO; y.len()];
-        self.ho.apply(x, &mut tmp);
-        for (a, b) in y.iter_mut().zip(tmp.iter()) {
-            *a += *b;
-        }
-    }
-
-    fn apply_panel(&self, x: &Matrix<T>) -> Matrix<T> {
-        let mut local = self.local_hz.apply_panel(x);
-        T::allreduce(self.comm, local.as_mut_slice(), ReduceOp::Sum);
-        let ho_part = self.ho.apply_panel(x);
-        local.add_scaled(T::ONE, &ho_part);
-        local
-    }
-}
+pub use crate::exec::ShardedProblem;
 
 /// Output of the distributed RELAX solve (per rank).
-#[derive(Debug, Clone)]
-pub struct ParallelRelaxOutput<T> {
-    /// This rank's shard of `z⋄` (aligned with its local pool rows).
-    pub z_local: Vec<T>,
-    /// The full `z⋄` assembled with Allgather (identical on all ranks).
-    pub z_diamond: Vec<T>,
-    /// Mirror-descent iterations executed.
-    pub iterations: usize,
-    /// Phase timings (precond / cg / matvec / gradient / other).
-    pub timer: PhaseTimer,
-    /// Total CG iterations.
-    pub total_cg_iters: usize,
-}
+pub type ParallelRelaxOutput<T> = RelaxRun<T>;
 
-/// Distributed Algorithm 2.
+/// Output of the distributed ROUND solve (per rank).
+pub type ParallelRoundOutput<T> = RoundRun<T>;
+
+/// Distributed Algorithm 2 on one rank of an SPMD group.
 pub fn parallel_relax<T: CommScalar>(
     comm: &dyn Communicator,
     shard: &ShardedProblem<T>,
     budget: usize,
     config: &RelaxConfig<T>,
 ) -> ParallelRelaxOutput<T> {
-    let n = shard.global_n;
-    let ehat = shard.ehat();
-    let b = T::from_usize(budget);
-    let mut timer = PhaseTimer::new();
-
-    let mut z_local = vec![T::ONE / T::from_usize(n); shard.local_n()];
-    let cg_cfg = CgConfig {
-        rel_tol: config.cg_tol,
-        max_iter: config.cg_max_iter,
-    };
-
-    let ho = PoolHessian::unweighted(&shard.labeled_x, &shard.labeled_h);
-    let bho = timer.time("precond", || ho.block_diagonal());
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut total_cg_iters = 0usize;
-    let mut prev_obj: Option<T> = None;
-    let mut iterations = 0usize;
-
-    for t in 1..=config.md.max_iters {
-        iterations = t;
-
-        // Probe panel: drawn on rank 0, Bcast to the group (§III-C).
-        let mut v: Matrix<T> = if comm.rank() == 0 {
-            rademacher_panel(ehat, config.probes, &mut rng)
-        } else {
-            Matrix::zeros(ehat, config.probes)
-        };
-        T::bcast(comm, v.as_mut_slice(), 0);
-
-        // Gradients evaluate at the feasible point b·z of Eq. 5, matching
-        // the serial solver.
-        let zb_local: Vec<T> = z_local.iter().map(|&v| v * b).collect();
-        let local_hz = PoolHessian::weighted(&shard.local_x, &shard.local_h, zb_local.clone());
-        let sigma = DistributedSigma {
-            local_hz,
-            ho: PoolHessian::unweighted(&shard.labeled_x, &shard.labeled_h),
-            comm,
-        };
-
-        // Preconditioner: local block partial sums + Allreduce + local
-        // factorization (every rank factors all c-1 blocks).
-        let prec = timer.time("precond", || {
-            let local_hz =
-                PoolHessian::weighted(&shard.local_x, &shard.local_h, zb_local.clone());
-            let mut bsz = local_hz.block_diagonal();
-            {
-                // Allreduce the concatenated block entries.
-                let dim = bsz.dim();
-                let cm1 = bsz.nblocks();
-                let mut flat: Vec<T> = Vec::with_capacity(cm1 * dim * dim);
-                for k in 0..cm1 {
-                    flat.extend_from_slice(bsz.block(k).as_slice());
-                }
-                T::allreduce(comm, &mut flat, ReduceOp::Sum);
-                for k in 0..cm1 {
-                    bsz.block_mut(k)
-                        .as_mut_slice()
-                        .copy_from_slice(&flat[k * dim * dim..(k + 1) * dim * dim]);
-                }
-            }
-            bsz.add_scaled(T::ONE, &bho);
-            BlockJacobi::new(&bsz)
-                .or_else(|_| BlockJacobi::new_with_ridge(&bsz, T::from_f64(1e-8)))
-                .expect("preconditioner factorization failed")
-        });
-
-        // W ← Σ⁻¹V ; W ← H_pW ; W ← Σ⁻¹W (H_p = Σ with z ≡ 1 pool weights).
-        let (w1, tel1) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &v, &cg_cfg));
-        total_cg_iters += tel1.iter().map(|t| t.iterations).sum::<usize>();
-
-        let hp_local = PoolHessian::unweighted(&shard.local_x, &shard.local_h);
-        let apply_hp = |panel: &Matrix<T>| -> Matrix<T> {
-            let mut out = hp_local.apply_panel(panel);
-            T::allreduce(comm, out.as_mut_slice(), ReduceOp::Sum);
-            out
-        };
-        let w2 = timer.time("matvec", || apply_hp(&w1));
-        let hpv = timer.time("matvec", || apply_hp(&v));
-
-        let (w3, tel2) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &w2, &cg_cfg));
-        total_cg_iters += tel2.iter().map(|t| t.iterations).sum::<usize>();
-
-        // Local gradients (no communication).
-        let g = timer.time("gradient", || {
-            hutchinson_gradients(&shard.local_x, &shard.local_h, &v, &w3)
-        });
-
-        // Mirror-descent update: global max |g| and global normalizer.
-        timer.time("other", || {
-            let mut local_max = T::ZERO;
-            for &gi in &g {
-                local_max = local_max.maxv(gi.abs());
-            }
-            let mut buf = [local_max.to_f64()];
-            comm.allreduce_f64(&mut buf, ReduceOp::Max);
-            let max_abs = T::from_f64(buf[0]);
-
-            let beta = config.md.beta0 / T::from_usize(t).sqrt() / max_abs.maxv(T::MIN_POSITIVE);
-            let mut local_sum = T::ZERO;
-            for (zi, &gi) in z_local.iter_mut().zip(g.iter()) {
-                *zi *= (beta * gi).exp();
-                local_sum += *zi;
-            }
-            let mut sum_buf = [local_sum.to_f64()];
-            comm.allreduce_f64(&mut sum_buf, ReduceOp::Sum);
-            let total = T::from_f64(sum_buf[0]);
-            for zi in z_local.iter_mut() {
-                *zi /= total;
-            }
-        });
-
-        // Objective estimate (replicated panels ⇒ identical on all ranks).
-        let f_est = {
-            let mut acc = T::ZERO;
-            for j in 0..config.probes {
-                let mut col = T::ZERO;
-                for i in 0..ehat {
-                    col += w1[(i, j)] * hpv[(i, j)];
-                }
-                acc += col;
-            }
-            acc / T::from_usize(config.probes)
-        };
-        if let Some(prev) = prev_obj {
-            if ((f_est - prev) / prev.abs().maxv(T::MIN_POSITIVE)).abs() < config.md.obj_rel_tol {
-                break;
-            }
-        }
-        prev_obj = Some(f_est);
-    }
-
-    // Assemble the global z⋄ (Allgatherv in rank order = global order).
-    let scaled: Vec<T> = z_local.iter().map(|&v| v * b).collect();
-    let z_diamond = T::allgatherv(comm, &scaled);
-    assert_eq!(z_diamond.len(), n, "allgathered z has wrong length");
-
-    ParallelRelaxOutput {
-        z_local: scaled,
-        z_diamond,
-        iterations,
-        timer,
-        total_cg_iters,
-    }
+    Executor::new(comm, shard).relax(budget, config)
 }
 
-/// Output of the distributed ROUND solve (per rank).
-#[derive(Debug, Clone)]
-pub struct ParallelRoundOutput<T> {
-    /// Selected **global** pool indices, identical on all ranks.
-    pub selected: Vec<usize>,
-    /// η used.
-    pub eta: T,
-    /// Phase timings (objective / eig / other).
-    pub timer: PhaseTimer,
-}
-
-/// Distributed Algorithm 3.
+/// Distributed Algorithm 3 on one rank of an SPMD group (exact Line-9
+/// eigensolver; use [`Executor::round`] directly for the Lanczos variant).
 pub fn parallel_round<T: CommScalar>(
     comm: &dyn Communicator,
     shard: &ShardedProblem<T>,
@@ -312,170 +41,7 @@ pub fn parallel_round<T: CommScalar>(
     budget: usize,
     eta: T,
 ) -> ParallelRoundOutput<T> {
-    let d = shard.dim();
-    let cm1 = shard.nblocks();
-    let ehat = shard.ehat();
-    let rank = comm.rank();
-    let size = comm.size();
-    let binv = T::ONE / T::from_usize(budget);
-    let mut timer = PhaseTimer::new();
-
-    // Block diagonals of Σ⋄ (Allreduce of local partial sums) and H_o.
-    let bho = PoolHessian::unweighted(&shard.labeled_x, &shard.labeled_h).block_diagonal();
-    let mut sigma = timer.time("other", || {
-        let local =
-            PoolHessian::weighted(&shard.local_x, &shard.local_h, z_local.to_vec())
-                .block_diagonal();
-        let mut flat: Vec<T> = Vec::with_capacity(cm1 * d * d);
-        for k in 0..cm1 {
-            flat.extend_from_slice(local.block(k).as_slice());
-        }
-        T::allreduce(comm, &mut flat, ReduceOp::Sum);
-        let blocks: Vec<Matrix<T>> = (0..cm1)
-            .map(|k| Matrix::from_vec(d, d, flat[k * d * d..(k + 1) * d * d].to_vec()))
-            .collect();
-        BlockDiag::from_blocks(blocks)
-    });
-    sigma.add_scaled(T::ONE, &bho);
-
-    let sigma_chol: Vec<Cholesky<T>> = sigma
-        .blocks()
-        .iter()
-        .map(|blk| Cholesky::new(blk).or_else(|_| Cholesky::new_with_ridge(blk, T::from_f64(1e-8))))
-        .collect::<firal_linalg::Result<Vec<_>>>()
-        .expect("Σ⋄ blocks must be SPD");
-
-    // B₁⁻¹ (replicated).
-    let mut b_inv = timer.time("other", || {
-        let mut b1 = sigma.clone();
-        let sqrt_ehat = T::from_usize(ehat).sqrt();
-        for k in 0..cm1 {
-            b1.block_mut(k).scale_inplace(sqrt_ehat);
-            b1.block_mut(k).add_scaled(eta * binv, bho.block(k));
-        }
-        b1.inverse().expect("B₁ blocks must be SPD")
-    });
-
-    // Local g_ik table.
-    let n_local = shard.local_n();
-    let gik = {
-        let mut g = Matrix::zeros(n_local, cm1);
-        for i in 0..n_local {
-            let hrow = shard.local_h.row(i);
-            let grow = g.row_mut(i);
-            for k in 0..cm1 {
-                grow[k] = hrow[k] * (T::ONE - hrow[k]);
-            }
-        }
-        g
-    };
-
-    let mut h_acc = BlockDiag::<T>::zeros(cm1, d);
-    let mut taken_local = vec![false; n_local];
-    let mut selected = Vec::with_capacity(budget);
-
-    // Which blocks this rank owns for the distributed eigensolve.
-    let my_blocks = shard_range(cm1, rank, size);
-
-    for _t in 0..budget {
-        // Local Eq. 17 scores; global argmax via Allreduce MAXLOC.
-        let scores = timer.time("objective", || {
-            round_scores(&shard.local_x, &gik, &b_inv, &sigma, eta)
-        });
-        let mut local_best = (f64::NEG_INFINITY, u64::MAX);
-        for (i, &s) in scores.iter().enumerate() {
-            if !taken_local[i] {
-                let sv = s.to_f64();
-                if sv > local_best.0 {
-                    local_best = (sv, (shard.offset + i) as u64);
-                }
-            }
-        }
-        let (_, global_idx) = comm.allreduce_maxloc(local_best.0, local_best.1);
-        let it = global_idx as usize;
-        assert!(it != u64::MAX as usize, "ROUND ran out of candidates");
-        selected.push(it);
-
-        // Owner broadcasts x_{i_t}, h_{i_t} (the Line-11 Bcast of §III-C).
-        let owner_local = it.checked_sub(shard.offset).filter(|&l| l < n_local);
-        let mut payload = vec![T::ZERO; d + cm1];
-        let owner_rank = {
-            // Determine owner rank from the global index.
-            let mut owner = 0usize;
-            for r in 0..size {
-                let range = shard_range(shard.global_n, r, size);
-                if range.contains(&it) {
-                    owner = r;
-                    break;
-                }
-            }
-            owner
-        };
-        if let Some(l) = owner_local {
-            taken_local[l] = true;
-            payload[..d].copy_from_slice(shard.local_x.row(l));
-            payload[d..].copy_from_slice(shard.local_h.row(l));
-        }
-        T::bcast(comm, &mut payload, owner_rank);
-        let (xit, hit) = payload.split_at(d);
-
-        // (H)_k update (replicated state, local arithmetic).
-        timer.time("other", || {
-            h_acc.add_scaled(binv, &bho);
-            let gammas: Vec<T> = hit.iter().map(|&h| h * (T::ONE - h)).collect();
-            h_acc.rank_one_update(&gammas, xit);
-        });
-
-        // Distributed eigensolve: each rank does its block share, then
-        // Allgather (§III-C Line 9).
-        let lambdas = timer.time("eig", || {
-            let mut local_vals = Vec::with_capacity(my_blocks.len() * d);
-            for k in my_blocks.clone() {
-                let ch = &sigma_chol[k];
-                let hk = h_acc.block(k);
-                let mut y = Matrix::zeros(d, d);
-                for j in 0..d {
-                    let col = ch.solve_l(&hk.col(j));
-                    y.set_col(j, &col);
-                }
-                let mut c = Matrix::zeros(d, d);
-                for j in 0..d {
-                    let col = ch.solve_l(&y.row(j).to_vec());
-                    c.set_col(j, &col);
-                }
-                c.symmetrize();
-                local_vals.extend(eigvalsh(&c).expect("generalized eigensolve"));
-            }
-            T::allgatherv(comm, &local_vals)
-        });
-
-        let nu = timer.time("other", || firal_solvers::solve_nu(&lambdas, eta));
-
-        // Same ν-backoff as the serial solver (protects the f32 path).
-        b_inv = timer.time("other", || {
-            let mut nu_eff = nu;
-            let floor = T::from_usize(ehat).sqrt() * T::from_f64(1e-3);
-            for _attempt in 0..60 {
-                let mut bt = sigma.clone();
-                for k in 0..cm1 {
-                    bt.block_mut(k).scale_inplace(nu_eff);
-                    bt.block_mut(k).add_scaled(eta, h_acc.block(k));
-                    bt.block_mut(k).add_scaled(eta * binv, bho.block(k));
-                }
-                if let Ok(inv) = bt.inverse() {
-                    return inv;
-                }
-                nu_eff = if nu_eff <= floor { floor } else { nu_eff * T::TWO };
-            }
-            panic!("B_{{t+1}} never became SPD (η = {eta}, ν = {nu})");
-        });
-    }
-
-    ParallelRoundOutput {
-        selected,
-        eta,
-        timer,
-    }
+    Executor::new(comm, shard).round(z_local, budget, eta, EigSolver::Exact)
 }
 
 /// Convenience: run the full distributed Approx-FIRAL (RELAX then ROUND)
@@ -490,145 +56,8 @@ pub fn parallel_approx_firal<T: CommScalar>(
     eta: T,
 ) -> Vec<usize> {
     let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
-    let relax = parallel_relax(comm, &shard, budget, config);
-    let round = parallel_round(comm, &shard, &relax.z_local, budget, eta);
-    round.selected
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use firal_comm::{launch, SelfComm};
-
-    fn tiny_problem(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<f64> {
-        let ds = firal_data::SyntheticConfig::new(c, d)
-            .with_pool_size(n)
-            .with_initial_per_class(2)
-            .with_seed(seed)
-            .generate::<f64>();
-        let model =
-            firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
-                .unwrap();
-        SelectionProblem::new(
-            ds.pool_features.clone(),
-            model.class_probs_cm1(&ds.pool_features),
-            ds.initial_features.clone(),
-            model.class_probs_cm1(&ds.initial_features),
-            c,
-        )
-    }
-
-    #[test]
-    fn sharding_partitions_the_pool() {
-        let p = tiny_problem(1, 25, 3, 3);
-        let mut total = 0;
-        for r in 0..4 {
-            let s = ShardedProblem::shard(&p, r, 4);
-            total += s.local_n();
-            assert_eq!(s.global_n, 25);
-            // Shard rows match the global panel.
-            for i in 0..s.local_n() {
-                assert_eq!(s.local_x.row(i), p.pool_x.row(s.offset + i));
-            }
-        }
-        assert_eq!(total, 25);
-    }
-
-    #[test]
-    fn single_rank_matches_serial_relax() {
-        let p = tiny_problem(2, 40, 3, 3);
-        let cfg = RelaxConfig {
-            seed: 9,
-            ..Default::default()
-        };
-        let serial = crate::relax::fast_relax(&p, 5, &cfg);
-        let comm = SelfComm::new();
-        let shard = ShardedProblem::shard(&p, 0, 1);
-        let par = parallel_relax(&comm, &shard, 5, &cfg);
-        assert_eq!(par.z_diamond.len(), 40);
-        for (a, b) in par.z_diamond.iter().zip(serial.z_diamond.iter()) {
-            assert!(
-                (a - b).abs() < 1e-10,
-                "p=1 parallel should match serial: {a} vs {b}"
-            );
-        }
-    }
-
-    #[test]
-    fn multi_rank_relax_agrees_with_serial() {
-        let p = tiny_problem(3, 30, 3, 3);
-        let cfg = RelaxConfig {
-            seed: 4,
-            cg_tol: 1e-8,
-            probes: 20,
-            ..Default::default()
-        };
-        let serial = crate::relax::fast_relax(&p, 4, &cfg);
-        for procs in [2usize, 3] {
-            let problem = p.clone();
-            let config = cfg;
-            let results = launch(procs, move |comm| {
-                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                parallel_relax(comm, &shard, 4, &config).z_diamond
-            });
-            for z in &results {
-                assert_eq!(z.len(), 30);
-                for (a, b) in z.iter().zip(serial.z_diamond.iter()) {
-                    assert!(
-                        (a - b).abs() < 1e-6 * b.abs().max(1e-3),
-                        "p={procs}: {a} vs serial {b}"
-                    );
-                }
-            }
-            // All ranks assembled the identical z.
-            for z in &results[1..] {
-                assert_eq!(z, &results[0]);
-            }
-        }
-    }
-
-    #[test]
-    fn multi_rank_round_matches_serial_selection() {
-        let p = tiny_problem(5, 24, 3, 3);
-        let b = 4;
-        let z: Vec<f64> = (0..24).map(|i| (1.0 + (i % 5) as f64) / 24.0).collect();
-        let eta = 8.0 * (p.ehat() as f64).sqrt();
-        let serial = crate::round::diag_round(&p, &z, b, eta);
-        for procs in [1usize, 2, 3] {
-            let problem = p.clone();
-            let zc = z.clone();
-            let results = launch(procs, move |comm| {
-                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                let local_z =
-                    zc[shard.offset..shard.offset + shard.local_n()].to_vec();
-                parallel_round(comm, &shard, &local_z, b, eta).selected
-            });
-            for sel in &results {
-                assert_eq!(
-                    sel, &serial.selected,
-                    "p={procs} selection diverged from serial"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn full_parallel_pipeline_selects_valid_batch() {
-        let p = tiny_problem(6, 36, 4, 3);
-        let eta = 8.0 * (p.ehat() as f64).sqrt();
-        let results = launch(3, move |comm| {
-            parallel_approx_firal(comm, &p, 6, &RelaxConfig::default(), eta)
-        });
-        for sel in &results {
-            assert_eq!(sel.len(), 6);
-            let mut sorted = sel.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(sorted.len(), 6, "duplicates: {sel:?}");
-        }
-        // Rank-independent result.
-        for sel in &results[1..] {
-            assert_eq!(sel, &results[0]);
-        }
-    }
+    let exec = Executor::new(comm, &shard);
+    let relax = exec.relax(budget, config);
+    exec.round(&relax.z_local, budget, eta, EigSolver::Exact)
+        .selected
 }

@@ -29,9 +29,17 @@ impl<T: Scalar> SelectionProblem<T> {
         num_classes: usize,
     ) -> Self {
         assert_eq!(pool_x.rows(), pool_h.rows(), "pool panels disagree");
-        assert_eq!(labeled_x.rows(), labeled_h.rows(), "labeled panels disagree");
+        assert_eq!(
+            labeled_x.rows(),
+            labeled_h.rows(),
+            "labeled panels disagree"
+        );
         assert_eq!(pool_x.cols(), labeled_x.cols(), "feature dims disagree");
-        assert_eq!(pool_h.cols(), num_classes - 1, "pool_h must have c-1 columns");
+        assert_eq!(
+            pool_h.cols(),
+            num_classes - 1,
+            "pool_h must have c-1 columns"
+        );
         assert_eq!(
             labeled_h.cols(),
             num_classes - 1,

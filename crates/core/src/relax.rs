@@ -1,27 +1,21 @@
-//! Fast RELAX solver (Algorithm 2).
+//! Fast RELAX solver (Algorithm 2) — serial entry point.
 //!
-//! Replaces Exact-FIRAL's dense gradient with the four ingredients of
-//! §III-A: Hutchinson trace estimation (Eq. 12), matrix-free Hessian
-//! matvecs (Lemma 2), preconditioned CG on `Σ_z W = V`, and the
-//! block-Jacobi preconditioner `B(Σ_z)^{-1}` (Definition 1). Per
-//! mirror-descent iteration:
-//!
-//! 1. draw an `ê × s` Rademacher panel `V`;
-//! 2. build `B(Σ_z)` (one fused pass over pool + labeled panels) and factor
-//!    it per block — *Setup B(Σz)⁻¹* in the paper's timing breakdown;
-//! 3. `W ← Σ_z^{-1} V` (preconditioned CG), `W ← H_p W`, `W ← Σ_z^{-1} W`;
-//! 4. `g_i ← -(1/s) Σ_j v_jᵀ H_i w_j` via two tall GEMMs;
-//! 5. entropic mirror-descent update, objective tracked with a Hutchinson
-//!    estimate of `Tr(Σ_z^{-1} H_p)` and the paper's 1e-4 stopping rule.
+//! The four ingredients of §III-A — Hutchinson trace estimation (Eq. 12),
+//! matrix-free Hessian matvecs (Lemma 2), preconditioned CG on
+//! `Σ_z W = V`, and the block-Jacobi preconditioner `B(Σ_z)^{-1}`
+//! (Definition 1) — are implemented **once**, communicator-generically, in
+//! [`crate::exec::Executor::relax`]. This module is the `p = 1`
+//! instantiation: it runs that same code over [`firal_comm::SelfComm`]
+//! (every collective a no-op) on the trivial full shard, which is exactly
+//! the paper's observation that the serial algorithm *is* the SPMD
+//! algorithm at one rank.
 
-use firal_linalg::{Matrix, Scalar};
-use firal_solvers::{cg_solve_panel, rademacher_panel, CgConfig, CgTelemetry, LinearOperator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use firal_comm::{CommScalar, SelfComm};
+use firal_solvers::CgTelemetry;
 
 use crate::config::RelaxConfig;
 use crate::exact::RelaxTelemetry;
-use crate::hessian::{hutchinson_gradients, BlockJacobi, PoolHessian, SigmaZ};
+use crate::exec::{Executor, ShardedProblem};
 use crate::problem::SelectionProblem;
 use crate::timing::PhaseTimer;
 
@@ -42,137 +36,21 @@ pub struct RelaxOutput<T> {
     pub total_cg_iters: usize,
 }
 
-/// Run Algorithm 2. Returns `z⋄` with `‖z⋄‖₁ = b`.
-pub fn fast_relax<T: Scalar>(
+/// Run Algorithm 2 on one rank. Returns `z⋄` with `‖z⋄‖₁ = b`.
+pub fn fast_relax<T: CommScalar>(
     problem: &SelectionProblem<T>,
     budget: usize,
     config: &RelaxConfig<T>,
 ) -> RelaxOutput<T> {
-    let n = problem.pool_size();
-    let ehat = problem.ehat();
-    let b = T::from_usize(budget);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    let mut timer = PhaseTimer::new();
-    let mut z = vec![T::ONE / T::from_usize(n); n];
-    let mut telemetry = RelaxTelemetry {
-        objective_history: Vec::new(),
-        iterations: 0,
-        converged: false,
-    };
-    let mut first_cg: Vec<CgTelemetry<T>> = Vec::new();
-    let mut total_cg_iters = 0usize;
-
-    let cg_cfg = CgConfig {
-        rel_tol: config.cg_tol,
-        max_iter: config.cg_max_iter,
-    };
-
-    // B(H_o) is weight-independent: build once outside the loop.
-    let ho = PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h);
-    let bho = timer.time("precond", || ho.block_diagonal());
-    let hp = PoolHessian::unweighted(&problem.pool_x, &problem.pool_h);
-
-    for t in 1..=config.md.max_iters {
-        telemetry.iterations = t;
-
-        // Line 4: fresh Rademacher panel each iteration.
-        let v: Matrix<T> = rademacher_panel(ehat, config.probes, &mut rng);
-
-        // Gradients are evaluated at the feasible point b·z of Eq. 5 (z
-        // itself stays on the unit simplex for the multiplicative update).
-        let zb: Vec<T> = z.iter().map(|&v| v * b).collect();
-        let hz = PoolHessian::weighted(&problem.pool_x, &problem.pool_h, zb.clone());
-        let sigma = SigmaZ::new(
-            PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h),
-            hz,
-        );
-
-        // Line 5: B(Σ_z) = B(H_o) + B(H_{b·z}), factored per block.
-        let prec = timer.time("precond", || {
-            let mut bsz = sigma.hz.block_diagonal();
-            bsz.add_scaled(T::ONE, &bho);
-            if config.ridge > T::ZERO {
-                BlockJacobi::new_with_ridge(&bsz, config.ridge)
-            } else {
-                BlockJacobi::new(&bsz).or_else(|_| {
-                    // Lazy ridge fallback for numerically semidefinite blocks.
-                    BlockJacobi::new_with_ridge(&bsz, T::from_f64(1e-8))
-                })
-            }
-            .expect("preconditioner factorization failed")
-        });
-
-        // Line 6: W ← Σ_z⁻¹ V.
-        let (w1, tel1) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &v, &cg_cfg));
-        total_cg_iters += tel1.iter().map(|t| t.iterations).sum::<usize>();
-        if t == 1 {
-            first_cg = tel1;
-        }
-
-        // Line 7: W ← H_p W (plus H_p·V for the objective estimate).
-        let w2 = timer.time("matvec", || hp.apply_panel(&w1));
-        let hpv = timer.time("matvec", || hp.apply_panel(&v));
-
-        // Line 8: W ← Σ_z⁻¹ W.
-        let (w3, tel2) = timer.time("cg", || cg_solve_panel(&sigma, &prec, &w2, &cg_cfg));
-        total_cg_iters += tel2.iter().map(|t| t.iterations).sum::<usize>();
-
-        // Line 9: g_i ← -(1/s) Σ_j v_jᵀ H_i w_j.
-        let g = timer.time("gradient", || {
-            hutchinson_gradients(&problem.pool_x, &problem.pool_h, &v, &w3)
-        });
-
-        // Lines 10–11: multiplicative update + simplex normalization, with
-        // a √t-decaying magnitude-normalized step (see DESIGN.md).
-        timer.time("other", || {
-            let mut max_abs = T::ZERO;
-            for &gi in &g {
-                max_abs = max_abs.maxv(gi.abs());
-            }
-            let beta = config.md.beta0 / T::from_usize(t).sqrt() / max_abs.maxv(T::MIN_POSITIVE);
-            let mut total = T::ZERO;
-            for (zi, &gi) in z.iter_mut().zip(g.iter()) {
-                // Gradients enter negated: g here is +(1/s)Σvᵀ H w, and the
-                // objective gradient is its negation, so ascent on g.
-                *zi *= (beta * gi).exp();
-                total += *zi;
-            }
-            for zi in z.iter_mut() {
-                *zi /= total;
-            }
-        });
-
-        // Objective estimate f ≈ (1/s) Σ_j (Σ⁻¹v_j)ᵀ(H_p v_j) and stopping
-        // rule (relative change < config.md.obj_rel_tol).
-        let f_est = timer.time("other", || {
-            let mut acc = T::ZERO;
-            for j in 0..config.probes {
-                let mut col = T::ZERO;
-                for i in 0..ehat {
-                    col += w1[(i, j)] * hpv[(i, j)];
-                }
-                acc += col;
-            }
-            acc / T::from_usize(config.probes)
-        });
-        if let Some(&prev) = telemetry.objective_history.last() {
-            if ((f_est - prev) / prev.abs().maxv(T::MIN_POSITIVE)).abs() < config.md.obj_rel_tol {
-                telemetry.objective_history.push(f_est);
-                telemetry.converged = true;
-                break;
-            }
-        }
-        telemetry.objective_history.push(f_est);
-    }
-
-    let z_diamond: Vec<T> = z.iter().map(|&v| v * b).collect();
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(problem);
+    let run = Executor::serial(&comm, &shard).relax(budget, config);
     RelaxOutput {
-        z_diamond,
-        telemetry,
-        first_cg,
-        timer,
-        total_cg_iters,
+        z_diamond: run.z_diamond,
+        telemetry: run.telemetry,
+        first_cg: run.first_cg,
+        timer: run.timer,
+        total_cg_iters: run.total_cg_iters,
     }
 }
 
@@ -181,6 +59,11 @@ mod tests {
     use super::*;
     use crate::config::MirrorDescentConfig;
     use crate::exact::exact_relax;
+    use crate::hessian::{BlockJacobi, PoolHessian, SigmaZ};
+    use firal_linalg::Matrix;
+    use firal_solvers::{cg_solve_panel, rademacher_panel, CgConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tiny_problem(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<f64> {
         let ds = firal_data::SyntheticConfig::new(c, d)

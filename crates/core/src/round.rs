@@ -1,25 +1,29 @@
-//! Diagonal ROUND solver (Algorithm 3).
+//! Diagonal ROUND solver (Algorithm 3) — serial entry points and the
+//! shared per-iteration kernels.
 //!
-//! Keeps only the `d × d` block diagonals of every Fisher matrix
-//! (Definition 1), which makes the FTRL iteration closed-form:
+//! The FTRL iteration itself is implemented **once**, communicator-
+//! generically, in [`crate::exec::Executor::round`]; [`diag_round`] and
+//! friends instantiate it over [`firal_comm::SelfComm`] on the trivial full
+//! shard. This module keeps the pieces both the serial wrappers and the
+//! unified solver share:
 //!
-//! * the Sherman–Morrison identity of Lemma 3 turns the per-candidate
-//!   objective of Eq. 9 into the rational score of Eq. 17 (note: the
-//!   published Eq. 17 prints `(Σ⋄)_k^{-1}` in the numerator; the derivation
-//!   in Eqs. 18–20 shows the factor is `(Σ⋄)_k` — we implement the derived
-//!   form and cross-check it against the dense trace objective in tests);
-//! * the FTRL matrix update is per-block:
-//!   `B_{t+1,k} = ν_{t+1}(Σ⋄)_k + η(H)_k + (η/b)(H_o)_k` (Line 11);
-//! * `ν_{t+1}` comes from bisection over the *generalized* eigenvalues of
-//!   `(H)_k` w.r.t. `(Σ⋄)_k` — exactly the spectrum of `(H̃)_k` (Line 9).
+//! * the Eq. 17 rational score ([`round_scores`]) — the Sherman–Morrison
+//!   identity of Lemma 3 applied to the per-candidate objective of Eq. 9
+//!   (note: the published Eq. 17 prints `(Σ⋄)_k^{-1}` in the numerator; the
+//!   derivation in Eqs. 18–20 shows the factor is `(Σ⋄)_k` — we implement
+//!   the derived form and cross-check it against the dense trace objective
+//!   in tests);
+//! * the Line-9 eigensolver choice ([`EigSolver`]) with its Lanczos
+//!   machinery ([`WhitenedBlock`], [`pad_spectrum`]);
+//! * the η-selection criterion of §IV-A ([`selection_min_eig`]).
 //!
 //! Storage is `O(n(d+c) + cd²)` and compute `O(bncd²)` (Table II).
 
-use firal_linalg::{eigvalsh, BlockDiag, Cholesky, Matrix, Scalar};
-use firal_solvers::{lanczos_spectrum, solve_nu, LinearOperator};
-use rand::SeedableRng;
+use firal_comm::{CommScalar, SelfComm};
+use firal_linalg::{BlockDiag, Cholesky, Matrix, Scalar};
+use firal_solvers::LinearOperator;
 
-use crate::hessian::PoolHessian;
+use crate::exec::{Executor, ShardedProblem};
 use crate::problem::SelectionProblem;
 use crate::timing::PhaseTimer;
 
@@ -45,15 +49,15 @@ pub enum EigSolver {
 /// Stretch `k` Ritz values into a surrogate for a `d`-point spectrum by
 /// proportional repetition (a piecewise-constant spectral density), so the
 /// `Σ_j (ν+ηλ_j)^{-2} = 1` bisection sees the right measure.
-fn pad_spectrum<T: Scalar>(ritz: &[T], d: usize) -> Vec<T> {
+pub(crate) fn pad_spectrum<T: Scalar>(ritz: &[T], d: usize) -> Vec<T> {
     assert!(!ritz.is_empty());
     (0..d).map(|i| ritz[i * ritz.len() / d]).collect()
 }
 
 /// Matrix-free whitened block operator `C = L⁻¹ H L⁻ᵀ` for Lanczos.
-struct WhitenedBlock<'a, T: Scalar> {
-    h: &'a Matrix<T>,
-    chol: &'a Cholesky<T>,
+pub(crate) struct WhitenedBlock<'a, T: Scalar> {
+    pub(crate) h: &'a Matrix<T>,
+    pub(crate) chol: &'a Cholesky<T>,
 }
 
 impl<T: Scalar> LinearOperator<T> for WhitenedBlock<'_, T> {
@@ -81,6 +85,7 @@ pub struct RoundOutput<T> {
 /// Per-candidate scores for one ROUND iteration (Eq. 17, derived form):
 /// `score_i = Σ_k g_ik · x_iᵀ B_k⁻¹ (Σ⋄)_k B_k⁻¹ x_i / (1 + η g_ik x_iᵀ B_k⁻¹ x_i)`
 /// with `g_ik = h_ik(1-h_ik)`. Batched per block with two `n×d` GEMMs.
+/// `pool_x`/`gik` may be one rank's shard — the kernel is purely local.
 pub(crate) fn round_scores<T: Scalar>(
     pool_x: &Matrix<T>,
     gik: &Matrix<T>,
@@ -89,7 +94,6 @@ pub(crate) fn round_scores<T: Scalar>(
     eta: T,
 ) -> Vec<T> {
     let n = pool_x.rows();
-    let d = pool_x.cols();
     let cm1 = b_inv.nblocks();
     let mut scores = vec![T::ZERO; n];
     for k in 0..cm1 {
@@ -110,13 +114,12 @@ pub(crate) fn round_scores<T: Scalar>(
             let g = gik[(i, k)];
             scores[i] += g * q2 / (T::ONE + eta * g * q1);
         }
-        let _ = d;
     }
     scores
 }
 
 /// Run Algorithm 3 with a fixed η and the exact per-block eigensolver.
-pub fn diag_round<T: Scalar>(
+pub fn diag_round<T: CommScalar>(
     problem: &SelectionProblem<T>,
     z_diamond: &[T],
     budget: usize,
@@ -126,215 +129,56 @@ pub fn diag_round<T: Scalar>(
 }
 
 /// Run Algorithm 3 with a fixed η and a configurable Line-9 eigensolver.
-pub fn diag_round_with_eig<T: Scalar>(
+pub fn diag_round_with_eig<T: CommScalar>(
     problem: &SelectionProblem<T>,
     z_diamond: &[T],
     budget: usize,
     eta: T,
     eig: EigSolver,
 ) -> RoundOutput<T> {
-    let n = problem.pool_size();
-    let d = problem.dim();
-    let cm1 = problem.nblocks();
-    let ehat = problem.ehat();
-    assert!(budget <= n, "cannot select more points than the pool holds");
-    let binv = T::ONE / T::from_usize(budget);
-    let mut timer = PhaseTimer::new();
-
-    // Line 3: block diagonals of Σ⋄ = H_o + H_{z⋄} and of H_o.
-    let (sigma, bho) = timer.time("other", || {
-        let bho = PoolHessian::unweighted(&problem.labeled_x, &problem.labeled_h).block_diagonal();
-        let mut sigma =
-            PoolHessian::weighted(&problem.pool_x, &problem.pool_h, z_diamond.to_vec())
-                .block_diagonal();
-        sigma.add_scaled(T::ONE, &bho);
-        (sigma, bho)
-    });
-
-    // Cholesky of each (Σ⋄)_k — reused for every generalized eigensolve.
-    let sigma_chol: Vec<Cholesky<T>> = timer.time("other", || {
-        sigma
-            .blocks()
-            .iter()
-            .map(|blk| {
-                Cholesky::new(blk).or_else(|_| Cholesky::new_with_ridge(blk, T::from_f64(1e-8)))
-            })
-            .collect::<firal_linalg::Result<Vec<_>>>()
-            .expect("Σ⋄ blocks must be SPD")
-    });
-
-    // Line 4: B₁ = √ê·Σ⋄ + (η/b)·H_o, inverted per block.
-    let mut b_inv = timer.time("other", || {
-        let mut b1 = sigma.clone();
-        let sqrt_ehat = T::from_usize(ehat).sqrt();
-        for k in 0..cm1 {
-            b1.block_mut(k).scale_inplace(sqrt_ehat);
-            b1.block_mut(k).add_scaled(eta * binv, bho.block(k));
-        }
-        b1.inverse().expect("B₁ blocks must be SPD")
-    });
-
-    // g_ik = h_ik (1 - h_ik) for every pool point.
-    let gik = {
-        let mut g = Matrix::zeros(n, cm1);
-        for i in 0..n {
-            let hrow = problem.pool_h.row(i);
-            let grow = g.row_mut(i);
-            for k in 0..cm1 {
-                grow[k] = hrow[k] * (T::ONE - hrow[k]);
-            }
-        }
-        g
-    };
-
-    // Line 5: (H)_k ← 0.
-    let mut h_acc = BlockDiag::<T>::zeros(cm1, d);
-    let mut selected = Vec::with_capacity(budget);
-    let mut taken = vec![false; n];
-
-    for _t in 0..budget {
-        // Line 7: argmax of Eq. 17 over unselected candidates.
-        let scores = timer.time("objective", || {
-            round_scores(&problem.pool_x, &gik, &b_inv, &sigma, eta)
-        });
-        let mut best = (T::from_f64(f64::NEG_INFINITY), usize::MAX);
-        for (i, &s) in scores.iter().enumerate() {
-            if !taken[i] && s > best.0 {
-                best = (s, i);
-            }
-        }
-        let it = best.1;
-        assert!(it != usize::MAX, "ROUND ran out of candidates");
-        taken[it] = true;
-        selected.push(it);
-
-        // Line 8: (H)_k += (1/b)(H_o)_k + g_{i_t,k} x_{i_t} x_{i_t}ᵀ.
-        timer.time("other", || {
-            h_acc.add_scaled(binv, &bho);
-            let gammas: Vec<T> = (0..cm1).map(|k| gik[(it, k)]).collect();
-            h_acc.rank_one_update(&gammas, problem.pool_x.row(it));
-        });
-
-        // Line 9: eigenvalues of (H̃)_k = (Σ⋄)_k^{-1/2}(H)_k(Σ⋄)_k^{-1/2},
-        // i.e. generalized eigenvalues via the cached Cholesky factors.
-        let lambdas = timer.time("eig", || {
-            let mut all = Vec::with_capacity(cm1 * d);
-            for k in 0..cm1 {
-                let ch = &sigma_chol[k];
-                match eig {
-                    EigSolver::Exact => {
-                        // C = L⁻¹ (H)_k L⁻ᵀ
-                        let hk = h_acc.block(k);
-                        // First solve L Y = Hᵀ (column-wise forward
-                        // substitution), then again on the rows:
-                        // Z = L⁻¹ H L⁻ᵀ.
-                        let mut y = Matrix::zeros(d, d);
-                        for j in 0..d {
-                            let col = ch.solve_l(&hk.col(j));
-                            y.set_col(j, &col);
-                        }
-                        let mut c = Matrix::zeros(d, d);
-                        for j in 0..d {
-                            let col = ch.solve_l(&y.row(j).to_vec());
-                            c.set_col(j, &col);
-                        }
-                        c.symmetrize();
-                        all.extend(eigvalsh(&c).expect("generalized eigensolve"));
-                    }
-                    EigSolver::Lanczos { steps } => {
-                        let op = WhitenedBlock {
-                            h: h_acc.block(k),
-                            chol: ch,
-                        };
-                        let mut rng = rand::rngs::StdRng::seed_from_u64(
-                            (k as u64) << 32 | selected.len() as u64,
-                        );
-                        let ritz = lanczos_spectrum(&op, steps.min(d), &mut rng);
-                        all.extend(pad_spectrum(&ritz.ritz_values, d));
-                    }
-                }
-            }
-            all
-        });
-
-        // Line 10: ν_{t+1} from Σ_{k,j}(ν + ηλ)^{-2} = 1.
-        let nu = timer.time("other", || solve_nu(&lambdas, eta));
-
-        // Line 11: B_{t+1} = ν·Σ⋄ + η·(H) + (η/b)·H_o, inverted per block.
-        // With an approximate (Lanczos) spectrum, ν can come out too small
-        // for positive definiteness; back off by growing ν geometrically —
-        // a conservative FTRL regularizer is always admissible.
-        b_inv = timer.time("other", || {
-            let mut nu_eff = nu;
-            let floor = T::from_usize(ehat).sqrt() * T::from_f64(1e-3);
-            for _attempt in 0..60 {
-                let mut bt = sigma.clone();
-                for k in 0..cm1 {
-                    bt.block_mut(k).scale_inplace(nu_eff);
-                    bt.block_mut(k).add_scaled(eta, h_acc.block(k));
-                    bt.block_mut(k).add_scaled(eta * binv, bho.block(k));
-                }
-                if let Ok(inv) = bt.inverse() {
-                    return inv;
-                }
-                nu_eff = if nu_eff <= floor {
-                    floor
-                } else {
-                    nu_eff * T::TWO
-                };
-            }
-            panic!("B_{{t+1}} never became SPD (η = {eta}, ν = {nu})");
-        });
-    }
-
+    assert_eq!(z_diamond.len(), problem.pool_size(), "z length mismatch");
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(problem);
+    let run = Executor::serial(&comm, &shard).round(z_diamond, budget, eta, eig);
     RoundOutput {
-        selected,
-        eta,
-        timer,
+        selected: run.selected,
+        eta: run.eta,
+        timer: run.timer,
     }
 }
 
 /// The paper's η-selection criterion (§IV-A): the smallest block eigenvalue
-/// of the selected points' Hessian sum, `min_k λ_min(Σ_{i∈sel} g_ik x_ix_iᵀ)`.
-pub fn selection_min_eig<T: Scalar>(problem: &SelectionProblem<T>, selected: &[usize]) -> T {
-    let d = problem.dim();
-    let cm1 = problem.nblocks();
-    let mut acc = BlockDiag::<T>::zeros(cm1, d);
-    for &i in selected {
-        let hrow = problem.pool_h.row(i);
-        let gammas: Vec<T> = (0..cm1).map(|k| hrow[k] * (T::ONE - hrow[k])).collect();
-        acc.rank_one_update(&gammas, problem.pool_x.row(i));
-    }
-    acc.min_block_eigenvalue().expect("eigenvalues of selection")
+/// of the selected points' Hessian sum, `min_k λ_min(Σ_{i∈sel} g_ik x_ix_iᵀ)`
+/// — the `p = 1` instantiation of [`Executor::selection_min_eig`].
+pub fn selection_min_eig<T: CommScalar>(problem: &SelectionProblem<T>, selected: &[usize]) -> T {
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(problem);
+    Executor::serial(&comm, &shard).selection_min_eig(selected)
 }
 
 /// Run ROUND for every η in `grid · √ê` and keep the run maximizing
 /// [`selection_min_eig`] — "we execute the ROUND step with different η
 /// values, and then select the one that maximizes min_k λ_min(H)_k" (§IV-A).
-pub fn select_eta<T: Scalar>(
+pub fn select_eta<T: CommScalar>(
     problem: &SelectionProblem<T>,
     z_diamond: &[T],
     budget: usize,
     grid: &[T],
 ) -> RoundOutput<T> {
-    assert!(!grid.is_empty(), "η grid must be non-empty");
-    let scale = T::from_usize(problem.ehat()).sqrt();
-    let mut best: Option<(T, RoundOutput<T>)> = None;
-    for &mult in grid {
-        let out = diag_round(problem, z_diamond, budget, mult * scale);
-        let crit = selection_min_eig(problem, &out.selected);
-        match &best {
-            Some((c, _)) if *c >= crit => {}
-            _ => best = Some((crit, out)),
-        }
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(problem);
+    let run = Executor::serial(&comm, &shard).select_eta(z_diamond, budget, grid);
+    RoundOutput {
+        selected: run.selected,
+        eta: run.eta,
+        timer: run.timer,
     }
-    best.expect("grid produced no result").1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hessian::dense_hessian;
+    use crate::hessian::{dense_hessian, PoolHessian};
 
     fn tiny_problem(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<f64> {
         let ds = firal_data::SyntheticConfig::new(c, d)
@@ -373,15 +217,13 @@ mod tests {
         // trace objective r_i = Tr[(B_t + ηH_i^{bd})⁻¹ Σ⋄] at t = 1.
         let p = tiny_problem(2, 12, 3, 3);
         let n = p.pool_size();
-        let d = p.dim();
         let cm1 = p.nblocks();
         let ehat = p.ehat();
         let eta = 4.0 * (ehat as f64).sqrt();
         let z = vec![3.0 / n as f64; n];
 
         let bho = PoolHessian::unweighted(&p.labeled_x, &p.labeled_h).block_diagonal();
-        let mut sigma =
-            PoolHessian::weighted(&p.pool_x, &p.pool_h, z.clone()).block_diagonal();
+        let mut sigma = PoolHessian::weighted(&p.pool_x, &p.pool_h, z.clone()).block_diagonal();
         sigma.add_scaled(1.0, &bho);
         // B₁ = √ê Σ⋄ + (η/3) H_o
         let mut b1 = sigma.clone();
@@ -422,7 +264,6 @@ mod tests {
                 scores[i]
             );
         }
-        let _ = d;
     }
 
     #[test]
@@ -505,6 +346,35 @@ mod tests {
         assert_eq!(padded[8], 9.0);
         // Monotone non-decreasing.
         assert!(padded.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pad_spectrum_single_ritz_value_floods_the_spectrum() {
+        // k = 1: the density surrogate is a point mass — every padded entry
+        // is the lone Ritz value.
+        let padded = pad_spectrum(&[2.5f64], 6);
+        assert_eq!(padded, vec![2.5; 6]);
+    }
+
+    #[test]
+    fn pad_spectrum_full_krylov_is_identity() {
+        // k = d: proportional repetition reduces to the identity, so an
+        // exact Krylov spectrum passes through untouched.
+        let ritz = vec![0.5f64, 1.0, 2.0, 4.0];
+        assert_eq!(pad_spectrum(&ritz, 4), ritz);
+    }
+
+    #[test]
+    fn pad_spectrum_more_ritz_values_than_dims_subsamples_monotonically() {
+        // k > d (possible when a caller does not clamp the Krylov
+        // dimension): the padding must subsample without going out of
+        // bounds, keep the extreme values' order, and stay monotone.
+        let ritz = vec![1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let padded = pad_spectrum(&ritz, 3);
+        assert_eq!(padded.len(), 3);
+        assert_eq!(padded[0], ritz[0]);
+        assert!(padded.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*padded.last().unwrap() <= *ritz.last().unwrap());
     }
 
     #[test]

@@ -2,15 +2,15 @@
 //! Random, K-Means (k = b), Entropy, Exact-FIRAL and Approx-FIRAL.
 
 use firal_cluster::{kmeans, nearest_to_centroids, KMeansConfig};
+use firal_comm::{CommScalar, SelfComm};
 use firal_linalg::{Matrix, Scalar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{FiralConfig, MirrorDescentConfig, RoundConfig};
 use crate::exact::{exact_relax, exact_round};
+use crate::exec::{Executor, ShardedProblem};
 use crate::problem::SelectionProblem;
-use crate::relax::fast_relax;
-use crate::round::{diag_round, select_eta};
 
 /// Selection failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,7 +163,11 @@ impl<T: Scalar> Strategy<T> for EntropyStrategy {
         check_budget(problem, budget)?;
         let ent = Self::entropies(&problem.pool_h);
         let mut idx: Vec<usize> = (0..problem.pool_size()).collect();
-        idx.sort_by(|&a, &b| ent[b].partial_cmp(&ent[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            ent[b]
+                .partial_cmp(&ent[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx.truncate(budget);
         Ok(idx)
     }
@@ -188,7 +192,7 @@ impl<T: Scalar> Default for ExactFiral<T> {
     }
 }
 
-impl<T: Scalar> Strategy<T> for ExactFiral<T> {
+impl<T: CommScalar> Strategy<T> for ExactFiral<T> {
     fn name(&self) -> &'static str {
         "Exact-FIRAL"
     }
@@ -236,7 +240,7 @@ impl<T: Scalar> ApproxFiral<T> {
     }
 }
 
-impl<T: Scalar> Strategy<T> for ApproxFiral<T> {
+impl<T: CommScalar> Strategy<T> for ApproxFiral<T> {
     fn name(&self) -> &'static str {
         "Approx-FIRAL"
     }
@@ -248,19 +252,15 @@ impl<T: Scalar> Strategy<T> for ApproxFiral<T> {
         seed: u64,
     ) -> Result<Vec<usize>, SelectError> {
         check_budget(problem, budget)?;
-        let mut relax_cfg = self.config.relax;
-        relax_cfg.seed = relax_cfg.seed.wrapping_add(seed);
-        let relax = fast_relax(problem, budget, &relax_cfg);
-        let out = match self.config.round.eta {
-            Some(eta) => diag_round(problem, &relax.z_diamond, budget, eta),
-            None => select_eta(
-                problem,
-                &relax.z_diamond,
-                budget,
-                &self.config.round.eta_grid,
-            ),
-        };
-        Ok(out.selected)
+        // The serial strategy is the p = 1 instantiation of the unified
+        // execution layer: SelfComm collectives are no-ops and the shard is
+        // the whole pool.
+        let mut config = self.config.clone();
+        config.relax.seed = config.relax.seed.wrapping_add(seed);
+        let comm = SelfComm::new();
+        let shard = ShardedProblem::replicate(problem);
+        let (_, round) = Executor::serial(&comm, &shard).approx_firal(budget, &config);
+        Ok(round.selected)
     }
 }
 
@@ -306,7 +306,9 @@ mod tests {
             Box::new(ExactFiral::default()),
         ];
         for s in &strategies {
-            let sel = s.select(&p, 5, 42).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            let sel = s
+                .select(&p, 5, 42)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             assert_valid_selection(&sel, 5, 60);
         }
     }
@@ -317,7 +319,10 @@ mod tests {
         let err = Strategy::<f64>::select(&RandomStrategy, &p, 100, 0);
         assert!(matches!(
             err,
-            Err(SelectError::BudgetTooLarge { budget: 100, pool: 60 })
+            Err(SelectError::BudgetTooLarge {
+                budget: 100,
+                pool: 60
+            })
         ));
     }
 

@@ -1,80 +1,89 @@
-//! Property-based tests for the paper's mathematical identities on
-//! randomized inputs:
+//! Property-style tests for the paper's mathematical identities on seeded
+//! randomized inputs (deterministic stand-in for the original proptest
+//! suite, which needs crates.io):
 //!
-//! * Lemma 2  — the matrix-free matvec equals the dense `G⊗xxᵀ` action;
-//! * Eq. 14   — the fused block-diagonal build equals Definition 1 applied
-//!              to the dense operator;
-//! * Lemma 3  — the per-block Sherman–Morrison inverse equals the dense
-//!              block inverse after a rank-one `γ_k·xxᵀ` update;
-//! * Prop. 4  — the Eq. 17 score is an affine transform of the block-diag
-//!              trace objective (so their argext agree);
+//! * Lemma 2 — the matrix-free matvec equals the dense `G⊗xxᵀ` action;
+//! * Eq. 14 — the fused block-diagonal build equals Definition 1 applied
+//!   to the dense operator;
+//! * Lemma 3 — the per-block Sherman–Morrison inverse equals the dense
+//!   block inverse after a rank-one `γ_k·xxᵀ` update;
+//! * Prop. 4 — the Eq. 17 score is an affine transform of the block-diag
+//!   trace objective (so their argext agree);
 //! * mirror descent preserves the simplex.
 
 use firal_core::hessian::{dense_hessian, fast_matvec, PoolHessian};
 use firal_linalg::{BlockDiag, Cholesky, Matrix};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 32;
+
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
 
 /// A valid `c-1` probability vector: positive entries with sum < 1.
-fn probs_strategy(cm1: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.05f64..1.0, cm1 + 1).prop_map(move |raw| {
-        let total: f64 = raw.iter().sum();
-        raw[..cm1].iter().map(|v| v / total).collect()
-    })
+fn random_probs(rng: &mut StdRng, cm1: usize) -> Vec<f64> {
+    let raw: Vec<f64> = (0..cm1 + 1).map(|_| uniform(rng, 0.05, 1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    raw[..cm1].iter().map(|v| v / total).collect()
 }
 
-fn point_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1.5f64..1.5, d)
+fn random_point(rng: &mut StdRng, d: usize) -> Vec<f64> {
+    (0..d).map(|_| uniform(rng, -1.5, 1.5)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lemma2_fast_matvec_equals_dense(
-        x in point_strategy(5),
-        h in probs_strategy(3),
-        v in proptest::collection::vec(-1.0f64..1.0, 15),
-    ) {
+#[test]
+fn lemma2_fast_matvec_equals_dense() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + case);
+        let x = random_point(&mut rng, 5);
+        let h = random_probs(&mut rng, 3);
+        let v: Vec<f64> = (0..15).map(|_| uniform(&mut rng, -1.0, 1.0)).collect();
         let fast = fast_matvec(&x, &h, &v);
         let dense = dense_hessian(&x, &h).matvec(&v);
         for (a, b) in fast.iter().zip(dense.iter()) {
-            prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-10, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn eq14_block_diagonal_matches_definition_1(
-        xs in proptest::collection::vec(point_strategy(4), 6),
-        hs in proptest::collection::vec(probs_strategy(2), 6),
-        z in proptest::collection::vec(0.0f64..2.0, 6),
-    ) {
-        let n = xs.len();
+#[test]
+fn eq14_block_diagonal_matches_definition_1() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + case);
+        let n = 6;
         let mut xm = Matrix::zeros(n, 4);
         let mut hm = Matrix::zeros(n, 2);
         for i in 0..n {
-            xm.row_mut(i).copy_from_slice(&xs[i]);
-            hm.row_mut(i).copy_from_slice(&hs[i]);
+            xm.row_mut(i).copy_from_slice(&random_point(&mut rng, 4));
+            hm.row_mut(i).copy_from_slice(&random_probs(&mut rng, 2));
         }
+        let z: Vec<f64> = (0..n).map(|_| uniform(&mut rng, 0.0, 2.0)).collect();
         let op = PoolHessian::weighted(&xm, &hm, z);
         let fused = op.block_diagonal();
         let dense_bd = BlockDiag::from_dense(&op.to_dense(), 2);
         for k in 0..2 {
             for p in 0..4 {
                 for q in 0..4 {
-                    prop_assert!(
-                        (fused.block(k)[(p, q)] - dense_bd.block(k)[(p, q)]).abs() < 1e-9
+                    assert!(
+                        (fused.block(k)[(p, q)] - dense_bd.block(k)[(p, q)]).abs() < 1e-9,
+                        "case {case}, block {k} ({p},{q})"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn lemma3_sherman_morrison_blockwise(
-        b0 in proptest::collection::vec(-1.0f64..1.0, 9),
-        x in point_strategy(3),
-        gammas in proptest::collection::vec(0.01f64..0.3, 2),
-    ) {
+#[test]
+fn lemma3_sherman_morrison_blockwise() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + case);
+        let b0: Vec<f64> = (0..9).map(|_| uniform(&mut rng, -1.0, 1.0)).collect();
+        let x = random_point(&mut rng, 3);
+        let gammas: Vec<f64> = (0..2).map(|_| uniform(&mut rng, 0.01, 0.3)).collect();
+
         // A: block-diagonal SPD with 2 blocks of order 3.
         let mk_spd = |v: &[f64], shift: f64| {
             let b = Matrix::from_vec(3, 3, v.to_vec());
@@ -105,9 +114,9 @@ proptest! {
             let direct = Cholesky::new(updated.block(k)).unwrap().inverse();
             for p in 0..3 {
                 for q in 0..3 {
-                    prop_assert!(
+                    assert!(
                         (lemma[(p, q)] - direct[(p, q)]).abs() < 1e-8,
-                        "block {k} ({p},{q}): {} vs {}",
+                        "case {case}, block {k} ({p},{q}): {} vs {}",
                         lemma[(p, q)],
                         direct[(p, q)]
                     );
@@ -115,12 +124,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn mirror_descent_update_preserves_simplex(
-        z0 in proptest::collection::vec(0.01f64..1.0, 12),
-        g in proptest::collection::vec(-3.0f64..3.0, 12),
-    ) {
+#[test]
+fn mirror_descent_update_preserves_simplex() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + case);
+        let z0: Vec<f64> = (0..12).map(|_| uniform(&mut rng, 0.01, 1.0)).collect();
+        let g: Vec<f64> = (0..12).map(|_| uniform(&mut rng, -3.0, 3.0)).collect();
         // Normalize z0 to the simplex, apply the multiplicative update the
         // RELAX solvers use, and check the invariants.
         let total: f64 = z0.iter().sum();
@@ -136,8 +147,8 @@ proptest! {
             *zi /= sum;
         }
         let new_total: f64 = z.iter().sum();
-        prop_assert!((new_total - 1.0).abs() < 1e-12);
-        prop_assert!(z.iter().all(|&v| v > 0.0 && v < 1.0 + 1e-12));
+        assert!((new_total - 1.0).abs() < 1e-12, "case {case}");
+        assert!(z.iter().all(|&v| v > 0.0 && v < 1.0 + 1e-12), "case {case}");
     }
 }
 
@@ -177,7 +188,8 @@ fn proposition4_score_ordering_matches_trace_objective() {
     let cm1 = problem.nblocks();
     let mut b1 = sigma.clone();
     for k in 0..cm1 {
-        b1.block_mut(k).scale_inplace((problem.ehat() as f64).sqrt());
+        b1.block_mut(k)
+            .scale_inplace((problem.ehat() as f64).sqrt());
         b1.block_mut(k).add_scaled(eta / 1.0, bho.block(k));
     }
     let sigma_dense = sigma.to_dense();

@@ -93,7 +93,9 @@ impl<T: Scalar> Dataset<T> {
         let mut feats = Matrix::zeros(n_init + selected.len(), d);
         let mut labels = Vec::with_capacity(n_init + selected.len());
         for i in 0..n_init {
-            feats.row_mut(i).copy_from_slice(self.initial_features.row(i));
+            feats
+                .row_mut(i)
+                .copy_from_slice(self.initial_features.row(i));
             labels.push(self.initial_labels[i]);
         }
         for (row, &idx) in selected.iter().enumerate() {

@@ -10,12 +10,10 @@
 //! `scale(f)` shrinks pool/eval sizes for quick runs while preserving the
 //! class/dimension shape; `paper` presets keep Table V sizes verbatim.
 
-use serde::Serialize;
-
 use crate::synthetic::SyntheticConfig;
 
 /// Identifier for each Table V row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum PresetName {
     Mnist,
@@ -296,11 +294,15 @@ mod tests {
     #[test]
     fn imbalanced_presets_have_ratios() {
         assert_eq!(
-            ExperimentPreset::paper(PresetName::ImbCifar10).config.imbalance_ratio,
+            ExperimentPreset::paper(PresetName::ImbCifar10)
+                .config
+                .imbalance_ratio,
             10.0
         );
         assert_eq!(
-            ExperimentPreset::paper(PresetName::ImbImageNet50).config.imbalance_ratio,
+            ExperimentPreset::paper(PresetName::ImbImageNet50)
+                .config
+                .imbalance_ratio,
             8.0
         );
     }

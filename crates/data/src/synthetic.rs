@@ -269,12 +269,16 @@ impl SyntheticConfig {
 
         let normalize = self.normalize;
         let sample_point = |k: usize, rng: &mut StdRng, out: &mut [T]| {
-            let m = if nmodes > 1 { rng.gen_range(0..nmodes) } else { 0 };
+            let m = if nmodes > 1 {
+                rng.gen_range(0..nmodes)
+            } else {
+                0
+            };
             let offset_row = k * nmodes + m;
             for j in 0..d {
                 let z = normal(rng);
-                out[j] = means[(k, j)]
-                    + T::from_f64(mode_offsets[(offset_row, j)] + z * sigmas[(k, j)]);
+                out[j] =
+                    means[(k, j)] + T::from_f64(mode_offsets[(offset_row, j)] + z * sigmas[(k, j)]);
             }
             if normalize {
                 // Normalize to ‖x‖ = √d (unit-sphere direction, per-
@@ -380,7 +384,10 @@ pub fn extend_with_noise<T: Scalar>(
 ) -> Dataset<T> {
     let n = ds.pool_size();
     assert!(n > 0, "cannot extend an empty pool");
-    assert!(target_n >= n, "target must be at least the current pool size");
+    assert!(
+        target_n >= n,
+        "target must be at least the current pool size"
+    );
     let d = ds.dim();
     let mut rng = StdRng::seed_from_u64(seed);
 

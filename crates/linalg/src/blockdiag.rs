@@ -42,7 +42,11 @@ impl<T: Scalar> BlockDiag<T> {
         assert!(!blocks.is_empty(), "BlockDiag needs at least one block");
         let dim = blocks[0].rows();
         for b in &blocks {
-            assert_eq!(b.shape(), (dim, dim), "BlockDiag blocks must be square and equal");
+            assert_eq!(
+                b.shape(),
+                (dim, dim),
+                "BlockDiag blocks must be square and equal"
+            );
         }
         Self { dim, blocks }
     }
@@ -223,9 +227,7 @@ impl<T: Scalar> BlockDiag<T> {
             .par_iter()
             .map(|b| crate::eigen::eigvalsh(b).map(|v| v[0]))
             .collect();
-        Ok(mins?
-            .into_iter()
-            .fold(T::INFINITY, |acc, v| acc.minv(v)))
+        Ok(mins?.into_iter().fold(T::INFINITY, |acc, v| acc.minv(v)))
     }
 }
 

@@ -114,6 +114,23 @@ impl<T: Scalar> Cholesky<T> {
         out
     }
 
+    /// Solve `A X = Bᵀ` without materializing the transpose: row `j` of `B`
+    /// is consumed directly as right-hand-side column `j`. Saves the
+    /// `O(rows·cols)` transpose copy that `solve_mat(&b.transpose())` pays
+    /// on hot paths (e.g. Exact-FIRAL's per-iteration `Σ⁻¹(Σ⁻¹H_p)ᵀ`).
+    pub fn solve_mat_t(&self, b: &Matrix<T>) -> Matrix<T> {
+        let n = self.order();
+        assert_eq!(b.cols(), n, "Cholesky::solve_mat_t dimension mismatch");
+        let mut out = Matrix::zeros(n, b.rows());
+        let mut col = vec![T::ZERO; n];
+        for j in 0..b.rows() {
+            col.copy_from_slice(b.row(j));
+            self.solve_in_place(&mut col);
+            out.set_col(j, &col);
+        }
+        out
+    }
+
     /// Forward substitution only: solve `L y = b`.
     pub fn solve_l(&self, b: &[T]) -> Vec<T> {
         let n = self.order();
@@ -182,7 +199,9 @@ mod tests {
     fn spd_test_matrix(n: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let b = Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         // A = B Bᵀ + n·I is SPD
@@ -195,8 +214,7 @@ mod tests {
     fn factor_reconstructs() {
         let a = spd_test_matrix(8, 1);
         let ch = Cholesky::new(&a).unwrap();
-        let lt = ch.l().transpose();
-        let r = crate::gemm::gemm(ch.l(), &lt);
+        let r = crate::gemm::gemm_a_bt(ch.l(), ch.l());
         let mut diff: f64 = 0.0;
         for i in 0..8 {
             for j in 0..8 {
@@ -241,7 +259,11 @@ mod tests {
         for i in 0..7 {
             for j in 0..7 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((p[(i, j)] - expect).abs() < 1e-8, "({i},{j}) = {}", p[(i, j)]);
+                assert!(
+                    (p[(i, j)] - expect).abs() < 1e-8,
+                    "({i},{j}) = {}",
+                    p[(i, j)]
+                );
             }
         }
     }
@@ -282,6 +304,21 @@ mod tests {
             let xj = ch.solve(&b.col(j));
             for i in 0..5 {
                 assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_mat_t_equals_solve_of_explicit_transpose() {
+        let a = spd_test_matrix(5, 7);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 5, |i, j| (2 * i + 3 * j) as f64 - 6.0);
+        let fused = ch.solve_mat_t(&b);
+        let explicit = ch.solve_mat(&b.transpose());
+        assert_eq!(fused.shape(), (5, 4));
+        for i in 0..5 {
+            for j in 0..4 {
+                assert!((fused[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
             }
         }
     }

@@ -137,12 +137,7 @@ fn tred2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T], want_vectors: b
 /// Implicit-shift QL iteration on a symmetric tridiagonal matrix.
 /// `d`: diagonal (in), eigenvalues (out). `e`: sub-diagonal in `e[1..]`.
 /// Accumulates rotations into `z` columns when `want_vectors`.
-fn tql2<T: Scalar>(
-    z: &mut Matrix<T>,
-    d: &mut [T],
-    e: &mut [T],
-    want_vectors: bool,
-) -> Result<()> {
+fn tql2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T], want_vectors: bool) -> Result<()> {
     let n = d.len();
     if n == 0 {
         return Ok(());
@@ -329,10 +324,7 @@ pub fn jacobi_eigh<T: Scalar>(a: &Matrix<T>) -> Result<EigDecomposition<T>> {
             vectors[(i, newj)] = v[(i, oldj)];
         }
     }
-    Ok(EigDecomposition {
-        values: d,
-        vectors,
-    })
+    Ok(EigDecomposition { values: d, vectors })
 }
 
 #[cfg(test)]
@@ -343,7 +335,9 @@ mod tests {
     fn sym_test_matrix(n: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut a = Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         a.symmetrize();
@@ -364,12 +358,15 @@ mod tests {
                 );
             }
         }
-        // VᵀV = I
-        let vtv = gemm(&eig.vectors.transpose(), &eig.vectors);
+        // VᵀV = I (fused AᵀB kernel — no transpose copy)
+        let vtv = crate::gemm::gemm_at_b(&eig.vectors, &eig.vectors);
         for i in 0..n {
             for j in 0..n {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((vtv[(i, j)] - expect).abs() < tol, "orthonormality ({i},{j})");
+                assert!(
+                    (vtv[(i, j)] - expect).abs() < tol,
+                    "orthonormality ({i},{j})"
+                );
             }
         }
     }

@@ -174,18 +174,15 @@ pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
             .step_by(chunk)
             .map(|s| s..(s + chunk).min(n))
             .collect();
-        let data = ranges
-            .into_par_iter()
-            .map(accumulate)
-            .reduce(
-                || vec![T::ZERO; d * d],
-                |mut a, b| {
-                    for (ai, bi) in a.iter_mut().zip(b.iter()) {
-                        *ai += *bi;
-                    }
-                    a
-                },
-            );
+        let data = ranges.into_par_iter().map(accumulate).reduce(
+            || vec![T::ZERO; d * d],
+            |mut a, b| {
+                for (ai, bi) in a.iter_mut().zip(b.iter()) {
+                    *ai += *bi;
+                }
+                a
+            },
+        );
         Matrix::from_vec(d, d, data)
     } else {
         Matrix::from_vec(d, d, accumulate(0..n))
@@ -280,7 +277,9 @@ mod tests {
         // Small deterministic LCG so tests need no RNG dependency.
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }

@@ -101,14 +101,12 @@ mod tests {
     #[test]
     fn kron_vec_identity() {
         // vec(B X Aᵀ) = (A ⊗ B) vec(X): the identity behind Lemma 2's proof.
+        // (B·X)·Aᵀ goes through the fused A·Bᵀ kernel — no transpose copy.
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let b = Matrix::from_vec(3, 3, vec![1.0, 0.0, 1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
         let x = Matrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
         let lhs = kron(&a, &b).matvec(&vec_of(&x));
-        let rhs = vec_of(&crate::gemm::gemm(
-            &crate::gemm::gemm(&b, &x),
-            &a.transpose(),
-        ));
+        let rhs = vec_of(&crate::gemm::gemm_a_bt(&crate::gemm::gemm(&b, &x), &a));
         for (u, v) in lhs.iter().zip(rhs.iter()) {
             assert!((u - v).abs() < 1e-12);
         }

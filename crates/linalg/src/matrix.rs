@@ -254,7 +254,10 @@ impl<T: Scalar> Matrix<T> {
 
     /// Extract the square sub-block starting at (`r0`, `c0`) of size `n`.
     pub fn block(&self, r0: usize, c0: usize, n: usize) -> Self {
-        assert!(r0 + n <= self.rows && c0 + n <= self.cols, "block out of range");
+        assert!(
+            r0 + n <= self.rows && c0 + n <= self.cols,
+            "block out of range"
+        );
         let mut b = Self::zeros(n, n);
         for i in 0..n {
             b.row_mut(i).copy_from_slice(&self.row(r0 + i)[c0..c0 + n]);

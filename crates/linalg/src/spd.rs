@@ -55,7 +55,9 @@ mod tests {
     fn spd_test_matrix(n: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let b = Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         let mut a = gemm_a_bt(&b, &b);

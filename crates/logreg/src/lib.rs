@@ -303,7 +303,11 @@ mod tests {
             y.push(k);
         }
         let model = LogisticRegression::fit_default(&x, &y).unwrap();
-        assert!(model.accuracy(&x, &y) > 0.95, "acc = {}", model.accuracy(&x, &y));
+        assert!(
+            model.accuracy(&x, &y) > 0.95,
+            "acc = {}",
+            model.accuracy(&x, &y)
+        );
         // h panel has c-1 columns
         let h = model.class_probs_cm1(&x);
         assert_eq!(h.cols(), 2);
@@ -342,7 +346,10 @@ mod tests {
         let err = LogisticRegression::fit(&x, &[0, 1, 5], 3, &TrainConfig::default());
         assert!(matches!(
             err,
-            Err(TrainError::LabelOutOfRange { label: 5, num_classes: 3 })
+            Err(TrainError::LabelOutOfRange {
+                label: 5,
+                num_classes: 3
+            })
         ));
     }
 

@@ -243,7 +243,9 @@ mod tests {
     fn spd_system(n: usize, seed: u64) -> (DenseOperator<f64>, Vec<f64>) {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let b = Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         let mut a = firal_linalg::gemm_a_bt(&b, &b);
@@ -260,7 +262,11 @@ mod tests {
             max_iter: 0,
         };
         let (x, tel) = cg_solve(&op, &IdentityPreconditioner, &b, &cfg);
-        assert!(tel.converged, "CG did not converge in {} iters", tel.iterations);
+        assert!(
+            tel.converged,
+            "CG did not converge in {} iters",
+            tel.iterations
+        );
         let mut ax = vec![0.0; 20];
         op.apply(&x, &mut ax);
         for (u, v) in ax.iter().zip(b.iter()) {

@@ -33,11 +33,7 @@ pub fn rademacher_panel<T: Scalar, R: Rng>(dim: usize, s: usize, rng: &mut R) ->
 ///
 /// Unbiased for any square `A`; variance `2(‖A‖_F² - Σ A_ii²)/s` for
 /// symmetric `A` (Hutchinson 1990).
-pub fn hutchinson_trace<T: Scalar, R: Rng>(
-    op: &dyn LinearOperator<T>,
-    s: usize,
-    rng: &mut R,
-) -> T {
+pub fn hutchinson_trace<T: Scalar, R: Rng>(op: &dyn LinearOperator<T>, s: usize, rng: &mut R) -> T {
     assert!(s > 0, "hutchinson_trace needs at least one probe");
     let n = op.dim();
     let mut acc = T::ZERO;

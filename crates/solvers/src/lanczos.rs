@@ -114,7 +114,9 @@ mod tests {
     fn spd(n: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let b = Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         let mut a = firal_linalg::gemm_a_bt(&b, &b);
@@ -177,7 +179,11 @@ mod tests {
         let op = DenseOperator::new(a);
         let mut rng = StdRng::seed_from_u64(6);
         let res = lanczos_spectrum(&op, 12, &mut rng);
-        assert!(res.steps <= 4, "expected exhaustion, ran {} steps", res.steps);
+        assert!(
+            res.steps <= 4,
+            "expected exhaustion, ran {} steps",
+            res.steps
+        );
         let top = *res.ritz_values.last().unwrap();
         assert!((top - 5.0).abs() < 1e-6);
     }
@@ -205,6 +211,9 @@ mod tests {
         // Krylov budget — same order of magnitude is what the ROUND
         // backoff needs (exactness at k = dim is covered above).
         assert!(rel < 0.5, "ν mismatch: {nu_exact} vs {nu_ritz} ({rel})");
-        assert!(nu_ritz > 0.0 || nu_ritz + 2.0 * exact[0] > 0.0, "A_t must stay PD");
+        assert!(
+            nu_ritz > 0.0 || nu_ritz + 2.0 * exact[0] > 0.0,
+            "A_t must stay PD"
+        );
     }
 }

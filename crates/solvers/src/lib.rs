@@ -12,14 +12,18 @@
 //!   `ν_t` with `Σ_j (ν + ηλ_j)^{-2} = 1` (Algorithm 1 line 17 /
 //!   Algorithm 3 line 10);
 //! * **L-BFGS** ([`lbfgs`]) — the classifier trainer standing in for
-//!   scikit-learn's `LogisticRegression(solver="lbfgs")` used in §IV-A.
-
-//! A fifth component, [`lanczos`], implements the paper's stated future
-//! work (§V): iterative spectrum estimation to replace the exact ROUND-step
-//! eigensolves.
+//!   scikit-learn's `LogisticRegression(solver="lbfgs")` used in §IV-A;
+//! * **Lanczos** ([`lanczos`]) — the paper's stated future work (§V):
+//!   iterative spectrum estimation to replace the exact ROUND-step
+//!   eigensolves;
+//! * **distributed operators** ([`dist`]) — [`AllreduceOperator`] composes
+//!   a rank-local operator shard with the §III-C partial-sum Allreduce (and
+//!   an optional replicated term) behind the ordinary [`LinearOperator`]
+//!   trait, so CG is written once for serial and SPMD execution.
 
 pub mod bisection;
 pub mod cg;
+pub mod dist;
 pub mod hutchinson;
 pub mod lanczos;
 pub mod lbfgs;
@@ -27,6 +31,7 @@ pub mod op;
 
 pub use bisection::{bisect, solve_nu};
 pub use cg::{cg_solve, cg_solve_panel, CgConfig, CgTelemetry};
+pub use dist::AllreduceOperator;
 pub use hutchinson::{hutchinson_trace, rademacher_panel, rademacher_vector};
 pub use lanczos::{lanczos_spectrum, LanczosResult};
 pub use lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsResult, LbfgsStatus};

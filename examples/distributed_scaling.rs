@@ -7,9 +7,8 @@
 //!
 //! Run with: `cargo run --release --example distributed_scaling`
 
-use firal::comm::{launch, CommStats, Communicator, CostModel};
-use firal::core::parallel::{parallel_relax, parallel_round, ShardedProblem};
-use firal::core::{RelaxConfig, SelectionProblem};
+use firal::comm::{launch, Communicator, CostModel};
+use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
 use firal::data::SyntheticConfig;
 use firal::logreg::LogisticRegression;
 
@@ -44,8 +43,16 @@ fn main() {
         problem.ehat()
     );
     println!(
-        "\n{:<6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",
-        "ranks", "precond", "cg", "gradient", "round", "comm (meas)", "comm (model)"
+        "\n{:<6} {:>10} {:>10} {:>10} {:>10} {:>14} {:>9} {:>12} {:>14}",
+        "ranks",
+        "precond",
+        "cg",
+        "gradient",
+        "round",
+        "calls ar/bc/ag",
+        "coll MB",
+        "comm (meas)",
+        "comm (model)"
     );
 
     for p in [1usize, 2, 4] {
@@ -60,22 +67,29 @@ fn main() {
         };
         let results = launch(p, move |comm| {
             let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
-            comm.reset_stats();
-            let relax = parallel_relax(comm, &shard, budget, &cfg);
-            let round = parallel_round(comm, &shard, &relax.z_local, budget, eta);
-            (relax.timer, round.timer, comm.stats(), round.selected)
+            let exec = Executor::new(comm, &shard);
+            let relax = exec.relax(budget, &cfg);
+            let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+            let mut stats = relax.comm_stats;
+            stats.merge(&round.comm_stats);
+            (relax.timer, round.timer, stats, round.selected)
         });
 
         // Report rank 0's timers (ranks are symmetric).
         let (relax_timer, round_timer, stats, selected) = &results[0];
         let comm_predicted = cost.predict_comm(stats, p);
         println!(
-            "{:<6} {:>9.3}s {:>9.3}s {:>9.3}s {:>9.3}s {:>11.3}s {:>13.6}s",
+            "{:<6} {:>9.3}s {:>9.3}s {:>9.3}s {:>9.3}s {:>14} {:>9.2} {:>11.3}s {:>13.6}s",
             p,
             relax_timer.get("precond").as_secs_f64(),
             relax_timer.get("cg").as_secs_f64(),
             relax_timer.get("gradient").as_secs_f64(),
             round_timer.total().as_secs_f64(),
+            format!(
+                "{}/{}/{}",
+                stats.allreduce_calls, stats.bcast_calls, stats.allgather_calls
+            ),
+            stats.total_bytes() as f64 / 1e6,
             stats.time.as_secs_f64(),
             comm_predicted,
         );
@@ -83,7 +97,6 @@ fn main() {
         for (_, _, _, sel) in &results[1..] {
             assert_eq!(sel, selected, "ranks disagreed on the selection!");
         }
-        let _unused: &CommStats = stats;
     }
 
     println!(

@@ -5,6 +5,57 @@
 //! SC 2024), i.e. the Approx-FIRAL algorithm, the exact FIRAL baseline, the
 //! classical active-learning baselines, and the supporting HPC substrate.
 //!
+//! ## Architecture
+//!
+//! The paper's central structural claim is that Approx-FIRAL is *one*
+//! algorithm whose collectives degenerate to no-ops at `p = 1`. The
+//! workspace mirrors that claim in its layering — RELAX and ROUND are
+//! written **once**, generic over a communicator, and every entry point is
+//! an instantiation of the same code:
+//!
+//! ```text
+//!           strategies / driver / bench / examples
+//!                          │
+//!              firal_core::exec::Executor        ← the execution layer:
+//!            (communicator + shard geometry +      RELAX/ROUND written once
+//!             RNG seeding + PhaseTimer + CommStats)
+//!               │                        │
+//!        SelfComm (p = 1,         ThreadComm (p ranks,
+//!        no-op collectives:       OS threads + shared-memory
+//!        the "serial" path)       collectives: the SPMD path)
+//!                          │
+//!        firal_solvers (CG / Lanczos / Hutchinson / bisection;
+//!        `AllreduceOperator` puts the §III-C matvec reduction
+//!        behind the ordinary LinearOperator trait)
+//!                          │
+//!        firal_linalg (GEMM kernels, Cholesky, eigensolvers,
+//!        block-diagonal operators of Definition 1)
+//! ```
+//!
+//! Concretely:
+//!
+//! * [`core::exec`] holds [`core::Executor`] and [`core::ShardedProblem`].
+//!   An executor owns one rank's context — communicator endpoint, shard
+//!   geometry (`offset = 0`, `local_n = n` for the trivial single-rank
+//!   shard), probe-RNG seeding, the phase timer, and per-run communication
+//!   statistics — and exposes `relax`, `round`, `select_eta`, and
+//!   `approx_firal`.
+//! * The serial API ([`core::fast_relax`], [`core::diag_round`],
+//!   [`core::ApproxFiral`]) instantiates the executor over
+//!   [`comm::SelfComm`]; the SPMD API ([`core::parallel`]) instantiates it
+//!   over any [`comm::Communicator`]. Neither carries its own copy of the
+//!   math.
+//! * Communication volume is first-class: every run returns
+//!   [`comm::CommStats`] (per-collective calls/bytes/time), which the bench
+//!   harnesses print next to wall-clock so scaling tables show *what was
+//!   communicated*, not just how long it took.
+//!
+//! This is the prerequisite for every scaling direction on the roadmap: a
+//! process/MPI backend or a GPU-resident backend is one new `Communicator`
+//! (plus kernels), not a re-implementation of the solvers; new selection
+//! strategies (unbiased-weighting or Bayesian-batch variants) are written
+//! once and are immediately distributed.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -26,6 +77,31 @@
 //! assert_eq!(picked.len(), 6);
 //! ```
 //!
+//! The same selection, explicitly through the execution layer on one rank:
+//!
+//! ```
+//! use firal::comm::SelfComm;
+//! use firal::core::{EigSolver, Executor, RelaxConfig, ShardedProblem};
+//! # use firal::core::SelectionProblem;
+//! # use firal::data::SyntheticConfig;
+//! # use firal::logreg::LogisticRegression;
+//! # let ds = SyntheticConfig::new(3, 4).with_pool_size(90).with_seed(7).generate::<f64>();
+//! # let model = LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels).unwrap();
+//! # let problem = SelectionProblem::new(
+//! #     ds.pool_features.clone(),
+//! #     model.class_probs_cm1(&ds.pool_features),
+//! #     ds.initial_features.clone(),
+//! #     model.class_probs_cm1(&ds.initial_features),
+//! #     ds.num_classes,
+//! # );
+//! let comm = SelfComm::new();
+//! let shard = ShardedProblem::replicate(&problem);
+//! let exec = Executor::serial(&comm, &shard);
+//! let relax = exec.relax(6, &RelaxConfig::default());
+//! let round = exec.round(&relax.z_local, 6, 8.0 * (problem.ehat() as f64).sqrt(), EigSolver::Exact);
+//! assert_eq!(round.selected.len(), 6);
+//! ```
+//!
 //! See `examples/` for full active-learning loops, strong/weak scaling runs
 //! and method comparisons, and `crates/bench` for the harnesses that
 //! regenerate every table and figure of the paper.
@@ -33,7 +109,8 @@
 /// Dense linear algebra kernels (matrices, GEMM, Cholesky, eigensolvers).
 pub use firal_linalg as linalg;
 
-/// Iterative solvers: preconditioned CG, Hutchinson traces, bisection, L-BFGS.
+/// Iterative solvers: preconditioned CG, Hutchinson traces, bisection,
+/// L-BFGS, and the communicator-aware `AllreduceOperator`.
 pub use firal_solvers as solvers;
 
 /// Simulated message-passing substrate (SPMD ranks, collectives, cost model).
@@ -48,5 +125,6 @@ pub use firal_cluster as cluster;
 /// Multinomial logistic regression classifier and metrics.
 pub use firal_logreg as logreg;
 
-/// FIRAL / Approx-FIRAL algorithms, baselines, experiment driver.
+/// FIRAL / Approx-FIRAL algorithms, baselines, experiment driver, and the
+/// communicator-generic execution layer.
 pub use firal_core as core;

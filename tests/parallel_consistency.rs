@@ -1,33 +1,121 @@
-//! Cross-crate integration tests for the SPMD implementation: the
-//! distributed RELAX/ROUND must agree with the serial solvers for every
-//! rank count, and the collectives must compose correctly under the real
-//! multi-threaded runtime.
+//! Cross-crate integration tests for the unified execution layer: the same
+//! communicator-generic RELAX/ROUND code must produce consistent results
+//! whether it runs on [`firal::comm::SelfComm`] (`p = 1`, collectives are
+//! no-ops) or on the real multi-threaded [`firal::comm::ThreadComm`] runtime
+//! at any rank count — in both precisions.
 
-use firal::comm::{launch, Communicator, ReduceOp};
-use firal::core::parallel::{parallel_approx_firal, parallel_relax, ShardedProblem};
-use firal::core::{RelaxConfig, SelectionProblem};
+use firal::comm::{launch, CommScalar, Communicator, ReduceOp, SelfComm};
+use firal::core::parallel::parallel_approx_firal;
+use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
 use firal::data::SyntheticConfig;
+use firal::linalg::Scalar;
 use firal::logreg::LogisticRegression;
 
-fn problem(seed: u64, n: usize) -> SelectionProblem<f64> {
-    let ds = SyntheticConfig::new(4, 6)
+fn problem<T: Scalar>(seed: u64, n: usize, d: usize, c: usize) -> SelectionProblem<T> {
+    let ds = SyntheticConfig::new(c, d)
         .with_pool_size(n)
         .with_initial_per_class(2)
         .with_seed(seed)
-        .generate::<f64>();
+        .generate::<T>();
     let model = LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels).unwrap();
     SelectionProblem::new(
         ds.pool_features.clone(),
         model.class_probs_cm1(&ds.pool_features),
         ds.initial_features.clone(),
         model.class_probs_cm1(&ds.initial_features),
-        4,
+        c,
     )
+}
+
+/// The consistency matrix of the unified path: for each rank count, the
+/// ThreadComm run must select the identical batch as the SelfComm reference
+/// and reproduce its per-iteration RELAX objective series within `obj_tol`
+/// (relative) — floating-point partial sums are the only permitted
+/// difference between the two runs.
+fn consistency_matrix_case<T: CommScalar>(seed: u64, obj_tol: f64) {
+    let p: SelectionProblem<T> = problem(seed, 48, 4, 3);
+    let budget = 5;
+    let eta = T::from_f64(6.0) * T::from_usize(p.ehat()).sqrt();
+    let cfg = RelaxConfig {
+        seed: 11,
+        md: firal::core::MirrorDescentConfig {
+            max_iters: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // p = 1 reference: the SelfComm instantiation of the same code.
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(&p);
+    let exec = Executor::serial(&comm, &shard);
+    let ref_relax = exec.relax(budget, &cfg);
+    let ref_round = exec.round(&ref_relax.z_local, budget, eta, EigSolver::Exact);
+    let ref_obj: Vec<f64> = ref_relax
+        .telemetry
+        .objective_history
+        .iter()
+        .map(|v| v.to_f64())
+        .collect();
+
+    for procs in [2usize, 4, 7] {
+        let prob = p.clone();
+        let config = cfg;
+        let results = launch(procs, move |comm| {
+            let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
+            let exec = Executor::new(comm, &shard);
+            let relax = exec.relax(budget, &config);
+            let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+            let obj: Vec<f64> = relax
+                .telemetry
+                .objective_history
+                .iter()
+                .map(|v| v.to_f64())
+                .collect();
+            (round.selected, obj)
+        });
+
+        for (rank, (selected, obj)) in results.iter().enumerate() {
+            assert_eq!(
+                selected, &ref_round.selected,
+                "p={procs} rank {rank}: selection diverged from the SelfComm reference"
+            );
+            assert_eq!(
+                obj.len(),
+                ref_obj.len(),
+                "p={procs} rank {rank}: RELAX iteration counts diverged"
+            );
+            for (t, (a, b)) in obj.iter().zip(ref_obj.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= obj_tol * b.abs().max(1e-9),
+                    "p={procs} rank {rank}: objective at iteration {t} drifted: {a} vs {b}"
+                );
+            }
+        }
+        // And all ranks agree bitwise among themselves.
+        for (selected, obj) in &results[1..] {
+            assert_eq!(selected, &results[0].0);
+            assert_eq!(obj, &results[0].1);
+        }
+    }
+}
+
+#[test]
+fn consistency_matrix_f64() {
+    consistency_matrix_case::<f64>(21, 1e-9);
+}
+
+#[test]
+fn consistency_matrix_f32() {
+    // f32 partial sums differ across shard boundaries; the objective series
+    // tolerance is correspondingly looser, but the selected batch must
+    // still be identical.
+    consistency_matrix_case::<f32>(22, 5e-3);
 }
 
 #[test]
 fn full_pipeline_rank_invariance() {
-    let p = problem(1, 60);
+    let p: SelectionProblem<f64> = problem(1, 60, 6, 4);
     let eta = 6.0 * (p.ehat() as f64).sqrt();
     let cfg = RelaxConfig {
         seed: 5,
@@ -61,16 +149,22 @@ fn full_pipeline_rank_invariance() {
 
 #[test]
 fn relax_weights_sum_to_budget_across_ranks() {
-    let p = problem(2, 45);
+    let p: SelectionProblem<f64> = problem(2, 45, 6, 4);
     for ranks in [2usize, 3] {
         let prob = p.clone();
         let results = launch(ranks, move |comm| {
             let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
-            let out = parallel_relax(comm, &shard, 6, &RelaxConfig::default());
-            (out.z_local.iter().sum::<f64>(), out.z_diamond.iter().sum::<f64>())
+            let out = Executor::new(comm, &shard).relax(6, &RelaxConfig::default());
+            (
+                out.z_local.iter().sum::<f64>(),
+                out.z_diamond.iter().sum::<f64>(),
+            )
         });
         let local_total: f64 = results.iter().map(|(l, _)| l).sum();
-        assert!((local_total - 6.0).abs() < 1e-8, "locals sum to {local_total}");
+        assert!(
+            (local_total - 6.0).abs() < 1e-8,
+            "locals sum to {local_total}"
+        );
         for (_, global) in &results {
             assert!((global - 6.0).abs() < 1e-8, "global sums to {global}");
         }
@@ -102,7 +196,7 @@ fn collectives_compose_under_load() {
 
 #[test]
 fn sharded_problem_covers_pool_for_odd_sizes() {
-    let p = problem(3, 53); // deliberately not divisible
+    let p: SelectionProblem<f64> = problem(3, 53, 6, 4); // deliberately not divisible
     for ranks in [2usize, 3, 7] {
         let total: usize = (0..ranks)
             .map(|r| ShardedProblem::shard(&p, r, ranks).local_n())
