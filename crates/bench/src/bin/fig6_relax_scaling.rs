@@ -10,53 +10,25 @@
 //! measure; ranks are OS threads pinned to a 1-thread rayon pool so p
 //! ranks use p worker threads.
 //!
+//! `--backend thread` (default) runs ranks as shared-memory [`ThreadComm`]
+//! threads; `--backend socket` runs the same rank bodies over the real
+//! localhost-TCP [`SocketComm`] mesh (in-process endpoints), so the comm
+//! column measures actual wire time. For one-process-per-rank execution
+//! use `spmd_launch` (`--bin spmd_launch -- -p N fig6`), which runs the
+//! identical [`firal_bench::workloads::fig6_rank_body`].
+//!
 //! NOTE (EXPERIMENTS.md): this host has 2 physical cores — measured strong
 //! scaling saturates beyond p=2; the theoretical columns use the paper's
 //! IB-HDR/A100 constants and reproduce the published shape for all p.
 //!
 //! Usage: cargo run --release -p firal-bench --bin fig6_relax_scaling
-//!   [--csv] [--n N] [--per-rank N] [--ncg N]
+//!   [--csv] [--n N] [--per-rank N] [--ncg N] [--backend thread|socket]
 
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
-use firal_bench::workloads::selection_problem_from_dataset;
-use firal_comm::{launch, Communicator, CostModel};
-use firal_core::{Executor, MirrorDescentConfig, RelaxConfig, SelectionProblem, ShardedProblem};
-use firal_data::{extend_with_noise, SyntheticConfig};
+use firal_bench::workloads::{fig6_rank_body, scaling_problem};
+use firal_comm::{launch_backend, Backend, CostModel};
 
 const RANKS: [usize; 5] = [1, 2, 3, 6, 12];
-
-fn build_problem(c: usize, d: usize, n: usize, extended: bool) -> SelectionProblem<f32> {
-    let base_n = if extended { (n / 4).max(c * 4) } else { n };
-    let mut ds = SyntheticConfig::new(c, d)
-        .with_pool_size(base_n)
-        .with_initial_per_class(1)
-        .with_eval_size(c * 2)
-        .with_separation(4.0)
-        .with_normalize(true)
-        .with_seed(7)
-        .generate::<f32>();
-    if extended {
-        // The paper's extended-CIFAR construction: grow the pool with
-        // noise-perturbed replicas (§IV-C).
-        ds = extend_with_noise(&ds, n, 0.1, 8);
-    }
-    selection_problem_from_dataset(&ds)
-}
-
-fn one_iteration_config(ncg: usize) -> RelaxConfig<f32> {
-    RelaxConfig {
-        md: MirrorDescentConfig {
-            max_iters: 1,
-            obj_rel_tol: 0.0,
-            ..Default::default()
-        },
-        probes: 10,
-        cg_tol: 0.0,
-        cg_max_iter: ncg,
-        seed: 3,
-        ..Default::default()
-    }
-}
 
 #[allow(clippy::too_many_arguments)]
 fn scaling_table(
@@ -67,10 +39,11 @@ fn scaling_table(
     per_rank: usize,
     extended: bool,
     ncg: usize,
+    backend: Backend,
     model: &CostModel,
     csv: bool,
 ) {
-    let mut headers = vec!["p", "mode", "precond", "cg", "gradient"];
+    let mut headers = vec!["p", "mode", "backend", "precond", "cg", "gradient"];
     headers.extend(COMM_HEADERS);
     headers.extend(["total", "th:compute", "th:comm"]);
     let mut table = Table::new(title.to_string(), &headers);
@@ -81,14 +54,8 @@ fn scaling_table(
             } else {
                 per_rank * p
             };
-            let problem = build_problem(c, d, n, extended);
-            let cfg = one_iteration_config(ncg);
-            let budget = 10;
-            let results = launch(p, |comm| {
-                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                let out = Executor::new(comm, &shard).relax(budget, &cfg);
-                (out.timer, out.comm_stats)
-            });
+            let problem = scaling_problem(c, d, n, extended, 7, 8);
+            let results = launch_backend(backend, p, |comm| fig6_rank_body(&problem, ncg, comm));
             let (timer, stats) = &results[0];
             // Theoretical per-rank compute: the §III-C flop terms at n/p,
             // at the calibrated peak.
@@ -103,6 +70,7 @@ fn scaling_table(
             let mut row = vec![
                 p.to_string(),
                 mode.to_string(),
+                backend.tag().to_string(),
                 format!("{:.3}", timer.get("precond").as_secs_f64()),
                 format!("{:.3}", timer.get("cg").as_secs_f64()),
                 format!("{:.3}", timer.get("gradient").as_secs_f64()),
@@ -134,6 +102,9 @@ fn main() {
     let ncg: usize = arg_value("--ncg").unwrap_or(10);
     let n_imagenet: usize = arg_value("--n").unwrap_or(24_000);
     let per_rank_imagenet: usize = arg_value("--per-rank").unwrap_or(2_000);
+    let backend: Backend = arg_value::<String>("--backend")
+        .map(|s| s.parse().expect("bad --backend"))
+        .unwrap_or_default();
     // Compute at the host-calibrated (single-thread) peak; communication at
     // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
     let host = CostModel::calibrate_on_host(160);
@@ -152,6 +123,7 @@ fn main() {
         per_rank_imagenet,
         false,
         ncg,
+        backend,
         &model,
         csv,
     );
@@ -164,6 +136,7 @@ fn main() {
         2 * per_rank_imagenet,
         true,
         ncg,
+        backend,
         &model,
         csv,
     );

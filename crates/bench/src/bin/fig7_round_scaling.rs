@@ -7,32 +7,19 @@
 //! per-block eigensolves are distributed across ranks (more pronounced for
 //! the 1000-class dataset than for CIFAR-10's 10 classes).
 //!
+//! `--backend thread` (default) runs shared-memory ranks;
+//! `--backend socket` runs the same rank bodies over the localhost-TCP
+//! [`SocketComm`] mesh. For one-process-per-rank execution use
+//! `spmd_launch` (`--bin spmd_launch -- -p N fig7`).
+//!
 //! Usage: cargo run --release -p firal-bench --bin fig7_round_scaling
-//!   [--csv] [--n N] [--per-rank N]
+//!   [--csv] [--n N] [--per-rank N] [--backend thread|socket]
 
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
-use firal_bench::workloads::selection_problem_from_dataset;
-use firal_comm::{launch, Communicator, CostModel};
-use firal_core::{EigSolver, Executor, SelectionProblem, ShardedProblem};
-use firal_data::{extend_with_noise, SyntheticConfig};
+use firal_bench::workloads::{fig7_rank_body, scaling_problem};
+use firal_comm::{launch_backend, Backend, CostModel};
 
 const RANKS: [usize; 5] = [1, 2, 3, 6, 12];
-
-fn build_problem(c: usize, d: usize, n: usize, extended: bool) -> SelectionProblem<f32> {
-    let base_n = if extended { (n / 4).max(c * 4) } else { n };
-    let mut ds = SyntheticConfig::new(c, d)
-        .with_pool_size(base_n)
-        .with_initial_per_class(1)
-        .with_eval_size(c * 2)
-        .with_separation(4.0)
-        .with_normalize(true)
-        .with_seed(9)
-        .generate::<f32>();
-    if extended {
-        ds = extend_with_noise(&ds, n, 0.1, 10);
-    }
-    selection_problem_from_dataset(&ds)
-}
 
 #[allow(clippy::too_many_arguments)]
 fn scaling_table(
@@ -42,10 +29,11 @@ fn scaling_table(
     strong_n: usize,
     per_rank: usize,
     extended: bool,
+    backend: Backend,
     model: &CostModel,
     csv: bool,
 ) {
-    let mut headers = vec!["p", "mode", "objective", "eig", "other"];
+    let mut headers = vec!["p", "mode", "backend", "objective", "eig", "other"];
     headers.extend(COMM_HEADERS);
     headers.extend(["total", "th:compute"]);
     let mut table = Table::new(title.to_string(), &headers);
@@ -56,16 +44,8 @@ fn scaling_table(
             } else {
                 per_rank * p
             };
-            let problem = build_problem(c, d, n, extended);
-            let budget = 1; // paper reports time to select one point
-            let eta = 4.0 * ((d * (c - 1)) as f32).sqrt();
-            let results = launch(p, |comm| {
-                let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
-                let z_local = vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
-                let out =
-                    Executor::new(comm, &shard).round(&z_local, budget, eta, EigSolver::Exact);
-                (out.timer, out.comm_stats)
-            });
+            let problem = scaling_problem(c, d, n, extended, 9, 10);
+            let results = launch_backend(backend, p, |comm| fig7_rank_body(&problem, comm));
             let (timer, stats) = &results[0];
             // Theoretical compute (§III-C): objective n/p·c·d², distributed
             // eigensolve (c/p)·300·d³, replicated inverses c·d³.
@@ -78,6 +58,7 @@ fn scaling_table(
             let mut row = vec![
                 p.to_string(),
                 mode.to_string(),
+                backend.tag().to_string(),
                 format!("{:.4}", timer.get("objective").as_secs_f64()),
                 format!("{:.4}", timer.get("eig").as_secs_f64()),
                 format!("{:.4}", timer.get("other").as_secs_f64()),
@@ -106,6 +87,9 @@ fn main() {
     let csv = has_flag("--csv");
     let n_imagenet: usize = arg_value("--n").unwrap_or(24_000);
     let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
+    let backend: Backend = arg_value::<String>("--backend")
+        .map(|s| s.parse().expect("bad --backend"))
+        .unwrap_or_default();
     // Compute at the host-calibrated (single-thread) peak; communication at
     // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
     let host = CostModel::calibrate_on_host(160);
@@ -122,6 +106,7 @@ fn main() {
         n_imagenet,
         per_rank,
         false,
+        backend,
         &model,
         csv,
     );
@@ -132,6 +117,7 @@ fn main() {
         2 * n_imagenet,
         2 * per_rank,
         true,
+        backend,
         &model,
         csv,
     );

@@ -1,0 +1,367 @@
+//! SPMD process launcher: fork `p` ranks of this binary and run a
+//! registered workload over the [`SocketComm`] TCP mesh.
+//!
+//! The parent re-executes itself `p` times with the rendezvous env vars
+//! set ([`firal_comm::socket_comm::ENV_RANK`] / `ENV_SIZE` / `ENV_ADDR`);
+//! each child joins the process group via [`SocketComm::from_env`] and
+//! runs the selected workload. Any rank exiting non-zero fails the whole
+//! launch (remaining ranks are killed so a dead peer cannot hang the
+//! mesh).
+//!
+//! Usage: spmd_launch [-p N] [workload] [workload options]
+//!
+//! Workloads:
+//! * `firal` (default) — Approx-FIRAL end-to-end over SocketComm on a
+//!   seeded synthetic problem; every rank verifies the selected indices
+//!   against the serial `SelfComm` reference computed in-process and that
+//!   real wire time was measured. Non-zero exit on any divergence — this
+//!   is the multi-process consistency gate CI runs at `-p 2`.
+//! * `fig6` — the Fig. 6 RELAX scaling row (strong + weak) at the launched
+//!   rank count, sharing [`firal_bench::workloads::fig6_rank_body`] with
+//!   the thread-backend figure binary. Options: `--n`, `--per-rank`,
+//!   `--ncg`, `--csv`.
+//! * `fig7` — the Fig. 7 ROUND scaling row at the launched rank count.
+//!   Options: `--n`, `--per-rank`, `--csv`.
+//! * `scaling` — the `distributed_scaling` example's measurement row at
+//!   the launched rank count.
+//!
+//! Examples:
+//! ```text
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 4
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 4 fig6 --n 8000
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 2 scaling
+//! ```
+
+use std::time::Duration;
+
+use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
+use firal_bench::workloads::{
+    fig6_rank_body, fig7_rank_body, scaling_problem, selection_problem_from_dataset,
+};
+use firal_comm::{fork_self, CommStats, Communicator, SelfComm, SocketComm};
+use firal_core::{EigSolver, Executor, MirrorDescentConfig, RelaxConfig, ShardedProblem};
+use firal_data::SyntheticConfig;
+
+const WORKLOADS: [&str; 4] = ["firal", "fig6", "fig7", "scaling"];
+
+/// Rank count from `-p`/`--ranks` (default 2); a malformed value is fatal,
+/// not silently replaced by the default.
+fn ranks_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == "-p" || args[i] == "--ranks" {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("bad rank count {:?}", args[i + 1]));
+        }
+    }
+    2
+}
+
+/// First positional (non-flag) argument = the workload name.
+fn workload_name() -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" => i += 2,
+            a if a.starts_with('-') => i += 1,
+            a => return a.to_string(),
+        }
+    }
+    "firal".to_string()
+}
+
+fn main() {
+    if has_flag("--help") || has_flag("-h") {
+        println!(
+            "Usage: spmd_launch [-p N] [{}] [options]",
+            WORKLOADS.join("|")
+        );
+        println!("Runs N processes of this binary over the SocketComm TCP mesh.");
+        return;
+    }
+
+    // Child mode: the launcher's env coordinates are set.
+    if let Some(comm) = SocketComm::from_env() {
+        let comm = comm.expect("SPMD rendezvous failed");
+        let name = workload_name();
+        let code = match name.as_str() {
+            "firal" => workload_firal(&comm),
+            "fig6" => workload_fig6(&comm),
+            "fig7" => workload_fig7(&comm),
+            "scaling" => workload_scaling(&comm),
+            other => {
+                eprintln!("unknown workload {other:?}; known: {WORKLOADS:?}");
+                2
+            }
+        };
+        std::process::exit(code);
+    }
+
+    // Parent mode: fork the ranks and propagate their status.
+    let p = ranks_arg();
+    let name = workload_name();
+    eprintln!("spmd_launch: {p} process ranks, workload {name:?}");
+    let code = fork_self(p).expect("failed to spawn SPMD ranks");
+    if code != 0 {
+        eprintln!("spmd_launch: workload {name:?} FAILED (exit {code})");
+    }
+    std::process::exit(code);
+}
+
+/// The CI consistency gate: Approx-FIRAL over the socket mesh must select
+/// the identical batch as the serial SelfComm run of the same seeded
+/// problem, with real wire time measured on every rank.
+fn workload_firal(comm: &SocketComm) -> i32 {
+    let ds = SyntheticConfig::new(4, 6)
+        .with_pool_size(240)
+        .with_initial_per_class(2)
+        .with_seed(42)
+        .generate::<f64>();
+    let problem = selection_problem_from_dataset(&ds);
+    let budget = 8;
+    let eta = 6.0 * (problem.ehat() as f64).sqrt();
+    let cfg = RelaxConfig {
+        seed: 11,
+        md: MirrorDescentConfig {
+            max_iters: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // This rank's share of the distributed run.
+    let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
+    let exec = Executor::new(comm, &shard);
+    let relax = exec.relax(budget, &cfg);
+    let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+    let mut stats = relax.comm_stats;
+    stats.merge(&round.comm_stats);
+
+    // Serial reference — the SelfComm instantiation of the same code —
+    // computed once on rank 0 and broadcast, not duplicated on every rank.
+    let mut ref_buf = vec![0.0f64; budget];
+    if comm.rank() == 0 {
+        let self_comm = SelfComm::new();
+        let full = ShardedProblem::replicate(&problem);
+        let ref_exec = Executor::serial(&self_comm, &full);
+        let ref_relax = ref_exec.relax(budget, &cfg);
+        let ref_run = ref_exec.round(&ref_relax.z_local, budget, eta, EigSolver::Exact);
+        for (slot, &idx) in ref_buf.iter_mut().zip(&ref_run.selected) {
+            *slot = idx as f64;
+        }
+    }
+    comm.bcast_f64(&mut ref_buf, 0);
+    let ref_selected: Vec<usize> = ref_buf.iter().map(|&v| v as usize).collect();
+
+    let selection_ok = round.selected == ref_selected;
+    if !selection_ok {
+        eprintln!(
+            "rank {}: selection diverged from the serial reference: {:?} vs {:?}",
+            comm.rank(),
+            round.selected,
+            ref_selected
+        );
+    }
+    let wire_ok = comm.size() == 1 || stats.time > Duration::ZERO;
+    if !wire_ok {
+        eprintln!("rank {}: expected nonzero measured wire time", comm.rank());
+    }
+
+    // Per-rank report, gathered over the mesh itself.
+    let ok = selection_ok && wire_ok;
+    let row = [
+        stats.time.as_secs_f64(),
+        stats.total_bytes() as f64,
+        stats.total_calls() as f64,
+        if ok { 1.0 } else { 0.0 },
+    ];
+    let all = comm.allgatherv_f64(&row);
+    if comm.rank() == 0 {
+        println!(
+            "Approx-FIRAL over SocketComm: p={} pool n={} d={} c={} budget={}",
+            comm.size(),
+            problem.pool_size(),
+            problem.dim(),
+            problem.num_classes,
+            budget
+        );
+        println!("selected (all ranks): {:?}", round.selected);
+        println!(
+            "serial SelfComm reference: {:?} -> {}",
+            ref_selected,
+            if selection_ok { "MATCH" } else { "MISMATCH" }
+        );
+        let mut table = Table::new(
+            "per-rank communication",
+            &["rank", "comm s", "MB", "calls", "verified"],
+        );
+        for (r, chunk) in all.chunks_exact(row.len()).enumerate() {
+            table.row(&[
+                r.to_string(),
+                format!("{:.4}", chunk[0]),
+                format!("{:.3}", chunk[1] / 1e6),
+                format!("{}", chunk[2] as u64),
+                if chunk[3] == 1.0 { "ok" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    // Every rank also fails if any peer failed, so the launch status is
+    // unambiguous regardless of which child the shell reports.
+    let all_ok = all.chunks_exact(row.len()).all(|c| c[3] == 1.0);
+    i32::from(!(ok && all_ok))
+}
+
+fn scaling_row_table(
+    title: &str,
+    comm: &SocketComm,
+    phase_headers: &[&str],
+    rows: Vec<(String, Vec<String>, CommStats)>,
+) {
+    if comm.rank() != 0 {
+        return;
+    }
+    let mut headers = vec!["p", "mode", "backend"];
+    headers.extend_from_slice(phase_headers);
+    headers.extend(COMM_HEADERS);
+    let mut table = Table::new(title.to_string(), &headers);
+    for (mode, phases, stats) in rows {
+        let mut row = vec![comm.size().to_string(), mode, "socket-proc".to_string()];
+        row.extend(phases);
+        row.extend(comm_cells(&stats));
+        table.row(&row);
+    }
+    if has_flag("--csv") {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+/// Fig. 6 RELAX scaling rows (strong + weak) at the launched rank count.
+fn workload_fig6(comm: &SocketComm) -> i32 {
+    let ncg: usize = arg_value("--ncg").unwrap_or(10);
+    let strong_n: usize = arg_value("--n").unwrap_or(24_000);
+    let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
+    let p = comm.size();
+    let mut rows = Vec::new();
+    for mode in ["strong", "weak"] {
+        let n = if mode == "strong" {
+            strong_n
+        } else {
+            per_rank * p
+        };
+        let problem = scaling_problem(100, 96, n, false, 7, 8);
+        let (timer, stats) = fig6_rank_body(&problem, ncg, comm);
+        rows.push((
+            mode.to_string(),
+            vec![
+                format!("{:.3}", timer.get("precond").as_secs_f64()),
+                format!("{:.3}", timer.get("cg").as_secs_f64()),
+                format!("{:.3}", timer.get("gradient").as_secs_f64()),
+                format!("{:.3}", timer.total().as_secs_f64()),
+            ],
+            stats,
+        ));
+    }
+    scaling_row_table(
+        "Fig. 6 — RELAX scaling over SocketComm processes (c=100, d=96)",
+        comm,
+        &["precond", "cg", "gradient", "total"],
+        rows,
+    );
+    0
+}
+
+/// Fig. 7 ROUND scaling rows (strong + weak) at the launched rank count.
+fn workload_fig7(comm: &SocketComm) -> i32 {
+    let strong_n: usize = arg_value("--n").unwrap_or(24_000);
+    let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
+    let p = comm.size();
+    let mut rows = Vec::new();
+    for mode in ["strong", "weak"] {
+        let n = if mode == "strong" {
+            strong_n
+        } else {
+            per_rank * p
+        };
+        let problem = scaling_problem(100, 96, n, false, 9, 10);
+        let (timer, stats) = fig7_rank_body(&problem, comm);
+        rows.push((
+            mode.to_string(),
+            vec![
+                format!("{:.4}", timer.get("objective").as_secs_f64()),
+                format!("{:.4}", timer.get("eig").as_secs_f64()),
+                format!("{:.4}", timer.get("other").as_secs_f64()),
+                format!("{:.4}", timer.total().as_secs_f64()),
+            ],
+            stats,
+        ));
+    }
+    scaling_row_table(
+        "Fig. 7 — ROUND scaling over SocketComm processes (c=100, d=96)",
+        comm,
+        &["objective", "eig", "other", "total"],
+        rows,
+    );
+    0
+}
+
+/// The `distributed_scaling` example's measurement at the launched rank
+/// count, over real processes (`examples/distributed_scaling.rs` runs the
+/// in-process backends; this is its multi-process counterpart).
+fn workload_scaling(comm: &SocketComm) -> i32 {
+    let ds = SyntheticConfig::new(8, 24)
+        .with_pool_size(4000)
+        .with_initial_per_class(2)
+        .with_seed(3)
+        .generate::<f32>();
+    let problem = selection_problem_from_dataset(&ds);
+    let budget = 8;
+    let eta = 8.0 * (problem.ehat() as f32).sqrt();
+    let cfg = RelaxConfig {
+        seed: 1,
+        md: MirrorDescentConfig {
+            max_iters: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
+    let exec = Executor::new(comm, &shard);
+    let relax = exec.relax(budget, &cfg);
+    let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+    let mut stats = relax.comm_stats;
+    stats.merge(&round.comm_stats);
+
+    // All ranks must agree on the selection; verify over the mesh.
+    let sel_f64: Vec<f64> = round.selected.iter().map(|&i| i as f64).collect();
+    let gathered = comm.allgatherv_f64(&sel_f64);
+    let consistent = gathered.chunks_exact(budget).all(|c| c == sel_f64);
+    if !consistent {
+        eprintln!("rank {}: ranks disagreed on the selection", comm.rank());
+    }
+    if comm.rank() == 0 {
+        println!(
+            "distributed_scaling over SocketComm processes: p={} pool n={} d={} c={}",
+            comm.size(),
+            problem.pool_size(),
+            problem.dim(),
+            problem.num_classes
+        );
+        println!(
+            "relax precond {:.3}s cg {:.3}s gradient {:.3}s | round {:.3}s | comm {:.4}s over {} calls / {:.2} MB",
+            relax.timer.get("precond").as_secs_f64(),
+            relax.timer.get("cg").as_secs_f64(),
+            relax.timer.get("gradient").as_secs_f64(),
+            round.timer.total().as_secs_f64(),
+            stats.time.as_secs_f64(),
+            stats.total_calls(),
+            stats.total_bytes() as f64 / 1e6,
+        );
+        println!("selected: {:?}", round.selected);
+    }
+    i32::from(!consistent)
+}

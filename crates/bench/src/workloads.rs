@@ -1,7 +1,17 @@
 //! Workload builders shared by the experiment binaries.
+//!
+//! The Fig. 6/7 scaling workloads are defined here **once** — problem
+//! construction plus the per-rank measurement body — so the standalone
+//! figure binaries (thread backend, all rank counts in one process) and
+//! `spmd_launch` (socket backend, one process per rank) measure the
+//! identical computation and differ only in transport.
 
-use firal_core::SelectionProblem;
-use firal_data::Dataset;
+use firal_comm::{CommStats, Communicator};
+use firal_core::{
+    EigSolver, Executor, MirrorDescentConfig, PhaseTimer, RelaxConfig, SelectionProblem,
+    ShardedProblem,
+};
+use firal_data::{extend_with_noise, Dataset, SyntheticConfig};
 use firal_linalg::Scalar;
 use firal_logreg::{LogisticRegression, TrainConfig};
 
@@ -31,9 +41,81 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, t0.elapsed().as_secs_f64())
 }
 
+/// The Fig. 6/7 pool: an embedding-style synthetic set, optionally grown
+/// with noise-perturbed replicas (the paper's extended-CIFAR construction,
+/// §IV-C). `seed`/`noise_seed` pin the dataset per figure.
+pub fn scaling_problem(
+    c: usize,
+    d: usize,
+    n: usize,
+    extended: bool,
+    seed: u64,
+    noise_seed: u64,
+) -> SelectionProblem<f32> {
+    let base_n = if extended { (n / 4).max(c * 4) } else { n };
+    let mut ds = SyntheticConfig::new(c, d)
+        .with_pool_size(base_n)
+        .with_initial_per_class(1)
+        .with_eval_size(c * 2)
+        .with_separation(4.0)
+        .with_normalize(true)
+        .with_seed(seed)
+        .generate::<f32>();
+    if extended {
+        ds = extend_with_noise(&ds, n, 0.1, noise_seed);
+    }
+    selection_problem_from_dataset(&ds)
+}
+
+/// The Fig. 6 solver configuration: exactly one mirror-descent iteration
+/// (the paper reports time per iteration) with `ncg` CG steps.
+pub fn fig6_relax_config(ncg: usize) -> RelaxConfig<f32> {
+    RelaxConfig {
+        md: MirrorDescentConfig {
+            max_iters: 1,
+            obj_rel_tol: 0.0,
+            ..Default::default()
+        },
+        probes: 10,
+        cg_tol: 0.0,
+        cg_max_iter: ncg,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+/// Fig. 6 per-rank body: one RELAX mirror-descent iteration on this rank's
+/// shard. Identical on every backend; returns the rank's phase breakdown
+/// and communication counters for the table row.
+pub fn fig6_rank_body(
+    problem: &SelectionProblem<f32>,
+    ncg: usize,
+    comm: &dyn Communicator,
+) -> (PhaseTimer, CommStats) {
+    let cfg = fig6_relax_config(ncg);
+    let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
+    let out = Executor::new(comm, &shard).relax(10, &cfg);
+    (out.timer, out.comm_stats)
+}
+
+/// Fig. 7 per-rank body: time for ROUND to select ONE point (the paper's
+/// metric) on this rank's shard.
+pub fn fig7_rank_body(
+    problem: &SelectionProblem<f32>,
+    comm: &dyn Communicator,
+) -> (PhaseTimer, CommStats) {
+    let budget = 1;
+    let eta = 4.0 * (problem.ehat() as f32).sqrt();
+    let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
+    let z_local = vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
+    let out = Executor::new(comm, &shard).round(&z_local, budget, eta, EigSolver::Exact);
+    (out.timer, out.comm_stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use firal_comm::SelfComm;
 
     #[test]
     fn problem_builder_shapes() {
@@ -52,5 +134,22 @@ mod tests {
         let (v, secs) = timed(|| 7);
         assert_eq!(v, 7);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn scaling_bodies_run_on_one_rank() {
+        let p = scaling_problem(3, 4, 40, false, 7, 8);
+        let comm = SelfComm::new();
+        let (timer6, stats6) = fig6_rank_body(&p, 4, &comm);
+        assert!(timer6.total().as_secs_f64() >= 0.0);
+        assert!(stats6.allreduce_calls > 0);
+        let (_, stats7) = fig7_rank_body(&p, &comm);
+        assert!(stats7.allgather_calls > 0);
+    }
+
+    #[test]
+    fn extended_problem_grows_the_pool() {
+        let p = scaling_problem(3, 4, 60, true, 7, 8);
+        assert_eq!(p.pool_size(), 60);
     }
 }

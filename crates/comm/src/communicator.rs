@@ -51,14 +51,19 @@ impl CommStats {
     /// Counters accumulated since an earlier snapshot of the same rank
     /// (pairs with [`Communicator::stats`] to attribute communication to one
     /// phase of a run without resetting the global counters).
+    ///
+    /// Subtraction saturates: if [`Communicator::reset_stats`] ran between
+    /// the snapshot and now, the earlier snapshot can exceed the current
+    /// counters, and a phase delta of zero is the honest answer — not a
+    /// debug-build panic or a release-build wraparound.
     pub fn since(&self, earlier: &CommStats) -> CommStats {
         CommStats {
-            allreduce_calls: self.allreduce_calls - earlier.allreduce_calls,
-            allreduce_bytes: self.allreduce_bytes - earlier.allreduce_bytes,
-            bcast_calls: self.bcast_calls - earlier.bcast_calls,
-            bcast_bytes: self.bcast_bytes - earlier.bcast_bytes,
-            allgather_calls: self.allgather_calls - earlier.allgather_calls,
-            allgather_bytes: self.allgather_bytes - earlier.allgather_bytes,
+            allreduce_calls: self.allreduce_calls.saturating_sub(earlier.allreduce_calls),
+            allreduce_bytes: self.allreduce_bytes.saturating_sub(earlier.allreduce_bytes),
+            bcast_calls: self.bcast_calls.saturating_sub(earlier.bcast_calls),
+            bcast_bytes: self.bcast_bytes.saturating_sub(earlier.bcast_bytes),
+            allgather_calls: self.allgather_calls.saturating_sub(earlier.allgather_calls),
+            allgather_bytes: self.allgather_bytes.saturating_sub(earlier.allgather_bytes),
             time: self.time.saturating_sub(earlier.time),
         }
     }
@@ -189,36 +194,44 @@ pub trait CommScalar: firal_linalg::Scalar {
     fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self>;
 }
 
-macro_rules! impl_comm_scalar {
-    ($t:ty) => {
-        impl CommScalar for $t {
-            fn allreduce(comm: &dyn Communicator, buf: &mut [Self], op: ReduceOp) {
-                let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
-                comm.allreduce_f64(&mut wide, op);
-                for (b, w) in buf.iter_mut().zip(wide.iter()) {
-                    *b = *w as $t;
-                }
-            }
-            fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) {
-                let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
-                comm.bcast_f64(&mut wide, root);
-                for (b, w) in buf.iter_mut().zip(wide.iter()) {
-                    *b = *w as $t;
-                }
-            }
-            fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self> {
-                let wide: Vec<f64> = local.iter().map(|&v| v as f64).collect();
-                comm.allgatherv_f64(&wide)
-                    .into_iter()
-                    .map(|v| v as $t)
-                    .collect()
-            }
+/// `f32` widens through a temporary `f64` staging buffer.
+impl CommScalar for f32 {
+    fn allreduce(comm: &dyn Communicator, buf: &mut [Self], op: ReduceOp) {
+        let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+        comm.allreduce_f64(&mut wide, op);
+        for (b, w) in buf.iter_mut().zip(wide.iter()) {
+            *b = *w as f32;
         }
-    };
+    }
+    fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) {
+        let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+        comm.bcast_f64(&mut wide, root);
+        for (b, w) in buf.iter_mut().zip(wide.iter()) {
+            *b = *w as f32;
+        }
+    }
+    fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self> {
+        let wide: Vec<f64> = local.iter().map(|&v| v as f64).collect();
+        comm.allgatherv_f64(&wide)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
+    }
 }
 
-impl_comm_scalar!(f32);
-impl_comm_scalar!(f64);
+/// `f64` already is the wire type: call straight through, no staging
+/// allocation on the hot path.
+impl CommScalar for f64 {
+    fn allreduce(comm: &dyn Communicator, buf: &mut [Self], op: ReduceOp) {
+        comm.allreduce_f64(buf, op);
+    }
+    fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) {
+        comm.bcast_f64(buf, root);
+    }
+    fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self> {
+        comm.allgatherv_f64(local)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -254,6 +267,38 @@ mod tests {
         assert_eq!(ReduceOp::Sum.combine(2.0, 3.0), 5.0);
         assert_eq!(ReduceOp::Max.combine(2.0, 3.0), 3.0);
         assert_eq!(ReduceOp::Min.combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn comm_scalar_f64_is_passthrough() {
+        let c = SelfComm::new();
+        let mut buf = vec![1.5f64, -2.25];
+        <f64 as CommScalar>::allreduce(&c, &mut buf, ReduceOp::Sum);
+        <f64 as CommScalar>::bcast(&c, &mut buf, 0);
+        assert_eq!(<f64 as CommScalar>::allgatherv(&c, &buf), vec![1.5, -2.25]);
+        // All three routed to the raw collectives (and were counted there).
+        let s = c.stats();
+        assert_eq!(
+            (s.allreduce_calls, s.bcast_calls, s.allgather_calls),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn stats_since_saturates_after_reset() {
+        // Snapshot, reset, one more call: the "since snapshot" delta must
+        // clamp at zero for the counters that went backwards, not panic.
+        let c = SelfComm::new();
+        let mut buf = vec![0.0; 8];
+        c.allreduce_f64(&mut buf, ReduceOp::Sum);
+        c.allreduce_f64(&mut buf, ReduceOp::Sum);
+        let snapshot = c.stats();
+        c.reset_stats();
+        c.allreduce_f64(&mut buf, ReduceOp::Sum);
+        let delta = c.stats().since(&snapshot);
+        assert_eq!(delta.allreduce_calls, 0);
+        assert_eq!(delta.allreduce_bytes, 0);
+        assert_eq!(delta.time, Duration::ZERO);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Simulated message-passing substrate.
+//! Message-passing substrate: simulated *and* real transports.
 //!
 //! The paper's implementation distributes the unlabeled pool across GPUs and
 //! uses three MPI collectives (§III-C): `MPI_Allreduce` (preconditioner and
@@ -10,10 +10,16 @@
 //! * [`Communicator`] — the collective interface the SPMD algorithms in
 //!   `firal-core::parallel` are written against;
 //! * [`SelfComm`] — the trivial single-rank implementation;
-//! * [`ThreadComm`]/[`launch`] — a real multi-rank implementation: `p` OS
-//!   threads with shared-memory collectives (deposit/combine with
-//!   deterministic rank-ordered reduction, so every rank computes bitwise
-//!   identical results);
+//! * [`ThreadComm`]/[`launch`] — `p` OS threads with shared-memory
+//!   collectives (deposit/combine with deterministic rank-ordered
+//!   reduction, so every rank computes bitwise identical results);
+//! * [`SocketComm`]/[`socket_launch`]/[`fork_self`] — the **process-level
+//!   backend**: a full TCP (localhost) socket mesh with a rank-0
+//!   rendezvous, the same rank-ordered reduction contract, and real wire
+//!   time in [`CommStats::time`]. `spmd_launch` (in `firal-bench`) forks
+//!   `p` processes of itself and joins them via [`SocketComm::from_env`];
+//! * [`wire`] — the framing and MAXLOC encoding every real transport
+//!   shares, defined once;
 //! * [`CostModel`] — the latency/bandwidth/compute model of Thakur,
 //!   Rabenseifner & Gropp that the paper uses for its theoretical
 //!   performance bars (recursive-doubling allreduce/allgather, binomial-tree
@@ -21,19 +27,67 @@
 //! * per-rank [`CommStats`] — call/byte/second counters per collective, the
 //!   measured "MPI communication" series of Figs. 6–7.
 //!
-//! Substitution note: a shared-memory deposit/combine collective has the
-//! same semantics as its MPI counterpart (same reduction order on every
-//! rank, same synchronization points), so algorithm behaviour — including
-//! the data decomposition — is identical to the paper's; only the transport
-//! differs, which the cost model covers analytically.
+//! Substitution note: all backends implement the same rank-ordered
+//! deterministic reduction (the property MPI guarantees for deterministic
+//! reduction orders), so algorithm behaviour — including the data
+//! decomposition — is identical to the paper's across [`SelfComm`],
+//! [`ThreadComm`], and [`SocketComm`]; only the transport differs.
 
 pub mod communicator;
 pub mod cost;
+pub mod socket_comm;
 pub mod thread_comm;
+pub mod wire;
 
 pub use communicator::{CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
 pub use cost::CostModel;
+pub use socket_comm::{fork_self, free_rendezvous_addr, socket_launch, SocketComm};
 pub use thread_comm::{launch, ThreadComm};
+
+/// Which multi-rank transport a harness should launch ranks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Shared-memory [`ThreadComm`] ranks (OS threads, no wire).
+    #[default]
+    Thread,
+    /// [`SocketComm`] ranks over real localhost TCP.
+    Socket,
+}
+
+impl Backend {
+    /// Lower-case tag used in table columns and CLI flags.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Backend::Thread => "thread",
+            Backend::Socket => "socket",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "thread" => Ok(Backend::Thread),
+            "socket" => Ok(Backend::Socket),
+            other => Err(format!("unknown backend {other:?} (thread|socket)")),
+        }
+    }
+}
+
+/// Run an SPMD closure on `p` ranks over the chosen [`Backend`], erasing
+/// the concrete communicator type. Both transports satisfy the same
+/// deterministic reduction contract, so results are interchangeable.
+pub fn launch_backend<R, F>(backend: Backend, p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&dyn Communicator) -> R + Sync,
+{
+    match backend {
+        Backend::Thread => launch(p, |comm| f(comm)),
+        Backend::Socket => socket_launch(p, |comm| f(comm)),
+    }
+}
 
 /// Evenly shard `n` items across `size` ranks; returns the index range owned
 /// by `rank` (first `n % size` ranks get one extra item). This is the pool
@@ -71,6 +125,26 @@ mod tests {
             let max = *lens.iter().max().unwrap();
             let min = *lens.iter().min().unwrap();
             assert!(max - min <= 1, "n={n}: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn backend_tags_roundtrip() {
+        for b in [Backend::Thread, Backend::Socket] {
+            assert_eq!(b.tag().parse::<Backend>().unwrap(), b);
+        }
+        assert!("mpi".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn launch_backend_runs_either_transport() {
+        for backend in [Backend::Thread, Backend::Socket] {
+            let sums = launch_backend(backend, 3, |comm| {
+                let mut x = vec![(comm.rank() + 1) as f64];
+                comm.allreduce_f64(&mut x, ReduceOp::Sum);
+                x[0]
+            });
+            assert_eq!(sums, vec![6.0, 6.0, 6.0], "{backend:?}");
         }
     }
 }

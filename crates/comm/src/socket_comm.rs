@@ -1,0 +1,805 @@
+//! Inter-process communicator over a localhost TCP socket mesh.
+//!
+//! [`SocketComm`] is the first *process-level* transport behind
+//! [`Communicator`]: every algorithm, bench, and test written against the
+//! trait runs over real wire I/O unchanged, with measured socket time
+//! flowing into [`CommStats::time`].
+//!
+//! # Rendezvous protocol
+//!
+//! A group of `p` processes (or threads — see [`socket_launch`]) wires
+//! itself into a full mesh in three steps, all framed by [`crate::wire`]
+//! (little-endian `u64`s, length-prefixed buffers, [`wire::MAGIC`] sanity
+//! words):
+//!
+//! 1. **Rendezvous.** Rank 0 listens on the agreed address (from
+//!    [`ENV_ADDR`] or a caller argument). Every other rank binds its own
+//!    ephemeral *mesh listener*, connects to rank 0, and sends
+//!    `MAGIC, rank, mesh-listener-address`. These rendezvous connections
+//!    double as the rank-0 ↔ rank-r mesh links.
+//! 2. **Address table.** Once all `p - 1` ranks have checked in, rank 0
+//!    replies on each link with `MAGIC, p, addr(1), …, addr(p-1)`.
+//! 3. **Mesh completion.** Each rank `r > 0` connects to the mesh listener
+//!    of every rank `1 ≤ i < r` (announcing itself with `MAGIC, r`) and
+//!    accepts one connection from every rank `j > r`. A closing barrier
+//!    through rank 0 makes construction a synchronization point, like
+//!    `MPI_Init`.
+//!
+//! # Collectives
+//!
+//! Data collectives run hub-style through rank 0, which performs the
+//! reduction **in rank order** — the same deterministic contract as
+//! [`crate::ThreadComm`], so both backends produce bitwise-identical
+//! results — and returns the result on every link. `bcast` uses the direct
+//! root → peer mesh links. MAXLOC carries its payload in the separate
+//! integer lane of [`wire::MaxLoc`] and reduces via the shared
+//! [`wire::MaxLoc::reduce_rank_ordered`] semantics.
+//!
+//! # Launching
+//!
+//! * Multi-process: the `spmd_launch` binary (`crates/bench`) re-executes
+//!   itself `p` times via [`fork_self`], with [`ENV_RANK`]/[`ENV_SIZE`]/
+//!   [`ENV_ADDR`] telling each child who it is; children join the group
+//!   with [`SocketComm::from_env`].
+//! * In-process: [`socket_launch`]`(p, f)` runs the closure on `p` OS
+//!   threads whose endpoints still talk over real localhost TCP — the
+//!   test/bench harness for the socket path.
+
+use std::cell::{RefCell, RefMut};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use crate::communicator::{CommStats, Communicator, ReduceOp};
+use crate::wire::{self, MaxLoc, MAGIC};
+
+/// Env var carrying this process's rank (set by the launcher).
+pub const ENV_RANK: &str = "FIRAL_SPMD_RANK";
+/// Env var carrying the group size.
+pub const ENV_SIZE: &str = "FIRAL_SPMD_SIZE";
+/// Env var carrying the rank-0 rendezvous address (`host:port`).
+pub const ENV_ADDR: &str = "FIRAL_SPMD_ADDR";
+
+/// How long ranks keep retrying the rendezvous (rank 0 may still be
+/// starting, or its port may be briefly unavailable).
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+const RETRY_PAUSE: Duration = Duration::from_millis(20);
+
+/// Buffered duplex view of one mesh link.
+struct Peer {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Peer {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+fn expect_magic(r: &mut impl Read) -> io::Result<()> {
+    if wire::read_u64(r)? != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic on the SPMD wire (stray connection or protocol mismatch)",
+        ));
+    }
+    Ok(())
+}
+
+fn connect_retry(addr: &str) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(RETRY_PAUSE);
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("rendezvous with rank 0 at {addr} timed out: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+fn bind_retry(addr: &str) -> io::Result<TcpListener> {
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(RETRY_PAUSE);
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("rank 0 could not bind the rendezvous address {addr}: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// One rank's endpoint of a TCP process group (see the module docs for the
+/// rendezvous protocol and collective algorithms).
+pub struct SocketComm {
+    rank: usize,
+    size: usize,
+    /// Mesh links indexed by peer rank; `None` at our own slot.
+    peers: Vec<Option<RefCell<Peer>>>,
+    stats: RefCell<CommStats>,
+}
+
+impl SocketComm {
+    /// Join a `size`-rank group as `rank`, rendezvousing at `rendezvous`
+    /// (rank 0 binds it; everyone else connects). Blocks until the whole
+    /// mesh is wired.
+    pub fn connect(rank: usize, size: usize, rendezvous: &str) -> io::Result<Self> {
+        Self::connect_inner(rank, size, rendezvous, None)
+    }
+
+    /// Join a group using env-var coordinates ([`ENV_RANK`], [`ENV_SIZE`],
+    /// [`ENV_ADDR`]); `None` when [`ENV_RANK`] is unset, i.e. the process
+    /// was not started by an SPMD launcher.
+    pub fn from_env() -> Option<io::Result<Self>> {
+        let rank_var = std::env::var(ENV_RANK).ok()?;
+        let parse = move || -> io::Result<Self> {
+            let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidInput, what.to_string());
+            let rank: usize = rank_var
+                .parse()
+                .map_err(|_| bad("unparsable FIRAL_SPMD_RANK"))?;
+            let size: usize = std::env::var(ENV_SIZE)
+                .map_err(|_| bad("FIRAL_SPMD_SIZE missing"))?
+                .parse()
+                .map_err(|_| bad("unparsable FIRAL_SPMD_SIZE"))?;
+            let addr = std::env::var(ENV_ADDR).map_err(|_| bad("FIRAL_SPMD_ADDR missing"))?;
+            Self::connect(rank, size, &addr)
+        };
+        Some(parse())
+    }
+
+    fn connect_inner(
+        rank: usize,
+        size: usize,
+        rendezvous: &str,
+        pre_bound: Option<TcpListener>,
+    ) -> io::Result<Self> {
+        assert!(size > 0, "SPMD group needs at least one rank");
+        assert!(rank < size, "rank {rank} out of {size}");
+        let mut peers: Vec<Option<RefCell<Peer>>> = (0..size).map(|_| None).collect();
+        if size == 1 {
+            return Ok(Self {
+                rank,
+                size,
+                peers,
+                stats: RefCell::new(CommStats::default()),
+            });
+        }
+
+        if rank == 0 {
+            let listener = match pre_bound {
+                Some(l) => l,
+                None => bind_retry(rendezvous)?,
+            };
+            let mut addrs: Vec<Option<String>> = vec![None; size];
+            for _ in 1..size {
+                let (stream, _) = listener.accept()?;
+                let mut peer = Peer::new(stream)?;
+                expect_magic(&mut peer.reader)?;
+                let r = wire::read_u64(&mut peer.reader)? as usize;
+                if r == 0 || r >= size || peers[r].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("rendezvous received invalid or duplicate rank {r}"),
+                    ));
+                }
+                addrs[r] = Some(wire::read_str(&mut peer.reader)?);
+                peers[r] = Some(RefCell::new(peer));
+            }
+            for r in 1..size {
+                let cell = peers[r].as_ref().expect("all ranks checked in");
+                let mut p = cell.borrow_mut();
+                wire::write_u64(&mut p.writer, MAGIC)?;
+                wire::write_u64(&mut p.writer, size as u64)?;
+                for a in addrs.iter().skip(1) {
+                    wire::write_str(&mut p.writer, a.as_ref().expect("table complete"))?;
+                }
+                p.writer.flush()?;
+            }
+        } else {
+            // Our own listener for the mesh links from higher ranks.
+            let mesh_listener = TcpListener::bind("127.0.0.1:0")?;
+            let my_addr = mesh_listener.local_addr()?.to_string();
+
+            let mut p0 = Peer::new(connect_retry(rendezvous)?)?;
+            wire::write_u64(&mut p0.writer, MAGIC)?;
+            wire::write_u64(&mut p0.writer, rank as u64)?;
+            wire::write_str(&mut p0.writer, &my_addr)?;
+            p0.writer.flush()?;
+
+            expect_magic(&mut p0.reader)?;
+            let echoed = wire::read_u64(&mut p0.reader)? as usize;
+            if echoed != size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("group-size mismatch: launcher says {size}, rank 0 says {echoed}"),
+                ));
+            }
+            let mut table = Vec::with_capacity(size - 1);
+            for _ in 1..size {
+                table.push(wire::read_str(&mut p0.reader)?);
+            }
+            peers[0] = Some(RefCell::new(p0));
+
+            // Connect towards lower ranks, accept from higher ones.
+            for i in 1..rank {
+                let mut p = Peer::new(connect_retry(&table[i - 1])?)?;
+                wire::write_u64(&mut p.writer, MAGIC)?;
+                wire::write_u64(&mut p.writer, rank as u64)?;
+                p.writer.flush()?;
+                peers[i] = Some(RefCell::new(p));
+            }
+            for _ in rank + 1..size {
+                let (stream, _) = mesh_listener.accept()?;
+                let mut p = Peer::new(stream)?;
+                expect_magic(&mut p.reader)?;
+                let j = wire::read_u64(&mut p.reader)? as usize;
+                if j <= rank || j >= size || peers[j].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("mesh link from invalid or duplicate rank {j}"),
+                    ));
+                }
+                peers[j] = Some(RefCell::new(p));
+            }
+        }
+
+        let comm = Self {
+            rank,
+            size,
+            peers,
+            stats: RefCell::new(CommStats::default()),
+        };
+        // Construction is a sync point (like MPI_Init): nobody proceeds
+        // until the whole mesh is wired.
+        comm.hub_barrier().map_err(|e| {
+            io::Error::new(e.kind(), format!("post-rendezvous barrier failed: {e}"))
+        })?;
+        Ok(comm)
+    }
+
+    fn peer(&self, r: usize) -> RefMut<'_, Peer> {
+        self.peers[r]
+            .as_ref()
+            .expect("no mesh link at this slot (own rank?)")
+            .borrow_mut()
+    }
+
+    fn die(&self, what: &str, e: &io::Error) -> ! {
+        panic!(
+            "SocketComm rank {}/{}: {what} failed: {e} (a peer rank likely died)",
+            self.rank, self.size
+        );
+    }
+
+    fn hub_barrier(&self) -> io::Result<()> {
+        if self.size == 1 {
+            return Ok(());
+        }
+        if self.rank == 0 {
+            for r in 1..self.size {
+                expect_magic(&mut self.peer(r).reader)?;
+            }
+            for r in 1..self.size {
+                let mut p = self.peer(r);
+                wire::write_u64(&mut p.writer, MAGIC)?;
+                p.writer.flush()?;
+            }
+        } else {
+            let mut p = self.peer(0);
+            wire::write_u64(&mut p.writer, MAGIC)?;
+            p.writer.flush()?;
+            expect_magic(&mut p.reader)?;
+        }
+        Ok(())
+    }
+
+    /// Gather to rank 0, reduce in rank order, return the result to all —
+    /// bitwise identical to [`crate::ThreadComm`]'s deposit/combine.
+    fn hub_allreduce(&self, buf: &mut [f64], op: ReduceOp) -> io::Result<()> {
+        if self.rank == 0 {
+            let mut contrib = vec![0.0; buf.len()];
+            for r in 1..self.size {
+                wire::read_f64s_into(&mut self.peer(r).reader, &mut contrib)?;
+                for (b, v) in buf.iter_mut().zip(contrib.iter()) {
+                    *b = op.combine(*b, *v);
+                }
+            }
+            for r in 1..self.size {
+                let mut p = self.peer(r);
+                wire::write_f64s(&mut p.writer, buf)?;
+                p.writer.flush()?;
+            }
+        } else {
+            let mut p = self.peer(0);
+            wire::write_f64s(&mut p.writer, buf)?;
+            p.writer.flush()?;
+            wire::read_f64s_into(&mut p.reader, buf)?;
+        }
+        Ok(())
+    }
+
+    fn hub_bcast(&self, buf: &mut [f64], root: usize) -> io::Result<()> {
+        if self.rank == root {
+            for r in 0..self.size {
+                if r == root {
+                    continue;
+                }
+                let mut p = self.peer(r);
+                wire::write_f64s(&mut p.writer, buf)?;
+                p.writer.flush()?;
+            }
+        } else {
+            wire::read_f64s_into(&mut self.peer(root).reader, buf)?;
+        }
+        Ok(())
+    }
+
+    fn hub_allgatherv(&self, local: &[f64]) -> io::Result<Vec<f64>> {
+        if self.rank == 0 {
+            let mut out = local.to_vec();
+            for r in 1..self.size {
+                out.extend(wire::read_f64s(&mut self.peer(r).reader)?);
+            }
+            for r in 1..self.size {
+                let mut p = self.peer(r);
+                wire::write_f64s(&mut p.writer, &out)?;
+                p.writer.flush()?;
+            }
+            Ok(out)
+        } else {
+            let mut p = self.peer(0);
+            wire::write_f64s(&mut p.writer, local)?;
+            p.writer.flush()?;
+            wire::read_f64s(&mut p.reader)
+        }
+    }
+
+    fn hub_maxloc(&self, own: MaxLoc) -> io::Result<MaxLoc> {
+        if self.rank == 0 {
+            let mut contribs = Vec::with_capacity(self.size);
+            contribs.push(own);
+            let mut frame = [0u8; MaxLoc::WIRE_BYTES];
+            for r in 1..self.size {
+                self.peer(r).reader.read_exact(&mut frame)?;
+                contribs.push(MaxLoc::decode(&frame));
+            }
+            let best = MaxLoc::reduce_rank_ordered(contribs);
+            for r in 1..self.size {
+                let mut p = self.peer(r);
+                p.writer.write_all(&best.encode())?;
+                p.writer.flush()?;
+            }
+            Ok(best)
+        } else {
+            let mut p = self.peer(0);
+            p.writer.write_all(&own.encode())?;
+            p.writer.flush()?;
+            let mut frame = [0u8; MaxLoc::WIRE_BYTES];
+            p.reader.read_exact(&mut frame)?;
+            Ok(MaxLoc::decode(&frame))
+        }
+    }
+}
+
+impl Communicator for SocketComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn barrier(&self) {
+        self.hub_barrier()
+            .unwrap_or_else(|e| self.die("barrier", &e));
+    }
+
+    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        let t0 = Instant::now();
+        if self.size > 1 {
+            self.hub_allreduce(buf, op)
+                .unwrap_or_else(|e| self.die("allreduce", &e));
+        }
+        let mut st = self.stats.borrow_mut();
+        st.allreduce_calls += 1;
+        st.allreduce_bytes += (buf.len() * 8) as u64;
+        st.time += t0.elapsed();
+    }
+
+    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+        let t0 = Instant::now();
+        assert!(root < self.size, "bcast root out of range");
+        if self.size > 1 {
+            self.hub_bcast(buf, root)
+                .unwrap_or_else(|e| self.die("bcast", &e));
+        }
+        let mut st = self.stats.borrow_mut();
+        st.bcast_calls += 1;
+        st.bcast_bytes += (buf.len() * 8) as u64;
+        st.time += t0.elapsed();
+    }
+
+    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        let t0 = Instant::now();
+        let out = if self.size > 1 {
+            self.hub_allgatherv(local)
+                .unwrap_or_else(|e| self.die("allgatherv", &e))
+        } else {
+            local.to_vec()
+        };
+        let mut st = self.stats.borrow_mut();
+        st.allgather_calls += 1;
+        st.allgather_bytes += (local.len() * 8) as u64;
+        st.time += t0.elapsed();
+        out
+    }
+
+    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        let t0 = Instant::now();
+        let own = MaxLoc { value, payload };
+        let best = if self.size > 1 {
+            self.hub_maxloc(own)
+                .unwrap_or_else(|e| self.die("allreduce_maxloc", &e))
+        } else {
+            own
+        };
+        let mut st = self.stats.borrow_mut();
+        st.allreduce_calls += 1;
+        st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
+        st.time += t0.elapsed();
+        (best.value, best.payload)
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// Reserve a free localhost rendezvous address by binding an ephemeral
+/// port and releasing it. The launcher hands the address to all ranks and
+/// rank 0 re-binds it; the window between release and re-bind is the
+/// standard (tiny) ephemeral-port race.
+pub fn free_rendezvous_addr() -> io::Result<String> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.to_string())
+}
+
+/// Parent side of an SPMD process launch: re-execute the current binary
+/// `size` times with identical arguments and the [`ENV_RANK`]/[`ENV_SIZE`]/
+/// [`ENV_ADDR`] coordinates set, inheriting stdio, and wait for all ranks.
+///
+/// Returns the first non-zero child exit code (0 when every rank
+/// succeeded). When any rank fails, the remaining ranks are killed — a
+/// dead peer would otherwise leave the survivors blocked in a collective
+/// forever.
+pub fn fork_self(size: usize) -> io::Result<i32> {
+    assert!(size > 0, "SPMD launch needs at least one rank");
+    let exe = std::env::current_exe()?;
+    let args: Vec<std::ffi::OsString> = std::env::args_os().skip(1).collect();
+    let addr = free_rendezvous_addr()?;
+    let mut children = Vec::with_capacity(size);
+    for rank in 0..size {
+        children.push(
+            Command::new(&exe)
+                .args(&args)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_SIZE, size.to_string())
+                .env(ENV_ADDR, &addr)
+                .spawn()?,
+        );
+    }
+
+    let mut codes: Vec<Option<i32>> = vec![None; size];
+    loop {
+        let mut all_done = true;
+        let mut failed = false;
+        for (r, child) in children.iter_mut().enumerate() {
+            if codes[r].is_some() {
+                continue;
+            }
+            match child.try_wait()? {
+                Some(status) => {
+                    // Signal deaths surface as a generic failure code.
+                    let code = status.code().unwrap_or(-1);
+                    codes[r] = Some(code);
+                    failed |= code != 0;
+                }
+                None => all_done = false,
+            }
+        }
+        if failed {
+            for (r, child) in children.iter_mut().enumerate() {
+                if codes[r].is_none() {
+                    let _ = child.kill();
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Ok(codes.into_iter().flatten().find(|&c| c != 0).unwrap_or(0))
+}
+
+/// Run an SPMD closure on `p` ranks held by OS threads whose endpoints
+/// communicate over real localhost TCP — the drop-in socket-backend
+/// counterpart of [`crate::launch`], used by tests and the scaling
+/// harnesses. Results are collected in rank order.
+///
+/// ```
+/// let sums = firal_comm::socket_launch(3, |comm| {
+///     use firal_comm::{Communicator, ReduceOp};
+///     let mut x = vec![(comm.rank() + 1) as f64];
+///     comm.allreduce_f64(&mut x, ReduceOp::Sum);
+///     x[0]
+/// });
+/// assert_eq!(sums, vec![6.0, 6.0, 6.0]);
+/// ```
+pub fn socket_launch<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SocketComm) -> R + Sync,
+{
+    assert!(p > 0, "socket_launch needs at least one rank");
+    // Bind the rendezvous listener up front (no release/re-bind race) and
+    // hand it to rank 0 directly.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("no free localhost port");
+    let addr = listener
+        .local_addr()
+        .expect("rendezvous address unavailable")
+        .to_string();
+    let mut rank0_listener = Some(listener);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let addr = addr.clone();
+                let pre_bound = if rank == 0 {
+                    rank0_listener.take()
+                } else {
+                    None
+                };
+                let f = &f;
+                scope.spawn(move || {
+                    let comm = SocketComm::connect_inner(rank, p, &addr, pre_bound)
+                        .expect("socket rendezvous failed");
+                    f(&comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_all_ranks_agree() {
+        for p in [1usize, 2, 4] {
+            let results = socket_launch(p, |comm| {
+                let mut buf = vec![comm.rank() as f64 + 1.0, 10.0 * (comm.rank() as f64 + 1.0)];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                buf
+            });
+            let expected0: f64 = (1..=p).map(|r| r as f64).sum();
+            for r in results {
+                assert_eq!(r[0], expected0);
+                assert_eq!(r[1], 10.0 * expected0);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let results = socket_launch(4, |comm| {
+            let mut mx = vec![comm.rank() as f64];
+            comm.allreduce_f64(&mut mx, ReduceOp::Max);
+            let mut mn = vec![comm.rank() as f64];
+            comm.allreduce_f64(&mut mn, ReduceOp::Min);
+            (mx[0], mn[0])
+        });
+        for (mx, mn) in results {
+            assert_eq!(mx, 3.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..3 {
+            let results = socket_launch(3, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42.0, 7.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.bcast_f64(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, 7.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_variable_lengths_in_rank_order() {
+        let results = socket_launch(3, |comm| {
+            // Rank r contributes r+1 copies of r — deliberately unequal.
+            let local = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgatherv_f64(&local)
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_handles_empty_contributions() {
+        let results = socket_launch(3, |comm| {
+            let local = if comm.rank() == 1 {
+                vec![]
+            } else {
+                vec![comm.rank() as f64]
+            };
+            comm.allgatherv_f64(&local)
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn maxloc_finds_global_argmax_with_payload() {
+        let results = socket_launch(4, |comm| {
+            let value = if comm.rank() == 2 {
+                100.0
+            } else {
+                comm.rank() as f64
+            };
+            comm.allreduce_maxloc(value, 1000 + comm.rank() as u64)
+        });
+        for (v, p) in results {
+            assert_eq!(v, 100.0);
+            assert_eq!(p, 1002);
+        }
+    }
+
+    #[test]
+    fn maxloc_tie_prefers_lowest_rank() {
+        let results = socket_launch(3, |comm| comm.allreduce_maxloc(1.0, comm.rank() as u64));
+        for (_, p) in results {
+            assert_eq!(p, 0);
+        }
+    }
+
+    #[test]
+    fn maxloc_all_neg_infinity_propagates_rank0_sentinel() {
+        let results = socket_launch(3, |comm| comm.allreduce_maxloc(f64::NEG_INFINITY, u64::MAX));
+        for (v, p) in results {
+            assert_eq!(v, f64::NEG_INFINITY);
+            assert_eq!(p, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn maxloc_preserves_full_payload_bits() {
+        let big = u64::MAX - 12345;
+        let results = socket_launch(2, move |comm| {
+            comm.allreduce_maxloc(comm.rank() as f64, big)
+        });
+        for (_, p) in results {
+            assert_eq!(p, big);
+        }
+    }
+
+    #[test]
+    fn repeated_mixed_collectives_compose() {
+        let results = socket_launch(3, |comm| {
+            let mut acc = 0.0;
+            for round in 0..10 {
+                let mut buf = vec![(comm.rank() * round) as f64];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                let gathered = comm.allgatherv_f64(&buf[..1]);
+                let mut top = vec![gathered.iter().sum::<f64>()];
+                comm.bcast_f64(&mut top, round % 3);
+                comm.barrier();
+                acc += top[0];
+            }
+            acc
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn stats_track_real_wire_time() {
+        let results = socket_launch(2, |comm| {
+            let mut buf = vec![0.5; 4096];
+            for _ in 0..8 {
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            }
+            comm.bcast_f64(&mut buf, 0);
+            let _ = comm.allgatherv_f64(&buf[..16]);
+            comm.stats()
+        });
+        for s in results {
+            assert_eq!(s.allreduce_calls, 8);
+            assert_eq!(s.allreduce_bytes, 8 * 4096 * 8);
+            assert_eq!(s.bcast_calls, 1);
+            assert_eq!(s.allgather_calls, 1);
+            // Real socket round-trips: measurable, nonzero wire time.
+            assert!(s.time > Duration::ZERO, "expected nonzero wire time");
+        }
+    }
+
+    #[test]
+    fn deterministic_reduction_matches_thread_backend_bitwise() {
+        // Same contributions through both backends must reduce to the same
+        // bits: they share the rank-ordered reduction contract.
+        let contribution = |rank: usize| vec![[1.0e16, 1.0, -1.0e16][rank % 3]];
+        let socket = socket_launch(4, |comm| {
+            let mut buf = contribution(comm.rank());
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        let thread = crate::launch(4, |comm| {
+            let mut buf = contribution(comm.rank());
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        assert!(socket.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(socket, thread);
+    }
+
+    #[test]
+    fn single_rank_group_needs_no_sockets() {
+        let comm = SocketComm::connect(0, 1, "127.0.0.1:1").expect("p=1 must not dial");
+        let mut buf = vec![3.0];
+        comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+        assert_eq!(buf, vec![3.0]);
+        assert_eq!(comm.allgatherv_f64(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(comm.allreduce_maxloc(5.0, 9), (5.0, 9));
+        assert_eq!(comm.stats().allreduce_calls, 2);
+    }
+
+    #[test]
+    fn from_env_is_none_outside_spmd() {
+        // The test harness never sets the rank var globally.
+        assert!(std::env::var(ENV_RANK).is_err());
+        assert!(SocketComm::from_env().is_none());
+    }
+}

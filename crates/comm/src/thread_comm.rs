@@ -20,6 +20,7 @@ use std::sync::{Arc, Barrier, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use crate::communicator::{CommStats, Communicator, ReduceOp};
+use crate::wire::MaxLoc;
 
 /// Pad each slot to its own cache line so rank publications don't false-share.
 #[repr(align(128))]
@@ -31,14 +32,25 @@ impl<T> CachePadded<T> {
     }
 }
 
+/// One rank's deposit: the float buffer plus a separate integer lane for
+/// the MAXLOC payload. Keeping the payload out of the `f64` buffer matches
+/// the shared wire format ([`crate::wire::MaxLoc`]) and avoids bit-punning
+/// indices through floats, which can canonicalize NaN-aliasing patterns on
+/// some targets.
+#[derive(Default)]
+struct Slot {
+    data: Vec<f64>,
+    payload: u64,
+}
+
 struct Shared {
     size: usize,
-    slots: Vec<CachePadded<RwLock<Vec<f64>>>>,
+    slots: Vec<CachePadded<RwLock<Slot>>>,
     barrier: Barrier,
 }
 
 impl Shared {
-    fn read_slot(&self, rank: usize) -> RwLockReadGuard<'_, Vec<f64>> {
+    fn read_slot(&self, rank: usize) -> RwLockReadGuard<'_, Slot> {
         self.slots[rank].0.read().expect("slot lock poisoned")
     }
 }
@@ -60,12 +72,17 @@ impl ThreadComm {
     }
 
     fn publish(&self, data: &[f64]) {
+        self.publish_with_payload(data, 0);
+    }
+
+    fn publish_with_payload(&self, data: &[f64], payload: u64) {
         let mut slot = self.shared.slots[self.rank]
             .0
             .write()
             .expect("slot lock poisoned");
-        slot.clear();
-        slot.extend_from_slice(data);
+        slot.data.clear();
+        slot.data.extend_from_slice(data);
+        slot.payload = payload;
     }
 }
 
@@ -89,15 +106,15 @@ impl Communicator for ThreadComm {
         {
             let s0 = self.shared.read_slot(0);
             assert_eq!(
-                s0.len(),
+                s0.data.len(),
                 buf.len(),
                 "allreduce length mismatch across ranks"
             );
-            buf.copy_from_slice(&s0);
+            buf.copy_from_slice(&s0.data);
         }
         for r in 1..self.shared.size {
             let s = self.shared.read_slot(r);
-            for (b, v) in buf.iter_mut().zip(s.iter()) {
+            for (b, v) in buf.iter_mut().zip(s.data.iter()) {
                 *b = op.combine(*b, *v);
             }
         }
@@ -117,8 +134,12 @@ impl Communicator for ThreadComm {
         self.shared.barrier.wait();
         if self.rank != root {
             let s = self.shared.read_slot(root);
-            assert_eq!(s.len(), buf.len(), "bcast length mismatch across ranks");
-            buf.copy_from_slice(&s);
+            assert_eq!(
+                s.data.len(),
+                buf.len(),
+                "bcast length mismatch across ranks"
+            );
+            buf.copy_from_slice(&s.data);
         }
         self.shared.barrier.wait();
         let mut st = self.stats.borrow_mut();
@@ -134,7 +155,7 @@ impl Communicator for ThreadComm {
         let mut out = Vec::new();
         for r in 0..self.shared.size {
             let s = self.shared.read_slot(r);
-            out.extend_from_slice(&s);
+            out.extend_from_slice(&s.data);
         }
         self.shared.barrier.wait();
         let mut st = self.stats.borrow_mut();
@@ -146,30 +167,25 @@ impl Communicator for ThreadComm {
 
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
         let t0 = Instant::now();
-        // Payload travels as raw bits so all 64 bits survive the f64 slot.
-        self.publish(&[value, f64::from_bits(payload)]);
+        // The payload rides the slot's integer lane — never through the
+        // f64 buffer (see [`crate::wire::MaxLoc`]).
+        self.publish_with_payload(&[value], payload);
         self.shared.barrier.wait();
-        // Seed from rank 0 so degenerate inputs (every rank at -inf with a
-        // sentinel payload) propagate a real contribution instead of a
-        // fabricated one; strict > then keeps the lowest rank on ties (MPI
-        // MAXLOC semantics).
-        let (mut best_val, mut best_payload) = {
-            let s0 = self.shared.read_slot(0);
-            (s0[0], s0[1].to_bits())
-        };
-        for r in 1..self.shared.size {
+        // Rank-ordered MAXLOC semantics (tie → lowest rank, all-(-inf) →
+        // rank 0's sentinel) come from the single shared definition.
+        let best = MaxLoc::reduce_rank_ordered((0..self.shared.size).map(|r| {
             let s = self.shared.read_slot(r);
-            if s[0] > best_val {
-                best_val = s[0];
-                best_payload = s[1].to_bits();
+            MaxLoc {
+                value: s.data[0],
+                payload: s.payload,
             }
-        }
+        }));
         self.shared.barrier.wait();
         let mut st = self.stats.borrow_mut();
         st.allreduce_calls += 1;
-        st.allreduce_bytes += 16;
+        st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
         st.time += t0.elapsed();
-        (best_val, best_payload)
+        (best.value, best.payload)
     }
 
     fn stats(&self) -> CommStats {
@@ -202,7 +218,7 @@ where
     let shared = Arc::new(Shared {
         size: p,
         slots: (0..p)
-            .map(|_| CachePadded::new(RwLock::new(Vec::new())))
+            .map(|_| CachePadded::new(RwLock::new(Slot::default())))
             .collect(),
         barrier: Barrier::new(p),
     });
@@ -333,6 +349,22 @@ mod tests {
         });
         for (_, p) in results {
             assert_eq!(p, big);
+        }
+    }
+
+    #[test]
+    fn maxloc_payload_survives_nan_aliasing_bit_patterns() {
+        // A payload that aliases a signaling-NaN f64 encoding must come
+        // back bit-exact — the hazard the separate integer lane removes.
+        let snan_bits = 0x7FF0_0000_0000_0001u64;
+        let results = launch(3, move |comm| {
+            let value = if comm.rank() == 1 { 5.0 } else { 0.0 };
+            let payload = if comm.rank() == 1 { snan_bits } else { 7 };
+            comm.allreduce_maxloc(value, payload)
+        });
+        for (v, p) in results {
+            assert_eq!(v, 5.0);
+            assert_eq!(p, snan_bits);
         }
     }
 

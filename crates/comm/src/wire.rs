@@ -1,0 +1,277 @@
+//! The wire format shared by the real transports.
+//!
+//! Everything a [`crate::Communicator`](crate::Communicator) puts on a wire
+//! is defined here exactly once, so every backend ([`crate::ThreadComm`]'s
+//! shared-memory slots, [`crate::SocketComm`]'s TCP frames, and any future
+//! process transport) agrees bit-for-bit:
+//!
+//! * integers are little-endian `u64`;
+//! * `f64` buffers travel as a `u64` element-count prefix followed by the
+//!   raw little-endian IEEE-754 bytes;
+//! * MAXLOC contributions are a [`MaxLoc`] record — the `f64` value and the
+//!   `u64` payload in **separate lanes**. The payload is never bit-punned
+//!   through a float: copying a `u64` through an `f64` register can
+//!   canonicalize NaN bit patterns on some targets (e.g. when a payload
+//!   happens to alias a signaling-NaN encoding), silently corrupting the
+//!   index it carries;
+//! * the MAXLOC reduction itself is [`MaxLoc::reduce_rank_ordered`], the
+//!   single definition of the tie/sentinel semantics every backend must
+//!   implement.
+
+use std::io::{self, Read, Write};
+
+/// Sanity magic exchanged during the [`crate::SocketComm`] rendezvous so a
+/// stray connection (or a rank built from an incompatible protocol
+/// revision) fails loudly instead of desynchronizing the mesh.
+pub const MAGIC: u64 = 0xF1AA_1C0D_E550_0001;
+
+/// One rank's MAXLOC contribution: a value and the opaque payload that
+/// travels with it (for Approx-FIRAL, the global pool index of the
+/// candidate point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxLoc {
+    /// The quantity being maximized.
+    pub value: f64,
+    /// Payload attached to the value; all 64 bits are preserved.
+    pub payload: u64,
+}
+
+impl MaxLoc {
+    /// Encoded size on the wire: `value` lane + `payload` lane.
+    pub const WIRE_BYTES: usize = 16;
+
+    /// Encode as two little-endian 8-byte lanes.
+    pub fn encode(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[..8].copy_from_slice(&self.value.to_bits().to_le_bytes());
+        out[8..].copy_from_slice(&self.payload.to_le_bytes());
+        out
+    }
+
+    /// Decode the two lanes written by [`MaxLoc::encode`].
+    pub fn decode(bytes: &[u8; Self::WIRE_BYTES]) -> Self {
+        let value = f64::from_bits(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+        let payload = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+        Self { value, payload }
+    }
+
+    /// MPI `MAXLOC` over contributions listed **in rank order**: the result
+    /// is seeded from the first (lowest-rank) record and replaced only on a
+    /// strictly greater value, so ties keep the lowest rank and the
+    /// degenerate all-`-inf` case propagates rank 0's sentinel payload
+    /// instead of fabricating one.
+    pub fn reduce_rank_ordered(contribs: impl IntoIterator<Item = MaxLoc>) -> MaxLoc {
+        let mut it = contribs.into_iter();
+        let mut best = it.next().expect("MAXLOC needs at least one contribution");
+        for c in it {
+            if c.value > best.value {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Write one little-endian `u64`.
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Read one little-endian `u64`.
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut bytes = [0u8; 8];
+    r.read_exact(&mut bytes)?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Ceiling on the element count of a single wire frame (2 GiB of `f64`s).
+/// A stream that desyncs mid-frame yields a garbage length; failing with
+/// `InvalidData` beats aborting the rank with an OOM.
+pub const MAX_WIRE_ELEMS: usize = 1 << 28;
+
+/// Write a length-prefixed `f64` buffer, staging through a small stack
+/// chunk (no per-call heap allocation on the hot path).
+pub fn write_f64s(w: &mut impl Write, data: &[f64]) -> io::Result<()> {
+    write_u64(w, data.len() as u64)?;
+    let mut chunk = [0u8; 4096];
+    for block in data.chunks(chunk.len() / 8) {
+        let mut used = 0;
+        for v in block {
+            chunk[used..used + 8].copy_from_slice(&v.to_le_bytes());
+            used += 8;
+        }
+        w.write_all(&chunk[..used])?;
+    }
+    Ok(())
+}
+
+/// Read a length-prefixed `f64` buffer into `out`, failing if the sender's
+/// length disagrees (the "length mismatch across ranks" contract check).
+pub fn read_f64s_into(r: &mut impl Read, out: &mut [f64]) -> io::Result<()> {
+    let n = read_u64(r)? as usize;
+    if n != out.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "collective length mismatch across ranks: got {n}, expected {}",
+                out.len()
+            ),
+        ));
+    }
+    read_f64_payload(r, out)
+}
+
+/// Read a length-prefixed `f64` buffer of sender-determined length
+/// (bounded by [`MAX_WIRE_ELEMS`] so a desynchronized stream fails loudly).
+pub fn read_f64s(r: &mut impl Read) -> io::Result<Vec<f64>> {
+    let n = read_u64(r)? as usize;
+    if n > MAX_WIRE_ELEMS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unreasonable frame length {n} on the wire (stream desync?)"),
+        ));
+    }
+    let mut out = vec![0.0; n];
+    read_f64_payload(r, &mut out)?;
+    Ok(out)
+}
+
+fn read_f64_payload(r: &mut impl Read, out: &mut [f64]) -> io::Result<()> {
+    // Decode through the same fixed stack chunk as the write path — no
+    // frame-sized heap allocation per read.
+    let mut chunk = [0u8; 4096];
+    for block in out.chunks_mut(chunk.len() / 8) {
+        let bytes = &mut chunk[..block.len() * 8];
+        r.read_exact(bytes)?;
+        for (v, b) in block.iter_mut().zip(bytes.chunks_exact(8)) {
+            *v = f64::from_le_bytes(b.try_into().unwrap());
+        }
+    }
+    Ok(())
+}
+
+/// Write a length-prefixed UTF-8 string (rendezvous addresses).
+pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_u64(r)? as usize;
+    if n > 4096 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable string length on the wire",
+        ));
+    }
+    let mut bytes = vec![0u8; n];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxloc_roundtrips_all_payload_bits() {
+        for payload in [0u64, 1, u64::MAX, u64::MAX - 12345, 0x7FF8_0000_0000_0001] {
+            let m = MaxLoc {
+                value: -3.25,
+                payload,
+            };
+            assert_eq!(MaxLoc::decode(&m.encode()), m);
+        }
+    }
+
+    #[test]
+    fn maxloc_roundtrips_nan_aliasing_payloads() {
+        // Payloads that alias NaN encodings in the value lane must survive
+        // untouched because they travel in the integer lane.
+        let nan_bits = f64::NAN.to_bits();
+        let m = MaxLoc {
+            value: 1.0,
+            payload: nan_bits,
+        };
+        assert_eq!(MaxLoc::decode(&m.encode()).payload, nan_bits);
+    }
+
+    #[test]
+    fn reduce_keeps_lowest_rank_on_ties() {
+        let r = MaxLoc::reduce_rank_ordered((0..4).map(|rank| MaxLoc {
+            value: 7.0,
+            payload: rank,
+        }));
+        assert_eq!(r.payload, 0);
+    }
+
+    #[test]
+    fn reduce_propagates_rank0_sentinel_when_all_neg_inf() {
+        let r = MaxLoc::reduce_rank_ordered([
+            MaxLoc {
+                value: f64::NEG_INFINITY,
+                payload: u64::MAX,
+            },
+            MaxLoc {
+                value: f64::NEG_INFINITY,
+                payload: 17,
+            },
+        ]);
+        assert_eq!(r.value, f64::NEG_INFINITY);
+        assert_eq!(r.payload, u64::MAX);
+    }
+
+    #[test]
+    fn reduce_picks_strict_maximum() {
+        let r = MaxLoc::reduce_rank_ordered([
+            MaxLoc {
+                value: 1.0,
+                payload: 10,
+            },
+            MaxLoc {
+                value: 5.0,
+                payload: 11,
+            },
+            MaxLoc {
+                value: 2.0,
+                payload: 12,
+            },
+        ]);
+        assert_eq!((r.value, r.payload), (5.0, 11));
+    }
+
+    #[test]
+    fn f64_frames_roundtrip() {
+        let data = vec![1.5, -2.0, f64::INFINITY, 0.0];
+        let mut buf = Vec::new();
+        write_f64s(&mut buf, &data).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_f64s(&mut cursor).unwrap(), data);
+
+        let mut cursor = &buf[..];
+        let mut out = vec![0.0; 4];
+        read_f64s_into(&mut cursor, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        let mut cursor = &buf[..];
+        let mut short = vec![0.0; 3];
+        assert!(read_f64s_into(&mut cursor, &mut short).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, (MAX_WIRE_ELEMS as u64) + 1).unwrap();
+        let mut cursor = &buf[..];
+        assert!(read_f64s(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "127.0.0.1:12345").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_str(&mut cursor).unwrap(), "127.0.0.1:12345");
+    }
+}

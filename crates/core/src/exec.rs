@@ -10,7 +10,12 @@
 //!   layer over [`firal_comm::SelfComm`] with the trivial shard
 //!   (`offset = 0`, `local_n = n`);
 //! * the SPMD entry points ([`crate::parallel`]) instantiate the same code
-//!   over a real process group (e.g. [`firal_comm::ThreadComm`]).
+//!   over a real rank group — [`firal_comm::ThreadComm`] OS threads in one
+//!   process, or [`firal_comm::SocketComm`] OS *processes* on a localhost
+//!   TCP mesh (launched by `spmd_launch` in `firal-bench`, joined via
+//!   `SocketComm::from_env`). All backends implement the identical
+//!   rank-ordered deterministic reduction contract, so results are
+//!   interchangeable down to the bit for f64.
 //!
 //! Collective placement follows §III-C operation-for-operation:
 //!

@@ -17,7 +17,8 @@
 //!   ([`exec::ShardedProblem`]), probe-RNG seeding, phase timing, and
 //!   per-run communication statistics. The serial path is the `SelfComm`
 //!   instantiation (collectives are no-ops); the SPMD path is the same
-//!   code over a real process group;
+//!   code over a real rank group — shared-memory `ThreadComm` threads or
+//!   `SocketComm` processes on a TCP mesh (`spmd_launch`);
 //! * [`strategies`] — Random / K-Means / Entropy / Exact-FIRAL /
 //!   Approx-FIRAL behind one [`strategies::Strategy`] trait;
 //! * [`driver`] — the §IV-A multi-round active-learning loop;

@@ -6,6 +6,12 @@
 //! integration tests). Each function constructs an [`Executor`] for the
 //! calling rank and delegates — there is no second copy of the algorithms
 //! here.
+//!
+//! These entry points are transport-agnostic: the communicator may be a
+//! `SelfComm`, a `ThreadComm` thread endpoint, or a `SocketComm` process
+//! endpoint (`firal_comm::socket_launch` in-process, or one OS process per
+//! rank via the `spmd_launch` binary, which sets the `FIRAL_SPMD_*` env
+//! vars and joins ranks with `SocketComm::from_env`).
 
 use firal_comm::{CommScalar, Communicator};
 

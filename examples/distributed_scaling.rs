@@ -2,12 +2,18 @@
 //! timing and the paper's analytic communication model.
 //!
 //! Runs one RELAX mirror-descent solve and a short ROUND on p = 1, 2, 4
-//! simulated ranks (OS threads with real collectives), printing the
-//! measured phase breakdown next to the cost model's prediction.
+//! ranks, printing the measured phase breakdown next to the cost model's
+//! prediction. Ranks default to shared-memory `ThreadComm` threads; with
+//! `--socket` the same rank bodies run over the real localhost-TCP
+//! `SocketComm` mesh, so the measured comm column is actual wire time.
 //!
-//! Run with: `cargo run --release --example distributed_scaling`
+//! Run with: `cargo run --release --example distributed_scaling [--socket]`
+//!
+//! For one-OS-process-per-rank execution of this same measurement, use the
+//! SPMD launcher: `cargo run --release -p firal-bench --bin spmd_launch --
+//! -p 4 scaling`.
 
-use firal::comm::{launch, Communicator, CostModel};
+use firal::comm::{launch_backend, Backend, CostModel};
 use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
 use firal::data::SyntheticConfig;
 use firal::logreg::LogisticRegression;
@@ -30,17 +36,23 @@ fn build_problem() -> SelectionProblem<f32> {
 }
 
 fn main() {
+    let backend = if std::env::args().any(|a| a == "--socket") {
+        Backend::Socket
+    } else {
+        Backend::Thread
+    };
     let problem = build_problem();
     let budget = 8;
     let eta = 8.0 * (problem.ehat() as f32).sqrt();
     let cost = CostModel::paper_a100();
 
     println!(
-        "pool n={} d={} c={} (ê={})",
+        "pool n={} d={} c={} (ê={}), backend={}",
         problem.pool_size(),
         problem.dim(),
         problem.num_classes,
-        problem.ehat()
+        problem.ehat(),
+        backend.tag(),
     );
     println!(
         "\n{:<6} {:>10} {:>10} {:>10} {:>10} {:>14} {:>9} {:>12} {:>14}",
@@ -65,7 +77,7 @@ fn main() {
             },
             ..Default::default()
         };
-        let results = launch(p, move |comm| {
+        let results = launch_backend(backend, p, move |comm| {
             let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
             let exec = Executor::new(comm, &shard);
             let relax = exec.relax(budget, &cfg);

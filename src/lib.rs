@@ -19,10 +19,12 @@
 //!              firal_core::exec::Executor        ← the execution layer:
 //!            (communicator + shard geometry +      RELAX/ROUND written once
 //!             RNG seeding + PhaseTimer + CommStats)
-//!               │                        │
-//!        SelfComm (p = 1,         ThreadComm (p ranks,
-//!        no-op collectives:       OS threads + shared-memory
-//!        the "serial" path)       collectives: the SPMD path)
+//!          │                 │                  │
+//!   SelfComm (p = 1,   ThreadComm (p ranks,   SocketComm (p ranks, OS
+//!   no-op collectives: OS threads + shared-   processes or threads on a
+//!   the "serial" path) memory collectives)    localhost TCP mesh with a
+//!                                             rank-0 rendezvous; launched
+//!                                             by `spmd_launch`)
 //!                          │
 //!        firal_solvers (CG / Lanczos / Hutchinson / bisection;
 //!        `AllreduceOperator` puts the §III-C matvec reduction
@@ -113,7 +115,9 @@ pub use firal_linalg as linalg;
 /// L-BFGS, and the communicator-aware `AllreduceOperator`.
 pub use firal_solvers as solvers;
 
-/// Simulated message-passing substrate (SPMD ranks, collectives, cost model).
+/// Message-passing substrate (SPMD ranks, collectives, cost model): no-op
+/// `SelfComm`, shared-memory `ThreadComm`, and the inter-process TCP-mesh
+/// `SocketComm` backend.
 pub use firal_comm as comm;
 
 /// Synthetic embedding-style datasets with the paper's Table V presets.

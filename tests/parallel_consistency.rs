@@ -1,10 +1,13 @@
 //! Cross-crate integration tests for the unified execution layer: the same
 //! communicator-generic RELAX/ROUND code must produce consistent results
 //! whether it runs on [`firal::comm::SelfComm`] (`p = 1`, collectives are
-//! no-ops) or on the real multi-threaded [`firal::comm::ThreadComm`] runtime
-//! at any rank count — in both precisions.
+//! no-ops), on the real multi-threaded [`firal::comm::ThreadComm`] runtime,
+//! or on the TCP-mesh [`firal::comm::SocketComm`] backend, at any rank
+//! count — in both precisions.
 
-use firal::comm::{launch, CommScalar, Communicator, ReduceOp, SelfComm};
+use firal::comm::{
+    launch, launch_backend, socket_launch, Backend, CommScalar, Communicator, ReduceOp, SelfComm,
+};
 use firal::core::parallel::parallel_approx_firal;
 use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
 use firal::data::SyntheticConfig;
@@ -27,11 +30,12 @@ fn problem<T: Scalar>(seed: u64, n: usize, d: usize, c: usize) -> SelectionProbl
     )
 }
 
-/// The consistency matrix of the unified path: for each rank count, the
-/// ThreadComm run must select the identical batch as the SelfComm reference
-/// and reproduce its per-iteration RELAX objective series within `obj_tol`
+/// The consistency matrix of the unified path: for each rank count and
+/// each multi-rank backend (shared-memory ThreadComm and TCP SocketComm),
+/// the run must select the identical batch as the SelfComm reference and
+/// reproduce its per-iteration RELAX objective series within `obj_tol`
 /// (relative) — floating-point partial sums are the only permitted
-/// difference between the two runs.
+/// difference between the runs.
 fn consistency_matrix_case<T: CommScalar>(seed: u64, obj_tol: f64) {
     let p: SelectionProblem<T> = problem(seed, 48, 4, 3);
     let budget = 5;
@@ -58,44 +62,52 @@ fn consistency_matrix_case<T: CommScalar>(seed: u64, obj_tol: f64) {
         .map(|v| v.to_f64())
         .collect();
 
-    for procs in [2usize, 4, 7] {
-        let prob = p.clone();
-        let config = cfg;
-        let results = launch(procs, move |comm| {
-            let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
-            let exec = Executor::new(comm, &shard);
-            let relax = exec.relax(budget, &config);
-            let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
-            let obj: Vec<f64> = relax
-                .telemetry
-                .objective_history
-                .iter()
-                .map(|v| v.to_f64())
-                .collect();
-            (round.selected, obj)
-        });
+    let rank_body = |comm: &dyn Communicator| {
+        let shard = ShardedProblem::shard(&p, comm.rank(), comm.size());
+        let exec = Executor::new(comm, &shard);
+        let relax = exec.relax(budget, &cfg);
+        let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+        let obj: Vec<f64> = relax
+            .telemetry
+            .objective_history
+            .iter()
+            .map(|v| v.to_f64())
+            .collect();
+        (round.selected, obj)
+    };
 
-        for (rank, (selected, obj)) in results.iter().enumerate() {
-            assert_eq!(
-                selected, &ref_round.selected,
-                "p={procs} rank {rank}: selection diverged from the SelfComm reference"
-            );
-            assert_eq!(
-                obj.len(),
-                ref_obj.len(),
-                "p={procs} rank {rank}: RELAX iteration counts diverged"
-            );
-            for (t, (a, b)) in obj.iter().zip(ref_obj.iter()).enumerate() {
-                assert!(
-                    (a - b).abs() <= obj_tol * b.abs().max(1e-9),
-                    "p={procs} rank {rank}: objective at iteration {t} drifted: {a} vs {b}"
+    // Both multi-rank backends against the same SelfComm reference: the
+    // shared-memory transport at p ∈ {2, 4, 7} and the TCP socket mesh at
+    // p ∈ {2, 4}.
+    for (backend, rank_counts) in [
+        (Backend::Thread, &[2usize, 4, 7][..]),
+        (Backend::Socket, &[2usize, 4][..]),
+    ] {
+        for &procs in rank_counts {
+            let results = launch_backend(backend, procs, rank_body);
+
+            for (rank, (selected, obj)) in results.iter().enumerate() {
+                assert_eq!(
+                    selected, &ref_round.selected,
+                    "{backend:?} p={procs} rank {rank}: selection diverged from the SelfComm reference"
                 );
+                assert_eq!(
+                    obj.len(),
+                    ref_obj.len(),
+                    "{backend:?} p={procs} rank {rank}: RELAX iteration counts diverged"
+                );
+                for (t, (a, b)) in obj.iter().zip(ref_obj.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() <= obj_tol * b.abs().max(1e-9),
+                        "{backend:?} p={procs} rank {rank}: objective at iteration {t} drifted: {a} vs {b}"
+                    );
+                }
             }
-        }
-        // And all ranks agree bitwise among themselves.
-        for (selected, obj) in &results[1..] {
-            assert_eq!(selected, &results[0].0);
-            assert_eq!(obj, &results[0].1);
+            // And all ranks agree bitwise among themselves.
+            for (selected, obj) in &results[1..] {
+                assert_eq!(selected, &results[0].0);
+                assert_eq!(obj, &results[0].1);
+            }
         }
     }
 }
@@ -171,27 +183,46 @@ fn relax_weights_sum_to_budget_across_ranks() {
     }
 }
 
+/// A mixed sequence of collectives with data dependencies, shared by the
+/// thread- and socket-backend composition tests below so the cross-backend
+/// equality assertion always compares the identical workload.
+fn mixed_collectives_body(comm: &dyn Communicator) -> f64 {
+    let mut acc = 0.0f64;
+    for round in 0..20 {
+        let mut v = vec![(comm.rank() * (round + 1)) as f64; 8];
+        comm.allreduce_f64(&mut v, ReduceOp::Sum);
+        let gathered = comm.allgatherv_f64(&v[..1]);
+        let mut top = vec![gathered.iter().sum::<f64>()];
+        comm.bcast_f64(&mut top, round % 4);
+        let (mx, who) = comm.allreduce_maxloc(top[0] + comm.rank() as f64, comm.rank() as u64);
+        assert_eq!(who, 3, "max always at the highest rank");
+        acc += mx;
+    }
+    acc
+}
+
 #[test]
 fn collectives_compose_under_load() {
-    // A mixed sequence of collectives with data dependencies — exercises
-    // slot reuse and barrier correctness under the real thread runtime.
-    let results = launch(4, |comm| {
-        let mut acc = 0.0f64;
-        for round in 0..20 {
-            let mut v = vec![(comm.rank() * (round + 1)) as f64; 8];
-            comm.allreduce_f64(&mut v, ReduceOp::Sum);
-            let gathered = comm.allgatherv_f64(&v[..1]);
-            let mut top = vec![gathered.iter().sum::<f64>()];
-            comm.bcast_f64(&mut top, round % 4);
-            let (mx, who) = comm.allreduce_maxloc(top[0] + comm.rank() as f64, comm.rank() as u64);
-            assert_eq!(who, 3, "max always at the highest rank");
-            acc += mx;
-        }
-        acc
-    });
+    // Exercises slot reuse and barrier correctness under the real thread
+    // runtime.
+    let results = launch(4, |comm| mixed_collectives_body(comm));
     for r in &results[1..] {
         assert_eq!(r, &results[0]);
     }
+}
+
+#[test]
+fn collectives_compose_under_load_socket() {
+    // The same sequence over the TCP mesh: exercises the hub reduction,
+    // direct-mesh bcast, and wire framing under data dependencies, and
+    // must agree with the ThreadComm backend exactly (both implement the
+    // rank-ordered reduction contract).
+    let socket = socket_launch(4, |comm| mixed_collectives_body(comm));
+    let thread = launch(4, |comm| mixed_collectives_body(comm));
+    for r in &socket[1..] {
+        assert_eq!(r, &socket[0]);
+    }
+    assert_eq!(socket, thread);
 }
 
 #[test]
