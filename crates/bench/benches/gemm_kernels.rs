@@ -1,0 +1,50 @@
+//! Criterion benches for the two hottest dense kernels at paper-like
+//! tall-skinny shapes: `gemm_at_b` (the Eq. 13 reduction GEMM inside every
+//! Hessian matvec) and `gram_weighted_multi` (the Definition-1
+//! preconditioner build, Line 5 of Algorithm 2). Shapes follow the paper's
+//! pool regime (n = 10⁴–10⁵, d ∈ {64, 128}); run with `FIRAL_NUM_THREADS`
+//! set to compare pool sizes, or see `kernel_bench` for the JSON sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use firal_bench::workloads::lcg_matrix;
+use firal_linalg::{gemm_at_b, gram_weighted_multi, Matrix};
+
+fn lcg_mat(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    lcg_matrix::<f32>(rows, cols, seed)
+}
+
+fn bench_gemm_at_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_at_b");
+    group.sample_size(3);
+    for (n, d) in [(10_000, 64), (10_000, 128), (100_000, 64), (100_000, 128)] {
+        let a = lcg_mat(n, d, 1);
+        let b = lcg_mat(n, 40, 2);
+        group.bench_with_input(
+            BenchmarkId::new("n_d", format!("{n}x{d}")),
+            &(),
+            |bench, ()| bench.iter(|| black_box(gemm_at_b(&a, &b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gram_weighted_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_weighted_multi");
+    group.sample_size(3);
+    for (n, d) in [(10_000, 64), (10_000, 128), (100_000, 64), (100_000, 128)] {
+        let x = lcg_mat(n, d, 3);
+        let w = {
+            let raw = lcg_mat(n, 8, 4);
+            Matrix::from_fn(n, 8, |i, j| raw[(i, j)].abs() + 0.05)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("n_d", format!("{n}x{d}")),
+            &(),
+            |bench, ()| bench.iter(|| black_box(gram_weighted_multi(&x, &w))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(kernels, bench_gemm_at_b, bench_gram_weighted_multi);
+criterion_main!(kernels);

@@ -14,7 +14,13 @@
 //! Defaults are host-scaled (paper: n=5e5/1.3e6, d up to 1022, c up to
 //! 1000); `--n`, `--ncg`, `--s` override.
 //!
+//! `--threads T` sizes the kernel thread pool the single-node phases fan
+//! out on (default: `FIRAL_NUM_THREADS`, else host parallelism) — the
+//! single-node analogue of the paper's per-GPU parallelism; the `thr`
+//! column records it per row.
+//!
 //! Usage: cargo run --release -p firal-bench --bin fig5_single_node [--csv]
+//!   [--threads T]
 
 use firal_bench::report::{arg_value, has_flag, Table};
 use firal_bench::workloads::selection_problem_from_dataset;
@@ -104,10 +110,17 @@ fn main() {
     let ncg: usize = arg_value("--ncg").unwrap_or(20);
     let s: usize = arg_value("--s").unwrap_or(10);
     let budget = 10;
+    if let Some(t) = arg_value::<usize>("--threads") {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .ok();
+    }
+    let threads = rayon::current_num_threads();
 
     let model = CostModel::calibrate_on_host(160);
     eprintln!(
-        "[fig5] calibrated peak: {:.2} GFLOP/s",
+        "[fig5] calibrated peak: {:.2} GFLOP/s, kernel threads: {threads}",
         model.peak_flops / 1e9
     );
 
@@ -144,6 +157,7 @@ fn main() {
         "Fig. 5 — single-node phase times, experiment|theoretical (seconds)",
         &[
             "config",
+            "thr",
             "relax:precond",
             "relax:cg",
             "relax:gradient",
@@ -155,6 +169,7 @@ fn main() {
     for r in &rows {
         table.row(&[
             r.label.clone(),
+            threads.to_string(),
             cell(r.relax_precond),
             cell(r.relax_cg),
             cell(r.relax_grad),

@@ -7,8 +7,9 @@
 //! (ImageNet-1K 1.3e6 points, extended CIFAR-10 3e6 points), weak scaling
 //! at 1e5 / 5e4 points per rank; time reported for ONE mirror-descent
 //! iteration. Host-scaled defaults keep per-rank shards big enough to
-//! measure; ranks are OS threads pinned to a 1-thread rayon pool so p
-//! ranks use p worker threads.
+//! measure. `--threads T` gives each rank its own T-worker kernel
+//! sub-pool (the ranks × threads hybrid tier; default 1 keeps ranks as
+//! the only parallelism so the rank-scaling measurement stays pure).
 //!
 //! `--backend thread` (default) runs ranks as shared-memory [`ThreadComm`]
 //! threads; `--backend socket` runs the same rank bodies over the real
@@ -23,6 +24,7 @@
 //!
 //! Usage: cargo run --release -p firal-bench --bin fig6_relax_scaling
 //!   [--csv] [--n N] [--per-rank N] [--ncg N] [--backend thread|socket]
+//!   [--threads T]
 
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::{fig6_rank_body, scaling_problem};
@@ -39,11 +41,12 @@ fn scaling_table(
     per_rank: usize,
     extended: bool,
     ncg: usize,
+    threads: usize,
     backend: Backend,
     model: &CostModel,
     csv: bool,
 ) {
-    let mut headers = vec!["p", "mode", "backend", "precond", "cg", "gradient"];
+    let mut headers = vec!["p", "thr", "mode", "backend", "precond", "cg", "gradient"];
     headers.extend(COMM_HEADERS);
     headers.extend(["total", "th:compute", "th:comm"]);
     let mut table = Table::new(title.to_string(), &headers);
@@ -55,7 +58,9 @@ fn scaling_table(
                 per_rank * p
             };
             let problem = scaling_problem(c, d, n, extended, 7, 8);
-            let results = launch_backend(backend, p, |comm| fig6_rank_body(&problem, ncg, comm));
+            let results = launch_backend(backend, p, |comm| {
+                fig6_rank_body(&problem, ncg, threads, comm)
+            });
             let (timer, stats) = &results[0];
             // Theoretical per-rank compute: the §III-C flop terms at n/p,
             // at the calibrated peak.
@@ -69,6 +74,7 @@ fn scaling_table(
             let th_comm = model.predict_comm(stats, p);
             let mut row = vec![
                 p.to_string(),
+                threads.to_string(),
                 mode.to_string(),
                 backend.tag().to_string(),
                 format!("{:.3}", timer.get("precond").as_secs_f64()),
@@ -92,23 +98,30 @@ fn scaling_table(
 }
 
 fn main() {
-    // One rayon worker per rank-thread: ranks provide the parallelism.
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build_global()
-        .ok();
-
     let csv = has_flag("--csv");
+    // Per-rank kernel sub-pool size. Default 1: ranks stay the only
+    // parallelism so the rank-scaling shape is measured cleanly; raise it
+    // to measure the hybrid ranks × threads tier.
+    let threads: usize = arg_value("--threads").unwrap_or(1);
     let ncg: usize = arg_value("--ncg").unwrap_or(10);
     let n_imagenet: usize = arg_value("--n").unwrap_or(24_000);
     let per_rank_imagenet: usize = arg_value("--per-rank").unwrap_or(2_000);
     let backend: Backend = arg_value::<String>("--backend")
         .map(|s| s.parse().expect("bad --backend"))
         .unwrap_or_default();
-    // Compute at the host-calibrated (single-thread) peak; communication at
-    // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
-    let host = CostModel::calibrate_on_host(160);
-    eprintln!("calibrated peak: {:.2} GFLOP/s", host.peak_flops / 1e9);
+    // Calibrate the peak inside a pool of the same size each rank's kernels
+    // will use, so the theoretical columns compare like with like;
+    // communication at the paper's IB-HDR constants so the comm shape
+    // matches Fig. 6/7.
+    let host = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("calibration pool")
+        .install(|| CostModel::calibrate_on_host(160));
+    eprintln!(
+        "calibrated peak ({threads} thr): {:.2} GFLOP/s",
+        host.peak_flops / 1e9
+    );
     let model = CostModel {
         peak_flops: host.peak_flops,
         ..CostModel::paper_a100()
@@ -123,6 +136,7 @@ fn main() {
         per_rank_imagenet,
         false,
         ncg,
+        threads,
         backend,
         &model,
         csv,
@@ -136,6 +150,7 @@ fn main() {
         2 * per_rank_imagenet,
         true,
         ncg,
+        threads,
         backend,
         &model,
         csv,

@@ -12,8 +12,12 @@
 //! [`SocketComm`] mesh. For one-process-per-rank execution use
 //! `spmd_launch` (`--bin spmd_launch -- -p N fig7`).
 //!
+//! `--threads T` gives each rank its own T-worker kernel sub-pool
+//! (default 1: ranks stay the only parallelism so the rank-scaling shape
+//! is measured cleanly).
+//!
 //! Usage: cargo run --release -p firal-bench --bin fig7_round_scaling
-//!   [--csv] [--n N] [--per-rank N] [--backend thread|socket]
+//!   [--csv] [--n N] [--per-rank N] [--backend thread|socket] [--threads T]
 
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::{fig7_rank_body, scaling_problem};
@@ -29,11 +33,12 @@ fn scaling_table(
     strong_n: usize,
     per_rank: usize,
     extended: bool,
+    threads: usize,
     backend: Backend,
     model: &CostModel,
     csv: bool,
 ) {
-    let mut headers = vec!["p", "mode", "backend", "objective", "eig", "other"];
+    let mut headers = vec!["p", "thr", "mode", "backend", "objective", "eig", "other"];
     headers.extend(COMM_HEADERS);
     headers.extend(["total", "th:compute"]);
     let mut table = Table::new(title.to_string(), &headers);
@@ -45,7 +50,8 @@ fn scaling_table(
                 per_rank * p
             };
             let problem = scaling_problem(c, d, n, extended, 9, 10);
-            let results = launch_backend(backend, p, |comm| fig7_rank_body(&problem, comm));
+            let results =
+                launch_backend(backend, p, |comm| fig7_rank_body(&problem, threads, comm));
             let (timer, stats) = &results[0];
             // Theoretical compute (§III-C): objective n/p·c·d², distributed
             // eigensolve (c/p)·300·d³, replicated inverses c·d³.
@@ -57,6 +63,7 @@ fn scaling_table(
             let th_compute = model.flop_time(flops as u64);
             let mut row = vec![
                 p.to_string(),
+                threads.to_string(),
                 mode.to_string(),
                 backend.tag().to_string(),
                 format!("{:.4}", timer.get("objective").as_secs_f64()),
@@ -79,21 +86,26 @@ fn scaling_table(
 }
 
 fn main() {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build_global()
-        .ok();
-
     let csv = has_flag("--csv");
+    let threads: usize = arg_value("--threads").unwrap_or(1);
     let n_imagenet: usize = arg_value("--n").unwrap_or(24_000);
     let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
     let backend: Backend = arg_value::<String>("--backend")
         .map(|s| s.parse().expect("bad --backend"))
         .unwrap_or_default();
-    // Compute at the host-calibrated (single-thread) peak; communication at
-    // the paper's IB-HDR constants so the comm shape matches Fig. 6/7.
-    let host = CostModel::calibrate_on_host(160);
-    eprintln!("calibrated peak: {:.2} GFLOP/s", host.peak_flops / 1e9);
+    // Calibrate the peak inside a pool of the same size each rank's kernels
+    // will use, so the theoretical columns compare like with like;
+    // communication at the paper's IB-HDR constants so the comm shape
+    // matches Fig. 6/7.
+    let host = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("calibration pool")
+        .install(|| CostModel::calibrate_on_host(160));
+    eprintln!(
+        "calibrated peak ({threads} thr): {:.2} GFLOP/s",
+        host.peak_flops / 1e9
+    );
     let model = CostModel {
         peak_flops: host.peak_flops,
         ..CostModel::paper_a100()
@@ -106,6 +118,7 @@ fn main() {
         n_imagenet,
         per_rank,
         false,
+        threads,
         backend,
         &model,
         csv,
@@ -117,6 +130,7 @@ fn main() {
         2 * n_imagenet,
         2 * per_rank,
         true,
+        threads,
         backend,
         &model,
         csv,

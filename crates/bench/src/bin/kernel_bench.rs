@@ -1,0 +1,199 @@
+//! Kernel throughput harness: times the hot `firal_linalg` kernels
+//! (`gemm_at_b` — the Eq. 13 reduction GEMM of the fast Hessian matvec —
+//! and `gram_weighted_multi` — the Definition-1 preconditioner build) at
+//! paper-like tall-skinny shapes across kernel-pool sizes, and writes
+//! `BENCH_kernels.json` so future PRs have a throughput trajectory to
+//! compare against.
+//!
+//! Besides measuring, the harness **verifies the determinism contract**:
+//! for every (kernel, shape, dtype) the output bits must be identical at
+//! every thread count; any mismatch is a non-zero exit.
+//!
+//! GF/s is derived from the pinned flop formulas in
+//! `firal_linalg::counters`, so numbers stay comparable across PRs even if
+//! kernel internals change.
+//!
+//! Usage: cargo run --release -p firal-bench --bin kernel_bench
+//!   [--quick] [--out PATH] [--reps N]
+//!
+//! `--quick` shrinks shapes to a CI smoke size; default shapes are
+//! n ∈ {10⁴, 10⁵} × d ∈ {64, 128} with thread counts {1, 2, 4}.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use firal_bench::report::{arg_value, has_flag};
+use firal_bench::workloads::lcg_matrix;
+use firal_linalg::{counters, gemm_at_b, gram_weighted_multi, Matrix, Scalar};
+
+/// Columns of `gemm_at_b`'s B operand (a `(c-1)·s`-wide probe panel shape).
+const AT_B_COLS: usize = 40;
+/// Weight-panel classes for `gram_weighted_multi`.
+const GRAM_CLASSES: usize = 8;
+
+struct Row {
+    kernel: &'static str,
+    dtype: &'static str,
+    n: usize,
+    d: usize,
+    m: usize,
+    threads: usize,
+    secs: f64,
+    gflops: f64,
+}
+
+/// Time `f` over `reps` calls (after one warm-up), returning the best
+/// per-call seconds and the result checksum bits from the last call.
+fn bench<R>(reps: usize, f: impl Fn() -> R, checksum: impl Fn(&R) -> u64) -> (f64, u64) {
+    let warm = f();
+    let mut bits = checksum(&warm);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        bits = checksum(&out);
+    }
+    (best, bits)
+}
+
+fn matrix_bits<T: Scalar>(m: &Matrix<T>) -> u64 {
+    m.as_slice()
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(1) ^ v.to_f64().to_bits())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shape<T: Scalar>(
+    dtype: &'static str,
+    n: usize,
+    d: usize,
+    threads_list: &[usize],
+    reps: usize,
+    rows: &mut Vec<Row>,
+    mismatches: &mut usize,
+) {
+    let x = lcg_matrix::<T>(n, d, 1);
+    let b = lcg_matrix::<T>(n, AT_B_COLS, 2);
+    let w = {
+        let raw = lcg_matrix::<T>(n, GRAM_CLASSES, 3);
+        Matrix::from_fn(n, GRAM_CLASSES, |i, j| {
+            raw[(i, j)].abs() + T::from_f64(0.05)
+        })
+    };
+
+    let mut at_b_ref: Option<u64> = None;
+    let mut gram_ref: Option<u64> = None;
+    for &threads in threads_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool build");
+
+        let (secs, bits) = pool.install(|| bench(reps, || gemm_at_b(&x, &b), matrix_bits));
+        match at_b_ref {
+            None => at_b_ref = Some(bits),
+            Some(reference) if reference != bits => {
+                eprintln!("DETERMINISM VIOLATION: gemm_at_b {dtype} n={n} d={d} t={threads}");
+                *mismatches += 1;
+            }
+            _ => {}
+        }
+        rows.push(Row {
+            kernel: "gemm_at_b",
+            dtype,
+            n,
+            d,
+            m: AT_B_COLS,
+            threads,
+            secs,
+            gflops: counters::gemm_at_b_flops(n, d, AT_B_COLS) as f64 / secs / 1e9,
+        });
+
+        let (secs, bits) = pool.install(|| {
+            bench(
+                reps,
+                || gram_weighted_multi(&x, &w),
+                |gs| gs.iter().fold(0u64, |acc, g| acc ^ matrix_bits(g)),
+            )
+        });
+        match gram_ref {
+            None => gram_ref = Some(bits),
+            Some(reference) if reference != bits => {
+                eprintln!(
+                    "DETERMINISM VIOLATION: gram_weighted_multi {dtype} n={n} d={d} t={threads}"
+                );
+                *mismatches += 1;
+            }
+            _ => {}
+        }
+        rows.push(Row {
+            kernel: "gram_weighted_multi",
+            dtype,
+            n,
+            d,
+            m: GRAM_CLASSES,
+            threads,
+            secs,
+            gflops: counters::gram_weighted_multi_flops(GRAM_CLASSES, n, d) as f64 / secs / 1e9,
+        });
+    }
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let reps: usize = arg_value("--reps").unwrap_or(if quick { 1 } else { 3 });
+    let shapes: Vec<(usize, usize)> = if quick {
+        vec![(2_000, 32)]
+    } else {
+        vec![(10_000, 64), (10_000, 128), (100_000, 64), (100_000, 128)]
+    };
+    let threads_list = [1usize, 2, 4];
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for &(n, d) in &shapes {
+        eprintln!("[kernel_bench] n={n} d={d} ...");
+        run_shape::<f32>("f32", n, d, &threads_list, reps, &mut rows, &mut mismatches);
+        run_shape::<f64>("f64", n, d, &threads_list, reps, &mut rows, &mut mismatches);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"dtype\": \"{}\", \"n\": {}, \"d\": {}, \"m\": {}, \
+             \"threads\": {}, \"secs\": {:.6}, \"gflops\": {:.3}}}{comma}",
+            r.kernel, r.dtype, r.n, r.d, r.m, r.threads, r.secs, r.gflops
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
+
+    println!("kernel                dtype      n     d  thr      secs    GF/s");
+    for r in &rows {
+        println!(
+            "{:<20}  {:<4} {:>7} {:>4} {:>4}  {:>8.4} {:>7.2}",
+            r.kernel, r.dtype, r.n, r.d, r.threads, r.secs, r.gflops
+        );
+    }
+    eprintln!("[kernel_bench] wrote {out_path} ({} rows)", rows.len());
+    if host_cpus < *threads_list.iter().max().unwrap() {
+        eprintln!(
+            "[kernel_bench] note: host has {host_cpus} CPU(s); thread counts beyond that \
+             timeshare one core and cannot show speedup"
+        );
+    }
+    if mismatches > 0 {
+        eprintln!("[kernel_bench] {mismatches} determinism violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -254,7 +254,8 @@ fn workload_fig6(comm: &SocketComm) -> i32 {
             per_rank * p
         };
         let problem = scaling_problem(100, 96, n, false, 7, 8);
-        let (timer, stats) = fig6_rank_body(&problem, ncg, comm);
+        let threads: usize = arg_value("--threads").unwrap_or(1);
+        let (timer, stats) = fig6_rank_body(&problem, ncg, threads, comm);
         rows.push((
             mode.to_string(),
             vec![
@@ -288,7 +289,8 @@ fn workload_fig7(comm: &SocketComm) -> i32 {
             per_rank * p
         };
         let problem = scaling_problem(100, 96, n, false, 9, 10);
-        let (timer, stats) = fig7_rank_body(&problem, comm);
+        let threads: usize = arg_value("--threads").unwrap_or(1);
+        let (timer, stats) = fig7_rank_body(&problem, threads, comm);
         rows.push((
             mode.to_string(),
             vec![

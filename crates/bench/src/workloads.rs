@@ -12,8 +12,21 @@ use firal_core::{
     ShardedProblem,
 };
 use firal_data::{extend_with_noise, Dataset, SyntheticConfig};
-use firal_linalg::Scalar;
+use firal_linalg::{Matrix, Scalar};
 use firal_logreg::{LogisticRegression, TrainConfig};
+
+/// Deterministic LCG-filled matrix in `[-1, 1)` for benchmark operands (no
+/// RNG dependency). Shared by `kernel_bench` and the Criterion benches so
+/// both harnesses time the identical inputs.
+pub fn lcg_matrix<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        T::from_f64(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
+    })
+}
 
 /// Train the round-0 classifier on the initial labeled set and assemble the
 /// selection problem the way the driver does for the first round.
@@ -85,30 +98,42 @@ pub fn fig6_relax_config(ncg: usize) -> RelaxConfig<f32> {
 }
 
 /// Fig. 6 per-rank body: one RELAX mirror-descent iteration on this rank's
-/// shard. Identical on every backend; returns the rank's phase breakdown
-/// and communication counters for the table row.
+/// shard, with a private kernel sub-pool of `threads` workers (the
+/// ranks × threads hybrid tier; `1` keeps the historical rank-pure
+/// measurement, `0` inherits the ambient pool). Identical on every
+/// backend; returns the rank's phase breakdown and communication counters
+/// for the table row.
 pub fn fig6_rank_body(
     problem: &SelectionProblem<f32>,
     ncg: usize,
+    threads: usize,
     comm: &dyn Communicator,
 ) -> (PhaseTimer, CommStats) {
     let cfg = fig6_relax_config(ncg);
     let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
-    let out = Executor::new(comm, &shard).relax(10, &cfg);
+    let out = Executor::new(comm, &shard)
+        .with_threads(threads)
+        .relax(10, &cfg);
     (out.timer, out.comm_stats)
 }
 
 /// Fig. 7 per-rank body: time for ROUND to select ONE point (the paper's
-/// metric) on this rank's shard.
+/// metric) on this rank's shard; `threads` as in [`fig6_rank_body`].
 pub fn fig7_rank_body(
     problem: &SelectionProblem<f32>,
+    threads: usize,
     comm: &dyn Communicator,
 ) -> (PhaseTimer, CommStats) {
     let budget = 1;
     let eta = 4.0 * (problem.ehat() as f32).sqrt();
     let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
     let z_local = vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
-    let out = Executor::new(comm, &shard).round(&z_local, budget, eta, EigSolver::Exact);
+    let out = Executor::new(comm, &shard).with_threads(threads).round(
+        &z_local,
+        budget,
+        eta,
+        EigSolver::Exact,
+    );
     (out.timer, out.comm_stats)
 }
 
@@ -140,10 +165,10 @@ mod tests {
     fn scaling_bodies_run_on_one_rank() {
         let p = scaling_problem(3, 4, 40, false, 7, 8);
         let comm = SelfComm::new();
-        let (timer6, stats6) = fig6_rank_body(&p, 4, &comm);
+        let (timer6, stats6) = fig6_rank_body(&p, 4, 1, &comm);
         assert!(timer6.total().as_secs_f64() >= 0.0);
         assert!(stats6.allreduce_calls > 0);
-        let (_, stats7) = fig7_rank_body(&p, &comm);
+        let (_, stats7) = fig7_rank_body(&p, 1, &comm);
         assert!(stats7.allgather_calls > 0);
     }
 

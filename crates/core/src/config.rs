@@ -96,6 +96,14 @@ pub struct FiralConfig<T: Scalar> {
     pub relax: RelaxConfig<T>,
     /// ROUND-step controls.
     pub round: RoundConfig<T>,
+    /// Intra-rank kernel threads: size of the worker pool the dense kernels
+    /// (GEMMs, weighted Grams) fan out on **within** this rank — the
+    /// thread tier stacked under rank-level SPMD (the paper's GPU-per-rank
+    /// analogue). `0` inherits the ambient pool (a surrounding
+    /// `ThreadPool::install`, else the global pool sized by
+    /// `FIRAL_NUM_THREADS`/host parallelism). Results are bitwise identical
+    /// at every setting (see `firal_linalg::gemm`'s determinism contract).
+    pub threads: usize,
 }
 
 #[cfg(test)]

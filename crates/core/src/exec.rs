@@ -168,13 +168,32 @@ pub struct RoundRun<T> {
     pub comm_stats: CommStats,
 }
 
-/// One rank's execution context: communicator endpoint + shard geometry.
+/// η-independent per-`z⋄` ROUND state: `B(H_o)`, the assembled `Σ⋄` block
+/// diagonal (one Allreduce), its per-block Cholesky factors, and the
+/// `g_ik` panel. [`Executor::select_eta`] builds this **once** and shares
+/// it across every η grid re-run instead of reassembling (and
+/// re-communicating) it per value.
+struct RoundScratch<T: Scalar> {
+    bho: BlockDiag<T>,
+    sigma: BlockDiag<T>,
+    sigma_chol: Vec<Cholesky<T>>,
+    gik: Matrix<T>,
+}
+
+/// One rank's execution context: communicator endpoint + shard geometry +
+/// optional intra-rank kernel pool.
 ///
 /// All of Approx-FIRAL routes through here; `p = 1` callers use
-/// [`Executor::serial`] and the collectives reduce to no-ops.
+/// [`Executor::serial`] and the collectives reduce to no-ops. With
+/// [`Executor::with_threads`] the rank owns a private kernel sub-pool and
+/// the dense kernels fan out on it — the ranks × threads hybrid tier
+/// mirroring the paper's GPU-per-rank layout. Kernel results are bitwise
+/// independent of the thread count (see `firal_linalg::gemm`), so the
+/// SPMD consistency guarantees are unaffected by the pool size.
 pub struct Executor<'a, T: CommScalar> {
     comm: &'a dyn Communicator,
     shard: &'a ShardedProblem<T>,
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl<'a, T: CommScalar> Executor<'a, T> {
@@ -184,7 +203,39 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             shard.offset + shard.local_n() <= shard.global_n,
             "shard exceeds the global pool"
         );
-        Self { comm, shard }
+        Self {
+            comm,
+            shard,
+            pool: None,
+        }
+    }
+
+    /// Give this rank its own kernel sub-pool of `threads` workers; the
+    /// dense kernels inside every solve dispatched through this executor
+    /// fan out on it. `0` removes the sub-pool (ambient pool applies).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = (threads > 0).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build the rank kernel pool")
+        });
+        self
+    }
+
+    /// Intra-rank kernel threads solves on this executor will use.
+    pub fn threads(&self) -> usize {
+        self.pool
+            .as_ref()
+            .map_or_else(rayon::current_num_threads, rayon::ThreadPool::threads)
+    }
+
+    /// Run `f` with this rank's sub-pool installed (no-op without one).
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
     }
 
     /// Serial context: the single-rank instantiation over a caller-owned
@@ -261,6 +312,10 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     /// objective estimate and its 1e-4 relative stopping rule are evaluated
     /// from replicated panels, so every rank decides identically.
     pub fn relax(&self, budget: usize, config: &RelaxConfig<T>) -> RelaxRun<T> {
+        self.install(|| self.relax_impl(budget, config))
+    }
+
+    fn relax_impl(&self, budget: usize, config: &RelaxConfig<T>) -> RelaxRun<T> {
         let shard = self.shard;
         let n = shard.global_n;
         let ehat = shard.ehat();
@@ -419,19 +474,22 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     /// per-block generalized eigensolves (Line 9) are distributed over
     /// ranks and Allgathered before the `ν` bisection.
     pub fn round(&self, z_local: &[T], budget: usize, eta: T, eig: EigSolver) -> RoundRun<T> {
+        self.install(|| {
+            let stats0 = self.comm.stats();
+            let mut timer = PhaseTimer::new();
+            let scratch = self.round_scratch(z_local, &mut timer);
+            self.round_body(&scratch, budget, eta, eig, timer, stats0)
+        })
+    }
+
+    /// Build the η-independent ROUND state (Line 3 of Algorithm 3 plus the
+    /// `g_ik` panel): one Allreduce, one Cholesky sweep. Shared by every
+    /// grid value in [`Executor::select_eta`].
+    fn round_scratch(&self, z_local: &[T], timer: &mut PhaseTimer) -> RoundScratch<T> {
         let shard = self.shard;
-        let d = shard.dim();
-        let cm1 = shard.nblocks();
-        let ehat = shard.ehat();
         let n_local = shard.local_n();
+        let cm1 = shard.nblocks();
         assert_eq!(z_local.len(), n_local, "z shard length mismatch");
-        assert!(
-            budget <= shard.global_n,
-            "cannot select more points than the pool holds"
-        );
-        let binv = T::ONE / T::from_usize(budget);
-        let stats0 = self.comm.stats();
-        let mut timer = PhaseTimer::new();
 
         // Line 3: block diagonals of Σ⋄ = H_o + H_{z⋄} (Allreduce of local
         // partial sums) and of H_o.
@@ -456,17 +514,6 @@ impl<'a, T: CommScalar> Executor<'a, T> {
                 .expect("Σ⋄ blocks must be SPD")
         });
 
-        // Line 4: B₁ = √ê·Σ⋄ + (η/b)·H_o, inverted per block (replicated).
-        let mut b_inv = timer.time("other", || {
-            let mut b1 = sigma.clone();
-            let sqrt_ehat = T::from_usize(ehat).sqrt();
-            for k in 0..cm1 {
-                b1.block_mut(k).scale_inplace(sqrt_ehat);
-                b1.block_mut(k).add_scaled(eta * binv, bho.block(k));
-            }
-            b1.inverse().expect("B₁ blocks must be SPD")
-        });
-
         // g_ik = h_ik (1 - h_ik) for every local pool point.
         let gik = {
             let mut g = Matrix::zeros(n_local, cm1);
@@ -480,6 +527,53 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             g
         };
 
+        RoundScratch {
+            bho,
+            sigma,
+            sigma_chol,
+            gik,
+        }
+    }
+
+    /// The FTRL selection loop of Algorithm 3 for one η, over prebuilt
+    /// η-independent scratch.
+    fn round_body(
+        &self,
+        scratch: &RoundScratch<T>,
+        budget: usize,
+        eta: T,
+        eig: EigSolver,
+        mut timer: PhaseTimer,
+        stats0: CommStats,
+    ) -> RoundRun<T> {
+        let shard = self.shard;
+        let d = shard.dim();
+        let cm1 = shard.nblocks();
+        let ehat = shard.ehat();
+        let n_local = shard.local_n();
+        assert!(
+            budget <= shard.global_n,
+            "cannot select more points than the pool holds"
+        );
+        let binv = T::ONE / T::from_usize(budget);
+        let RoundScratch {
+            bho,
+            sigma,
+            sigma_chol,
+            gik,
+        } = scratch;
+
+        // Line 4: B₁ = √ê·Σ⋄ + (η/b)·H_o, inverted per block (replicated).
+        let mut b_inv = timer.time("other", || {
+            let mut b1 = sigma.clone();
+            let sqrt_ehat = T::from_usize(ehat).sqrt();
+            for k in 0..cm1 {
+                b1.block_mut(k).scale_inplace(sqrt_ehat);
+                b1.block_mut(k).add_scaled(eta * binv, bho.block(k));
+            }
+            b1.inverse().expect("B₁ blocks must be SPD")
+        });
+
         // Line 5: (H)_k ← 0.
         let mut h_acc = BlockDiag::<T>::zeros(cm1, d);
         let mut taken_local = vec![false; n_local];
@@ -491,7 +585,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
         for _t in 0..budget {
             // Line 7: local Eq. 17 scores; global argmax via MAXLOC.
             let scores = timer.time("objective", || {
-                round_scores(&shard.local_x, &gik, &b_inv, &sigma, eta)
+                round_scores(&shard.local_x, gik, &b_inv, sigma, eta)
             });
             let mut local_best = (f64::NEG_INFINITY, u64::MAX);
             for (i, &s) in scores.iter().enumerate() {
@@ -523,7 +617,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             // Line 8: (H)_k += (1/b)(H_o)_k + g_{i_t,k} x_{i_t}x_{i_t}ᵀ
             // (replicated state, local arithmetic).
             timer.time("other", || {
-                h_acc.add_scaled(binv, &bho);
+                h_acc.add_scaled(binv, bho);
                 let gammas: Vec<T> = hit.iter().map(|&h| h * (T::ONE - h)).collect();
                 h_acc.rank_one_update(&gammas, xit);
             });
@@ -624,7 +718,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             }
         }
         self.allreduce_block_diag(&mut acc);
-        acc.min_block_eigenvalue()
+        self.install(|| acc.min_block_eigenvalue())
             .expect("eigenvalues of selection")
     }
 
@@ -635,22 +729,62 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     /// criterion, so the grid choice is rank-invariant.
     pub fn select_eta(&self, z_local: &[T], budget: usize, grid: &[T]) -> RoundRun<T> {
         assert!(!grid.is_empty(), "η grid must be non-empty");
-        let scale = T::from_usize(self.shard.ehat()).sqrt();
-        let mut best: Option<(T, RoundRun<T>)> = None;
-        for &mult in grid {
-            let out = self.round(z_local, budget, mult * scale, EigSolver::Exact);
-            let crit = self.selection_min_eig(&out.selected);
-            match &best {
-                Some((c, _)) if *c >= crit => {}
-                _ => best = Some((crit, out)),
+        self.install(|| {
+            let scale = T::from_usize(self.shard.ehat()).sqrt();
+            // The η-independent state (Σ⋄ Allreduce + Cholesky sweep + g_ik)
+            // is built once and shared by every grid re-run; only the FTRL
+            // loop itself runs per η. Each run still starts from a copy of
+            // the scratch phase timings and merges the scratch comm delta,
+            // so the returned run's accounting matches what a direct
+            // [`Executor::round`] at the same η would report.
+            let stats0 = self.comm.stats();
+            let mut scratch_timer = PhaseTimer::new();
+            let scratch = self.round_scratch(z_local, &mut scratch_timer);
+            let scratch_stats = self.comm.stats().since(&stats0);
+            let mut best: Option<(T, RoundRun<T>)> = None;
+            for &mult in grid {
+                let mut out = self.round_body(
+                    &scratch,
+                    budget,
+                    mult * scale,
+                    EigSolver::Exact,
+                    scratch_timer.clone(),
+                    self.comm.stats(),
+                );
+                out.comm_stats.merge(&scratch_stats);
+                let crit = self.selection_min_eig(&out.selected);
+                match &best {
+                    Some((c, _)) if *c >= crit => {}
+                    _ => best = Some((crit, out)),
+                }
             }
-        }
-        best.expect("grid produced no result").1
+            best.expect("grid produced no result").1
+        })
     }
 
     /// Full Approx-FIRAL (RELAX then ROUND) under one configuration,
     /// including the η grid rule when `config.round.eta` is `None`.
+    ///
+    /// `config.threads > 0` gives the whole run a private kernel pool of
+    /// that size (unless the executor already owns one via
+    /// [`Executor::with_threads`], which takes precedence).
     pub fn approx_firal(
+        &self,
+        budget: usize,
+        config: &FiralConfig<T>,
+    ) -> (RelaxRun<T>, RoundRun<T>) {
+        if self.pool.is_none() && config.threads > 0 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads)
+                .build()
+                .expect("failed to build the kernel pool");
+            pool.install(|| self.approx_firal_impl(budget, config))
+        } else {
+            self.install(|| self.approx_firal_impl(budget, config))
+        }
+    }
+
+    fn approx_firal_impl(
         &self,
         budget: usize,
         config: &FiralConfig<T>,

@@ -61,8 +61,23 @@ pub fn parallel_approx_firal<T: CommScalar>(
     config: &RelaxConfig<T>,
     eta: T,
 ) -> Vec<usize> {
+    parallel_approx_firal_threads(comm, problem, budget, config, eta, 0)
+}
+
+/// [`parallel_approx_firal`] with an explicit intra-rank kernel pool: this
+/// rank's dense kernels fan out on `threads` workers of its own sub-pool
+/// (the ranks × threads hybrid tier; `0` inherits the ambient pool).
+/// Results are bitwise identical at every `threads` setting.
+pub fn parallel_approx_firal_threads<T: CommScalar>(
+    comm: &dyn Communicator,
+    problem: &SelectionProblem<T>,
+    budget: usize,
+    config: &RelaxConfig<T>,
+    eta: T,
+    threads: usize,
+) -> Vec<usize> {
     let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
-    let exec = Executor::new(comm, &shard);
+    let exec = Executor::new(comm, &shard).with_threads(threads);
     let relax = exec.relax(budget, config);
     exec.round(&relax.z_local, budget, eta, EigSolver::Exact)
         .selected

@@ -13,6 +13,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
 
+// ---------------------------------------------------------------------------
+// Pinned flop formulas for the five dense kernels (`firal_linalg::gemm`).
+//
+// Convention: one multiply-add = 2 flops (the standard `2·mnk` GEMM count).
+// The kernels charge exactly these formulas, and the benchmark harnesses
+// (`kernel_bench`, the Criterion benches) derive GF/s from the same
+// functions, so throughput numbers stay comparable across PRs.
+// ---------------------------------------------------------------------------
+
+/// `C = A·B` with `A ∈ m×k`, `B ∈ k×n`: `2·m·n·k`.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> usize {
+    2 * m * n * k
+}
+
+/// `C = Aᵀ·B` with `A ∈ n×d`, `B ∈ n×m`: `2·n·d·m`.
+pub fn gemm_at_b_flops(n: usize, d: usize, m: usize) -> usize {
+    2 * n * d * m
+}
+
+/// `C = A·Bᵀ` with `A ∈ n×d`, `B ∈ m×d`: `2·n·m·d`.
+pub fn gemm_a_bt_flops(n: usize, m: usize, d: usize) -> usize {
+    2 * n * m * d
+}
+
+/// `G = Xᵀdiag(w)X` with `X ∈ n×d`, exploiting symmetry: per row,
+/// `d(d+1)/2` multiply-adds on the upper triangle (2 flops each) plus `d`
+/// weight-scaling multiplies — `n·d·(d+2)` total. (The historical
+/// `n·d·(d+1)` figure dropped the weight scaling and so undercounted
+/// relative to the `2·` multiply-add convention of the GEMM kernels.)
+pub fn gram_weighted_flops(n: usize, d: usize) -> usize {
+    n * d * (d + 2)
+}
+
+/// `c` fused weighted Gram blocks ([`gram_weighted_flops`] per class).
+pub fn gram_weighted_multi_flops(c: usize, n: usize, d: usize) -> usize {
+    c * gram_weighted_flops(n, d)
+}
+
 /// Record `n` floating-point operations.
 #[inline(always)]
 pub fn add_flops(n: usize) {
@@ -76,5 +114,22 @@ mod tests {
         });
         assert!(delta.flops >= 100);
         assert!(delta.bytes >= 8);
+    }
+
+    #[test]
+    fn kernel_flop_formulas_are_pinned() {
+        // The five dense-kernel formulas, spelled out numerically so any
+        // accidental change to a formula fails loudly here.
+        assert_eq!(gemm_flops(3, 4, 5), 2 * 3 * 4 * 5);
+        assert_eq!(gemm_at_b_flops(100, 8, 6), 2 * 100 * 8 * 6);
+        assert_eq!(gemm_a_bt_flops(100, 7, 9), 2 * 100 * 7 * 9);
+        // Symmetric Gram: d(d+1) triangle flops + d weight scalings per row.
+        assert_eq!(gram_weighted_flops(10, 4), 10 * (4 * 5 + 4));
+        assert_eq!(gram_weighted_multi_flops(3, 10, 4), 3 * 10 * (4 * 5 + 4));
+        // The multi kernel is exactly c independent single-weight Grams.
+        assert_eq!(
+            gram_weighted_multi_flops(7, 123, 17),
+            7 * gram_weighted_flops(123, 17)
+        );
     }
 }

@@ -4,8 +4,32 @@
 //! Hessian matvec of Lemma 2 vectorizes into two tall-skinny GEMMs over the
 //! pool panel (`X·V` then `Xᵀ·Γ`), and the CG preconditioner of Definition 1
 //! is a set of weighted Gram matrices `Xᵀdiag(w_k)X`. All kernels are
-//! rayon-parallel over the long (pool) dimension with per-thread
-//! accumulators, mirroring how the paper shards the pool across GPUs.
+//! rayon-parallel over the long (pool) dimension, mirroring how the paper
+//! shards the pool across GPUs, with panel blocking over the pool dimension
+//! and 4-wide register-tiled inner loops (the tall-skinny analogue of a
+//! blocked GEMM: operand panels are reused across a 4-row tile instead of
+//! being re-streamed per row).
+//!
+//! # Determinism contract
+//!
+//! Every kernel's result depends only on operand shapes and values — never
+//! on the worker-thread count:
+//!
+//! * **row-parallel kernels** ([`gemm`], [`gemm_a_bt`]) produce each output
+//!   row in exactly one task with a fixed depth-ascending accumulation
+//!   order, so any row grouping yields identical bits;
+//! * **reduction kernels** ([`gemm_at_b`], [`gram_weighted`],
+//!   [`gram_weighted_multi`]) fix their chunk boundaries from the problem
+//!   shape alone ([`reduce_chunk_rows`] — never
+//!   `rayon::current_num_threads()`) and combine partial accumulators in
+//!   chunk-index order (the shim's ordered `reduce`);
+//! * the sequential small-shape fallback uses the same accumulation order,
+//!   and the parallel/sequential branch is a pure shape predicate
+//!   ([`PAR_THRESHOLD`]).
+//!
+//! Consequence: `FIRAL_NUM_THREADS ∈ {1, 2, …}` (or any
+//! `ThreadPool::install` scope) produces bitwise-identical numerics, which
+//! the SPMD consistency matrix in `tests/parallel_consistency.rs` relies on.
 
 use rayon::prelude::*;
 
@@ -17,58 +41,160 @@ use crate::scalar::Scalar;
 /// Parallelizing tiny GEMMs costs more in task dispatch than it saves.
 const PAR_THRESHOLD: usize = 1 << 15;
 
+/// Rows per parallel task in the row-parallel kernels — a multiple of the
+/// 4-row micro-tile so full tasks never hit the scalar tail.
+const ROW_BLOCK: usize = 32;
+
+/// Cap on the number of reduction chunks, bounding partial-accumulator
+/// memory at `MAX_REDUCE_CHUNKS` copies of the output block.
+const MAX_REDUCE_CHUNKS: usize = 64;
+
+/// Deterministic reduction chunking: rows per chunk as a function of the
+/// problem shape **only** (never the worker count), so chunk boundaries —
+/// and therefore floating-point partial-sum splits — are identical at every
+/// thread count.
+fn reduce_chunk_rows(n: usize, min_rows: usize) -> usize {
+    n.div_ceil(MAX_REDUCE_CHUNKS).max(min_rows)
+}
+
 /// `C = A · B`.
 ///
-/// Row-parallel, `ikj` loop order so both `B` and `C` stream row-major.
+/// Row-parallel over 4-row tiles, `ikj` loop order so both `B` and `C`
+/// stream row-major; each `B` row is reused across the 4-row tile.
 pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm: A is {m}x{k}, B is {kb}x{n}");
-    counters::add_flops(2 * m * n * k);
+    counters::add_flops(counters::gemm_flops(m, n, k));
 
     let mut c = Matrix::zeros(m, n);
-    let work = m * n * k;
-    let body = |(ci, ai): (&mut [T], &[T])| {
-        // ci: one row of C, ai: matching row of A
-        for (p, &apk) in ai.iter().enumerate() {
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .zip(a.as_slice().par_chunks(ROW_BLOCK * k))
+            .for_each(|(ci, ai)| gemm_rows(ci, ai, b));
+    } else {
+        gemm_rows(c.as_mut_slice(), a.as_slice(), b);
+    }
+    c
+}
+
+/// `C[r] += A[r] · B` for a panel of rows; 4-row register-tiled body with a
+/// depth-ascending (`p`) accumulation order identical for every row, so the
+/// result is independent of how rows are grouped into panels.
+fn gemm_rows<T: Scalar>(crows: &mut [T], arows: &[T], b: &Matrix<T>) {
+    let (k, n) = b.shape();
+    let rows = arows.len() / k;
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (c01, c23) = crows[r * n..(r + 4) * n].split_at_mut(2 * n);
+        let (c0, c1) = c01.split_at_mut(n);
+        let (c2, c3) = c23.split_at_mut(n);
+        let a0 = &arows[r * k..(r + 1) * k];
+        let a1 = &arows[(r + 1) * k..(r + 2) * k];
+        let a2 = &arows[(r + 2) * k..(r + 3) * k];
+        let a3 = &arows[(r + 3) * k..(r + 4) * k];
+        for p in 0..k {
+            let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
             let brow = b.row(p);
-            for (cj, &bpj) in ci.iter_mut().zip(brow.iter()) {
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (brow[j], brow[j + 1], brow[j + 2], brow[j + 3]);
+                c0[j] += x0 * b0;
+                c0[j + 1] += x0 * b1;
+                c0[j + 2] += x0 * b2;
+                c0[j + 3] += x0 * b3;
+                c1[j] += x1 * b0;
+                c1[j + 1] += x1 * b1;
+                c1[j + 2] += x1 * b2;
+                c1[j + 3] += x1 * b3;
+                c2[j] += x2 * b0;
+                c2[j + 1] += x2 * b1;
+                c2[j + 2] += x2 * b2;
+                c2[j + 3] += x2 * b3;
+                c3[j] += x3 * b0;
+                c3[j + 1] += x3 * b1;
+                c3[j + 2] += x3 * b2;
+                c3[j + 3] += x3 * b3;
+                j += 4;
+            }
+            while j < n {
+                let bj = brow[j];
+                c0[j] += x0 * bj;
+                c1[j] += x1 * bj;
+                c2[j] += x2 * bj;
+                c3[j] += x3 * bj;
+                j += 1;
+            }
+        }
+        r += 4;
+    }
+    while r < rows {
+        let crow = &mut crows[r * n..(r + 1) * n];
+        let arow = &arows[r * k..(r + 1) * k];
+        for (p, &apk) in arow.iter().enumerate() {
+            let brow = b.row(p);
+            for (cj, &bpj) in crow.iter_mut().zip(brow.iter()) {
                 *cj += apk * bpj;
             }
         }
-    };
-    if work >= PAR_THRESHOLD {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(k))
-            .for_each(body);
-    } else {
-        c.as_mut_slice()
-            .chunks_mut(n)
-            .zip(a.as_slice().chunks(k))
-            .for_each(body);
+        r += 1;
     }
-    c
 }
 
 /// `C = Aᵀ · B` where `A` is `n × d` and `B` is `n × m` (both tall-skinny).
 ///
 /// This is the reduction-shaped GEMM of the fast Hessian matvec (Eq. 13):
 /// the pool dimension `n` is long, the output `d × m` is small. Implemented
-/// as a rayon map-reduce over row chunks with per-thread `d × m`
-/// accumulators — the shared-memory analogue of the paper's per-GPU partial
-/// sums followed by `MPI_Allreduce`.
+/// as a map-reduce over shape-fixed row chunks with per-chunk `d × m`
+/// accumulators combined in chunk order — the shared-memory analogue of the
+/// paper's per-GPU partial sums followed by `MPI_Allreduce`. The chunk body
+/// consumes rows in 4-row tiles so each accumulator row takes four
+/// multiply-adds per pass over it.
 pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     let (n, d) = a.shape();
     let (nb, m) = b.shape();
     assert_eq!(n, nb, "gemm_at_b: A is {n}x{d}, B is {nb}x{m}");
-    counters::add_flops(2 * n * d * m);
+    counters::add_flops(counters::gemm_at_b_flops(n, d, m));
+    if d == 0 || m == 0 {
+        return Matrix::zeros(d, m);
+    }
 
-    let work = n * d * m;
     let accumulate = |chunk_a: &[T], chunk_b: &[T]| -> Vec<T> {
-        let rows = chunk_a.len() / d;
+        let rows = chunk_a.len() / d.max(1);
         let mut acc = vec![T::ZERO; d * m];
-        for r in 0..rows {
+        let mut r = 0;
+        while r + 4 <= rows {
+            let a0 = &chunk_a[r * d..(r + 1) * d];
+            let a1 = &chunk_a[(r + 1) * d..(r + 2) * d];
+            let a2 = &chunk_a[(r + 2) * d..(r + 3) * d];
+            let a3 = &chunk_a[(r + 3) * d..(r + 4) * d];
+            let b0 = &chunk_b[r * m..(r + 1) * m];
+            let b1 = &chunk_b[(r + 1) * m..(r + 2) * m];
+            let b2 = &chunk_b[(r + 2) * m..(r + 3) * m];
+            let b3 = &chunk_b[(r + 3) * m..(r + 4) * m];
+            for i in 0..d {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let dst = &mut acc[i * m..(i + 1) * m];
+                let mut j = 0;
+                while j + 4 <= m {
+                    dst[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                    dst[j + 1] += x0 * b0[j + 1] + x1 * b1[j + 1] + x2 * b2[j + 1] + x3 * b3[j + 1];
+                    dst[j + 2] += x0 * b0[j + 2] + x1 * b1[j + 2] + x2 * b2[j + 2] + x3 * b3[j + 2];
+                    dst[j + 3] += x0 * b0[j + 3] + x1 * b1[j + 3] + x2 * b2[j + 3] + x3 * b3[j + 3];
+                    j += 4;
+                }
+                while j < m {
+                    dst[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                    j += 1;
+                }
+            }
+            r += 4;
+        }
+        while r < rows {
             let arow = &chunk_a[r * d..(r + 1) * d];
             let brow = &chunk_b[r * m..(r + 1) * m];
             for (i, &ai) in arow.iter().enumerate() {
@@ -77,12 +203,13 @@ pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
                     *dj += ai * bj;
                 }
             }
+            r += 1;
         }
         acc
     };
 
-    let data = if work >= PAR_THRESHOLD && n > 1 {
-        let chunk_rows = (n / (rayon::current_num_threads() * 4)).max(64);
+    let data = if n * d * m >= PAR_THRESHOLD && n > 1 {
+        let chunk_rows = reduce_chunk_rows(n, 64);
         a.as_slice()
             .par_chunks(chunk_rows * d)
             .zip(b.as_slice().par_chunks(chunk_rows * m))
@@ -104,36 +231,62 @@ pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 
 /// `C = A · Bᵀ` where `A` is `n × d` and `B` is `m × d`.
 ///
-/// Row-parallel with row-dot-row inner kernels (both operands stream
-/// row-major). Used for pairwise scores such as `X·V_k` panels and k-means
-/// distance computations.
+/// Row-parallel; each `A` row is dotted against a 4-row tile of `B` at a
+/// time (four independent accumulators), so the `A` row is loaded from
+/// cache once per four outputs. Used for pairwise scores such as `X·V_k`
+/// panels and k-means distance computations.
 pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     let (n, d) = a.shape();
     let (m, db) = b.shape();
     assert_eq!(d, db, "gemm_a_bt: A is {n}x{d}, B is {m}x{db}");
-    counters::add_flops(2 * n * m * d);
+    counters::add_flops(counters::gemm_a_bt_flops(n, m, d));
 
     let mut c = Matrix::zeros(n, m);
-    let body = |(crow, arow): (&mut [T], &[T])| {
-        for (j, cj) in crow.iter_mut().enumerate() {
-            let brow = b.row(j);
-            let mut acc = T::ZERO;
-            for (x, y) in arow.iter().zip(brow.iter()) {
-                acc += *x * *y;
+    if n == 0 || m == 0 || d == 0 {
+        return c;
+    }
+    let body = |(crows, arows): (&mut [T], &[T])| {
+        let rows = arows.len() / d;
+        for r in 0..rows {
+            let arow = &arows[r * d..(r + 1) * d];
+            let crow = &mut crows[r * m..(r + 1) * m];
+            let mut j = 0;
+            while j + 4 <= m {
+                let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+                let mut s0 = T::ZERO;
+                let mut s1 = T::ZERO;
+                let mut s2 = T::ZERO;
+                let mut s3 = T::ZERO;
+                for (p, &ap) in arow.iter().enumerate() {
+                    s0 += ap * b0[p];
+                    s1 += ap * b1[p];
+                    s2 += ap * b2[p];
+                    s3 += ap * b3[p];
+                }
+                crow[j] = s0;
+                crow[j + 1] = s1;
+                crow[j + 2] = s2;
+                crow[j + 3] = s3;
+                j += 4;
             }
-            *cj = acc;
+            while j < m {
+                let brow = b.row(j);
+                let mut acc = T::ZERO;
+                for (x, y) in arow.iter().zip(brow.iter()) {
+                    acc += *x * *y;
+                }
+                crow[j] = acc;
+                j += 1;
+            }
         }
     };
-    if n * m * d >= PAR_THRESHOLD {
+    if n * m * d >= PAR_THRESHOLD && n > 1 {
         c.as_mut_slice()
-            .par_chunks_mut(m)
-            .zip(a.as_slice().par_chunks(d))
+            .par_chunks_mut(ROW_BLOCK * m)
+            .zip(a.as_slice().par_chunks(ROW_BLOCK * d))
             .for_each(body);
     } else {
-        c.as_mut_slice()
-            .chunks_mut(m)
-            .zip(a.as_slice().chunks(d))
-            .for_each(body);
+        body((c.as_mut_slice(), a.as_slice()));
     }
     c
 }
@@ -142,11 +295,12 @@ pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 ///
 /// One block of the Definition-1 preconditioner (Eq. 15 summed over the
 /// pool): `B_k(Σ) = Σᵢ wᵢ xᵢxᵢᵀ`. Exploits symmetry (computes the upper
-/// triangle, mirrors at the end).
+/// triangle, mirrors at the end); shape-fixed reduction chunks combined in
+/// chunk order (see the module determinism contract).
 pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
     let (n, d) = x.shape();
     assert_eq!(w.len(), n, "gram_weighted: weight length mismatch");
-    counters::add_flops(n * d * (d + 1));
+    counters::add_flops(counters::gram_weighted_flops(n, d));
 
     let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
         let mut acc = vec![T::ZERO; d * d];
@@ -159,8 +313,17 @@ pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
             for p in 0..d {
                 let s = wi * xi[p];
                 let dst = &mut acc[p * d..(p + 1) * d];
-                for q in p..d {
+                let mut q = p;
+                while q + 4 <= d {
                     dst[q] += s * xi[q];
+                    dst[q + 1] += s * xi[q + 1];
+                    dst[q + 2] += s * xi[q + 2];
+                    dst[q + 3] += s * xi[q + 3];
+                    q += 4;
+                }
+                while q < d {
+                    dst[q] += s * xi[q];
+                    q += 1;
                 }
             }
         }
@@ -168,8 +331,7 @@ pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
     };
 
     let mut g = if n * d * d >= PAR_THRESHOLD && n > 1 {
-        let nt = rayon::current_num_threads() * 4;
-        let chunk = (n / nt).max(32);
+        let chunk = reduce_chunk_rows(n, 32);
         let ranges: Vec<std::ops::Range<usize>> = (0..n)
             .step_by(chunk)
             .map(|s| s..(s + chunk).min(n))
@@ -205,7 +367,7 @@ pub fn gram_weighted_multi<T: Scalar>(x: &Matrix<T>, w: &Matrix<T>) -> Vec<Matri
     let (n, d) = x.shape();
     let (nw, c) = w.shape();
     assert_eq!(n, nw, "gram_weighted_multi: weight panel mismatch");
-    counters::add_flops(c * n * d * (d + 1));
+    counters::add_flops(counters::gram_weighted_multi_flops(c, n, d));
 
     let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
         // c upper-triangular d×d accumulators, flattened.
@@ -221,8 +383,17 @@ pub fn gram_weighted_multi<T: Scalar>(x: &Matrix<T>, w: &Matrix<T>) -> Vec<Matri
                 for p in 0..d {
                     let s = wik * xi[p];
                     let dst = &mut blk[p * d..(p + 1) * d];
-                    for q in p..d {
+                    let mut q = p;
+                    while q + 4 <= d {
                         dst[q] += s * xi[q];
+                        dst[q + 1] += s * xi[q + 1];
+                        dst[q + 2] += s * xi[q + 2];
+                        dst[q + 3] += s * xi[q + 3];
+                        q += 4;
+                    }
+                    while q < d {
+                        dst[q] += s * xi[q];
+                        q += 1;
                     }
                 }
             }
@@ -231,8 +402,7 @@ pub fn gram_weighted_multi<T: Scalar>(x: &Matrix<T>, w: &Matrix<T>) -> Vec<Matri
     };
 
     let data = if n * c * d * d >= PAR_THRESHOLD && n > 1 {
-        let nt = rayon::current_num_threads() * 4;
-        let chunk = (n / nt).max(16);
+        let chunk = reduce_chunk_rows(n, 16);
         let ranges: Vec<std::ops::Range<usize>> = (0..n)
             .step_by(chunk)
             .map(|s| s..(s + chunk).min(n))
@@ -307,6 +477,23 @@ mod tests {
     }
 
     #[test]
+    fn gemm_non_multiple_of_tile_shapes_match_naive() {
+        // Rows/cols straddling the 4-row micro-tile and 4-wide unroll, on
+        // both sides of the parallel threshold.
+        for (m, k, n, seed) in [(5, 3, 6, 11), (33, 17, 35, 12), (66, 31, 45, 13)] {
+            let a = test_mat(m, k, seed);
+            let b = test_mat(k, n, seed + 100);
+            let c = gemm(&a, &b);
+            let r = naive_gemm(&a, &b);
+            let diff = (0..m)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-10, "{m}x{k}x{n}: max diff {diff}");
+        }
+    }
+
+    #[test]
     fn gemm_at_b_matches_explicit_transpose() {
         let a = test_mat(120, 6, 5);
         let b = test_mat(120, 4, 6);
@@ -320,16 +507,33 @@ mod tests {
     }
 
     #[test]
+    fn gemm_at_b_odd_row_counts_match_explicit_transpose() {
+        for (n, d, m, seed) in [(7, 3, 5, 21), (129, 9, 7, 22), (1003, 11, 6, 23)] {
+            let a = test_mat(n, d, seed);
+            let b = test_mat(n, m, seed + 50);
+            let c = gemm_at_b(&a, &b);
+            let r = naive_gemm(&a.transpose(), &b);
+            let diff = (0..d)
+                .flat_map(|i| (0..m).map(move |j| (i, j)))
+                .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-9, "{n}x{d}x{m}: max diff {diff}");
+        }
+    }
+
+    #[test]
     fn gemm_a_bt_matches_explicit_transpose() {
-        let a = test_mat(30, 8, 7);
-        let b = test_mat(20, 8, 8);
-        let c = gemm_a_bt(&a, &b);
-        let r = naive_gemm(&a, &b.transpose());
-        let diff = (0..30)
-            .flat_map(|i| (0..20).map(move |j| (i, j)))
-            .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
-            .fold(0.0, f64::max);
-        assert!(diff < 1e-10, "max diff {diff}");
+        for (n, m, d, seed) in [(30, 20, 8, 7), (65, 19, 13, 8)] {
+            let a = test_mat(n, d, seed);
+            let b = test_mat(m, d, seed + 30);
+            let c = gemm_a_bt(&a, &b);
+            let r = naive_gemm(&a, &b.transpose());
+            let diff = (0..n)
+                .flat_map(|i| (0..m).map(move |j| (i, j)))
+                .map(|(i, j)| (c[(i, j)] - r[(i, j)]).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-10, "{n}x{m}x{d}: max diff {diff}");
+        }
     }
 
     #[test]
@@ -382,6 +586,46 @@ mod tests {
             for q in 0..7 {
                 assert_eq!(g[(p, q)], g[(q, p)]);
             }
+        }
+    }
+
+    #[test]
+    fn all_kernels_bitwise_deterministic_across_thread_counts() {
+        // The module's determinism contract, pinned at shapes that cross
+        // PAR_THRESHOLD (so the parallel paths really engage): identical
+        // bits at 1, 2, and 4 pool threads for all five kernels.
+        let x = test_mat(900, 24, 31);
+        let y = test_mat(900, 18, 32);
+        let sq = test_mat(24, 900, 33);
+        let w: Vec<f64> = (0..900).map(|i| 0.3 + ((i % 13) as f64) * 0.05).collect();
+        let wpanel = Matrix::from_fn(900, 4, |i, j| 0.1 + ((i * 7 + j) % 11) as f64 * 0.02);
+        let bits = || -> Vec<u64> {
+            let mut out = Vec::new();
+            out.extend(gemm(&sq, &x).as_slice().iter().map(|v| v.to_bits()));
+            out.extend(gemm_at_b(&x, &y).as_slice().iter().map(|v| v.to_bits()));
+            out.extend(
+                gemm_a_bt(&x, &test_mat(40, 24, 34))
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+            out.extend(gram_weighted(&x, &w).as_slice().iter().map(|v| v.to_bits()));
+            for g in gram_weighted_multi(&x, &wpanel) {
+                out.extend(g.as_slice().iter().map(|v| v.to_bits()));
+            }
+            out
+        };
+        let reference = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(bits);
+        for threads in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(pool.install(bits), reference, "threads = {threads}");
         }
     }
 

@@ -134,12 +134,21 @@ impl<T: Scalar> Matrix<T> {
         }
     }
 
-    /// Explicit transpose (allocates).
+    /// Explicit transpose (allocates). Tiled so both the source rows and the
+    /// destination rows stay cache-resident within a tile — large panels
+    /// (e.g. the `ê × s` probe blocks) otherwise stride-miss on every write.
     pub fn transpose(&self) -> Self {
+        const TILE: usize = 32;
         let mut t = Self::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+        for i0 in (0..self.rows).step_by(TILE) {
+            let imax = (i0 + TILE).min(self.rows);
+            for j0 in (0..self.cols).step_by(TILE) {
+                let jmax = (j0 + TILE).min(self.cols);
+                for i in i0..imax {
+                    for j in j0..jmax {
+                        t[(j, i)] = self[(i, j)];
+                    }
+                }
             }
         }
         t

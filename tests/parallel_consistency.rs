@@ -125,6 +125,78 @@ fn consistency_matrix_f32() {
     consistency_matrix_case::<f32>(22, 5e-3);
 }
 
+/// The intra-rank parallelism determinism matrix: Approx-FIRAL's selected
+/// indices AND its RELAX objective series must be **bitwise identical**
+/// across kernel-pool sizes (`threads ∈ {ambient, 1, 2, 4}`, where
+/// `ambient` = 0 inherits the `FIRAL_NUM_THREADS`-sized global pool — CI
+/// re-runs this test under `FIRAL_NUM_THREADS=1` and `=4`) at every
+/// ThreadComm rank count `p ∈ {1, 2}`. This is the contract
+/// `firal_linalg::gemm` documents: chunk boundaries are shape-derived and
+/// partial sums combine in chunk order, so the thread axis never perturbs
+/// floating point. (Across the *rank* axis the selection stays identical
+/// while objective bits may differ at shard boundaries — that axis is
+/// covered by `consistency_matrix_*` above.)
+#[test]
+fn thread_determinism_matrix() {
+    // Shape chosen so the dense kernels cross firal_linalg's parallel
+    // threshold — the pool genuinely engages instead of taking the
+    // sequential small-shape fallback.
+    let p: SelectionProblem<f64> = problem(31, 768, 16, 4);
+    let budget = 4;
+    let eta = 4.0 * (p.ehat() as f64).sqrt();
+    let cfg = RelaxConfig {
+        seed: 13,
+        md: firal::core::MirrorDescentConfig {
+            max_iters: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut selection_ref: Option<Vec<usize>> = None;
+    for ranks in [1usize, 2] {
+        let mut cell_ref: Option<(Vec<usize>, Vec<u64>)> = None;
+        for threads in [0usize, 1, 2, 4] {
+            let prob = p.clone();
+            let config = cfg;
+            let results = launch(ranks, move |comm| {
+                let shard = ShardedProblem::shard(&prob, comm.rank(), comm.size());
+                let exec = Executor::new(comm, &shard).with_threads(threads);
+                let relax = exec.relax(budget, &config);
+                let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+                let obj_bits: Vec<u64> = relax
+                    .telemetry
+                    .objective_history
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (round.selected, obj_bits)
+            });
+            for cell in &results[1..] {
+                assert_eq!(cell, &results[0], "p={ranks} t={threads}: ranks disagreed");
+            }
+            match &cell_ref {
+                None => cell_ref = Some(results[0].clone()),
+                Some((sel, bits)) => {
+                    assert_eq!(
+                        &results[0].0, sel,
+                        "p={ranks} t={threads}: selection changed with thread count"
+                    );
+                    assert_eq!(
+                        &results[0].1, bits,
+                        "p={ranks} t={threads}: RELAX objective bits changed with thread count"
+                    );
+                }
+            }
+        }
+        let (sel, _) = cell_ref.unwrap();
+        match &selection_ref {
+            None => selection_ref = Some(sel),
+            Some(r) => assert_eq!(&sel, r, "p={ranks}: selection diverged across rank counts"),
+        }
+    }
+}
+
 #[test]
 fn full_pipeline_rank_invariance() {
     let p: SelectionProblem<f64> = problem(1, 60, 6, 4);
