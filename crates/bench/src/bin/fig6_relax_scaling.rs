@@ -11,9 +11,9 @@
 //! sub-pool (the ranks × threads hybrid tier; default 1 keeps ranks as
 //! the only parallelism so the rank-scaling measurement stays pure).
 //!
-//! `--backend thread` (default) runs ranks as shared-memory [`ThreadComm`]
+//! `--backend thread` (default) runs ranks as shared-memory [`firal_comm::ThreadComm`]
 //! threads; `--backend socket` runs the same rank bodies over the real
-//! localhost-TCP [`SocketComm`] mesh (in-process endpoints), so the comm
+//! localhost-TCP [`firal_comm::SocketComm`] mesh (in-process endpoints), so the comm
 //! column measures actual wire time. For one-process-per-rank execution
 //! use `spmd_launch` (`--bin spmd_launch -- -p N fig6`), which runs the
 //! identical [`firal_bench::workloads::fig6_rank_body`].

@@ -8,7 +8,7 @@
 //! launch (remaining ranks are killed so a dead peer cannot hang the
 //! mesh).
 //!
-//! Usage: spmd_launch [-p N] [workload] [workload options]
+//! Usage: `spmd_launch [-p N] [workload] [workload options]`
 //!
 //! Workloads:
 //! * `firal` (default) — Approx-FIRAL end-to-end over SocketComm on a
@@ -21,7 +21,10 @@
 //!   the thread-backend figure binary. Options: `--n`, `--per-rank`,
 //!   `--ncg`, `--csv`.
 //! * `fig7` — the Fig. 7 ROUND scaling row at the launched rank count.
-//!   Options: `--n`, `--per-rank`, `--csv`.
+//!   Options: `--n`, `--per-rank`, `--csv`, `--threads`, and
+//!   `--eta-groups G` (distribute the §IV-A η grid over `G`
+//!   sub-communicator groups of the process mesh — `G` must divide `-p` —
+//!   and print one `grp` row per group with that group's own `CommStats`).
 //! * `scaling` — the `distributed_scaling` example's measurement row at
 //!   the launched rank count.
 //!
@@ -36,7 +39,8 @@ use std::time::Duration;
 
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::{
-    fig6_rank_body, fig7_rank_body, scaling_problem, selection_problem_from_dataset,
+    fig6_rank_body, fig7_eta_sweep_rank_body, fig7_rank_body, scaling_problem,
+    selection_problem_from_dataset,
 };
 use firal_comm::{fork_self, CommStats, Communicator, SelfComm, SocketComm};
 use firal_core::{EigSolver, Executor, MirrorDescentConfig, RelaxConfig, ShardedProblem};
@@ -64,7 +68,9 @@ fn workload_name() -> String {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" => i += 2,
+            "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" | "--threads" | "--eta-groups" => {
+                i += 2
+            }
             a if a.starts_with('-') => i += 1,
             a => return a.to_string(),
         }
@@ -277,10 +283,22 @@ fn workload_fig6(comm: &SocketComm) -> i32 {
 }
 
 /// Fig. 7 ROUND scaling rows (strong + weak) at the launched rank count.
+/// With `--eta-groups G > 1` the measured body becomes the distributed
+/// η-grid sweep and the table carries one `grp` row per group with that
+/// group's own per-process `CommStats`.
 fn workload_fig7(comm: &SocketComm) -> i32 {
     let strong_n: usize = arg_value("--n").unwrap_or(24_000);
     let per_rank: usize = arg_value("--per-rank").unwrap_or(2_000);
+    let threads: usize = arg_value("--threads").unwrap_or(1);
+    let eta_groups: usize = arg_value("--eta-groups").unwrap_or(1).max(1);
     let p = comm.size();
+    if !p.is_multiple_of(eta_groups) {
+        eprintln!("--eta-groups {eta_groups} must divide the rank count {p}");
+        return 2;
+    }
+    if eta_groups > 1 {
+        return workload_fig7_eta_groups(comm, strong_n, per_rank, threads, eta_groups);
+    }
     let mut rows = Vec::new();
     for mode in ["strong", "weak"] {
         let n = if mode == "strong" {
@@ -289,7 +307,6 @@ fn workload_fig7(comm: &SocketComm) -> i32 {
             per_rank * p
         };
         let problem = scaling_problem(100, 96, n, false, 9, 10);
-        let threads: usize = arg_value("--threads").unwrap_or(1);
         let (timer, stats) = fig7_rank_body(&problem, threads, comm);
         rows.push((
             mode.to_string(),
@@ -309,6 +326,100 @@ fn workload_fig7(comm: &SocketComm) -> i32 {
         rows,
     );
     0
+}
+
+/// The η-grid variant of [`workload_fig7`]: every process joins the 2D
+/// geometry, the winning (η★, selection) is cross-checked for rank
+/// agreement over the mesh, and rank 0 prints one row per (mode, group)
+/// from each group's shard-rank-0 process.
+fn workload_fig7_eta_groups(
+    comm: &SocketComm,
+    strong_n: usize,
+    per_rank: usize,
+    threads: usize,
+    eta_groups: usize,
+) -> i32 {
+    let p = comm.size();
+    let p_shard = p / eta_groups;
+    let mut headers = vec!["p", "grp", "mode", "backend", "objective", "eig", "other"];
+    headers.extend(COMM_HEADERS);
+    headers.push("total");
+    let mut table = Table::new(
+        format!(
+            "Fig. 7 — η grid over {eta_groups} SocketComm process groups \
+             (p = {p_shard}×{eta_groups}, c=100, d=96)"
+        ),
+        &headers,
+    );
+    let mut consistent = true;
+    for mode in ["strong", "weak"] {
+        let n = if mode == "strong" {
+            strong_n
+        } else {
+            per_rank * p
+        };
+        let problem = scaling_problem(100, 96, n, false, 9, 10);
+        let rep = fig7_eta_sweep_rank_body(&problem, threads, eta_groups, comm);
+
+        // All ranks must agree on (η★, selection); verify over the mesh.
+        let mut row = vec![rep.eta_star as f64];
+        row.extend(rep.selected.iter().map(|&i| i as f64));
+        let gathered = comm.allgatherv_f64(&row);
+        let ok = gathered.chunks_exact(row.len()).all(|c| c == row);
+        if !ok {
+            eprintln!(
+                "rank {}: ranks disagreed on the η sweep winner",
+                comm.rank()
+            );
+            consistent = false;
+        }
+
+        // Per-rank report row, gathered so rank 0 can print each group's
+        // shard-rank-0 process.
+        let s = &rep.group_stats;
+        let report = [
+            rep.group as f64,
+            rep.timer.get("objective").as_secs_f64(),
+            rep.timer.get("eig").as_secs_f64(),
+            rep.timer.get("other").as_secs_f64(),
+            rep.timer.total().as_secs_f64(),
+            s.allreduce_calls as f64,
+            s.bcast_calls as f64,
+            s.allgather_calls as f64,
+            s.total_bytes() as f64,
+            s.time.as_secs_f64(),
+        ];
+        let all = comm.allgatherv_f64(&report);
+        if comm.rank() == 0 {
+            for g in 0..eta_groups {
+                let chunk = &all[g * p_shard * report.len()..][..report.len()];
+                table.row(&[
+                    p.to_string(),
+                    format!("{g}"),
+                    mode.to_string(),
+                    "socket-proc".to_string(),
+                    format!("{:.4}", chunk[1]),
+                    format!("{:.4}", chunk[2]),
+                    format!("{:.4}", chunk[3]),
+                    format!(
+                        "{}/{}/{}",
+                        chunk[5] as u64, chunk[6] as u64, chunk[7] as u64
+                    ),
+                    format!("{:.2}", chunk[8] / 1e6),
+                    format!("{:.3}", chunk[9]),
+                    format!("{:.4}", chunk[4]),
+                ]);
+            }
+        }
+    }
+    if comm.rank() == 0 {
+        if has_flag("--csv") {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+    i32::from(!consistent)
 }
 
 /// The `distributed_scaling` example's measurement at the launched rank

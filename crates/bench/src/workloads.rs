@@ -8,8 +8,8 @@
 
 use firal_comm::{CommStats, Communicator};
 use firal_core::{
-    EigSolver, Executor, MirrorDescentConfig, PhaseTimer, RelaxConfig, SelectionProblem,
-    ShardedProblem,
+    EigSolver, EtaGroupGeometry, Executor, MirrorDescentConfig, PhaseTimer, RelaxConfig,
+    RoundConfig, SelectionProblem, ShardedProblem,
 };
 use firal_data::{extend_with_noise, Dataset, SyntheticConfig};
 use firal_linalg::{Matrix, Scalar};
@@ -137,6 +137,64 @@ pub fn fig7_rank_body(
     (out.timer, out.comm_stats)
 }
 
+/// Per-rank report of the distributed η-grid sweep workload
+/// ([`fig7_eta_sweep_rank_body`]): the winning η and selection plus this
+/// rank's coordinates and per-sub-communicator traffic, so the harnesses
+/// can print one `grp` row per η group with that group's own
+/// [`CommStats`].
+pub struct EtaSweepReport {
+    /// This rank's η group in the 2D geometry.
+    pub group: usize,
+    /// Ranks per group (`p_shard`).
+    pub p_shard: usize,
+    /// Winning η (identical on every rank).
+    pub eta_star: f32,
+    /// Winning selection (identical on every rank).
+    pub selected: Vec<usize>,
+    /// This rank's sweep phase breakdown (its slice of the grid).
+    pub timer: PhaseTimer,
+    /// Collectives issued on the η-group communicator.
+    pub group_stats: CommStats,
+    /// Collectives issued on the cross-group communicator.
+    pub cross_stats: CommStats,
+}
+
+/// Fig. 7's η-grid counterpart: the §IV-A grid sweep (default grid,
+/// budget = 1 — the paper's select-one-point metric) distributed over
+/// `eta_groups` sub-communicator groups of the 2D geometry
+/// `p = p_shard × p_eta`. `eta_groups` must divide the world size;
+/// `eta_groups = 1` is the sequential sweep on the full group. Identical
+/// on every backend, like [`fig7_rank_body`].
+pub fn fig7_eta_sweep_rank_body(
+    problem: &SelectionProblem<f32>,
+    threads: usize,
+    eta_groups: usize,
+    comm: &dyn Communicator,
+) -> EtaSweepReport {
+    let geometry = EtaGroupGeometry::new(comm.size(), eta_groups);
+    let group = geometry.group_of(comm.rank());
+    let shard_rank = geometry.shard_rank_of(comm.rank());
+    let group_comm = comm.split(group, comm.rank());
+    let cross_comm = comm.split(shard_rank, comm.rank());
+
+    let budget = 1;
+    let grid = RoundConfig::<f32>::default().eta_grid;
+    let shard = ShardedProblem::shard(problem, shard_rank, geometry.p_shard);
+    let z_local = vec![budget as f32 / problem.pool_size() as f32; shard.local_n()];
+    let out = Executor::new(&*group_comm, &shard)
+        .with_threads(threads)
+        .select_eta_grouped(&z_local, budget, &grid, &*cross_comm);
+    EtaSweepReport {
+        group,
+        p_shard: geometry.p_shard,
+        eta_star: out.eta,
+        selected: out.selected,
+        timer: out.timer,
+        group_stats: group_comm.stats(),
+        cross_stats: cross_comm.stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +234,26 @@ mod tests {
     fn extended_problem_grows_the_pool() {
         let p = scaling_problem(3, 4, 60, true, 7, 8);
         assert_eq!(p.pool_size(), 60);
+    }
+
+    #[test]
+    fn eta_sweep_body_single_rank_matches_grouped_layout() {
+        // p = 1, one group: the sweep body must agree with the same sweep
+        // distributed over (p_shard, p_eta) = (1, 2) thread ranks.
+        let p = scaling_problem(3, 4, 40, false, 7, 8);
+        let comm = SelfComm::new();
+        let serial = fig7_eta_sweep_rank_body(&p, 1, 1, &comm);
+        assert_eq!(serial.group, 0);
+        assert_eq!(serial.selected.len(), 1);
+
+        let grouped = firal_comm::launch(2, |comm| {
+            let rep = fig7_eta_sweep_rank_body(&p, 1, 2, comm);
+            (rep.group, rep.eta_star, rep.selected)
+        });
+        for (g, (group, eta, sel)) in grouped.into_iter().enumerate() {
+            assert_eq!(group, g);
+            assert_eq!(eta, serial.eta_star);
+            assert_eq!(sel, serial.selected);
+        }
     }
 }

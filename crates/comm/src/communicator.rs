@@ -104,7 +104,13 @@ impl CommStats {
 ///   contribution in rank order;
 /// * `allreduce_maxloc` — MPI's `MAXLOC`: the global maximum value together
 ///   with its payload (lowest rank wins ties), used to pick the argmax
-///   point in the ROUND objective (Line 7 of Algorithm 3).
+///   point in the ROUND objective (Line 7 of Algorithm 3);
+/// * `split` — MPI's `MPI_Comm_split`: a **collective** that partitions the
+///   group into disjoint sub-groups by `color`, ordering each sub-group's
+///   new ranks by `(key, parent rank)`. Sub-communicators satisfy the same
+///   deterministic rank-ordered reduction contract as their parent, so a
+///   sub-group run of `p'` ranks is bitwise identical to a root run of the
+///   same `p'` ranks.
 pub trait Communicator {
     /// This rank's id in `0..size()`.
     fn rank(&self) -> usize;
@@ -121,10 +127,50 @@ pub trait Communicator {
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64>;
     /// Global max with payload (ties broken towards the lower rank).
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64);
+    /// Collectively partition this group into disjoint sub-groups: ranks
+    /// passing the same `color` land in the same sub-communicator, with new
+    /// ranks assigned by ascending `(key, parent rank)` (MPI's
+    /// `MPI_Comm_split` semantics, minus the "undefined color" escape —
+    /// every rank joins exactly one sub-group, possibly a singleton).
+    ///
+    /// **Every rank of this communicator must call `split` (it is a
+    /// collective)**, and the returned endpoint starts a fresh
+    /// [`CommStats`] record, so per-sub-group communication can be
+    /// attributed independently of the parent's counters.
+    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator>;
     /// Snapshot of this rank's communication statistics.
     fn stats(&self) -> CommStats;
     /// Reset this rank's statistics.
     fn reset_stats(&self);
+}
+
+/// Membership bookkeeping shared by every [`Communicator::split`]
+/// implementation: allgather each rank's `(color, key)` over the parent
+/// group, then order my color-mates by `(key, parent rank)`.
+///
+/// Returns the parent ranks of my sub-group in **new-rank order** plus my
+/// own position (= my new rank). Identical on every member of the group —
+/// the contributions travel through the parent's deterministic collectives.
+pub(crate) fn split_membership(
+    comm: &dyn Communicator,
+    color: usize,
+    key: usize,
+) -> (Vec<usize>, usize) {
+    // usize → f64 is exact for the rank/color/key magnitudes a group can
+    // hold (collectives address ranks, so values stay far below 2^53).
+    let all = comm.allgatherv_f64(&[color as f64, key as f64]);
+    assert_eq!(all.len(), 2 * comm.size(), "split membership exchange");
+    let mut mates: Vec<(usize, usize)> = (0..comm.size())
+        .filter(|&r| all[2 * r] == color as f64)
+        .map(|r| (all[2 * r + 1] as usize, r))
+        .collect();
+    mates.sort_unstable();
+    let members: Vec<usize> = mates.into_iter().map(|(_, r)| r).collect();
+    let my_pos = members
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("calling rank missing from its own color group");
+    (members, my_pos)
 }
 
 /// Single-rank communicator: all collectives are identities. The `p = 1`
@@ -171,6 +217,14 @@ impl Communicator for SelfComm {
         s.allreduce_calls += 1;
         s.allreduce_bytes += 16;
         (value, payload)
+    }
+    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        // A single rank always splits into the singleton group containing
+        // itself; the shared membership exchange degenerates but still
+        // counts as a collective on this endpoint.
+        let (members, my_pos) = split_membership(self, color, key);
+        debug_assert_eq!((members, my_pos), (vec![0], 0));
+        Box::new(SelfComm::new())
     }
     fn stats(&self) -> CommStats {
         *self.stats.borrow()

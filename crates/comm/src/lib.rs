@@ -18,8 +18,8 @@
 //!   rendezvous, the same rank-ordered reduction contract, and real wire
 //!   time in [`CommStats::time`]. `spmd_launch` (in `firal-bench`) forks
 //!   `p` processes of itself and joins them via [`SocketComm::from_env`];
-//! * [`wire`] — the framing and MAXLOC encoding every real transport
-//!   shares, defined once;
+//! * [`wire`] — the framing, MAXLOC encoding, and split-scope tags every
+//!   real transport shares, defined once;
 //! * [`CostModel`] — the latency/bandwidth/compute model of Thakur,
 //!   Rabenseifner & Gropp that the paper uses for its theoretical
 //!   performance bars (recursive-doubling allreduce/allgather, binomial-tree
@@ -32,6 +32,22 @@
 //! reduction orders), so algorithm behaviour — including the data
 //! decomposition — is identical to the paper's across [`SelfComm`],
 //! [`ThreadComm`], and [`SocketComm`]; only the transport differs.
+//!
+//! All three backends also implement [`Communicator::split`] (MPI's
+//! `MPI_Comm_split`): a collective that partitions a group into disjoint
+//! sub-groups, each a full `Communicator` satisfying the same deterministic
+//! reduction contract as a root group of the same size. This is what the
+//! execution layer's 2D rank geometry (`p = p_shard × p_eta`, see
+//! `firal_core::exec::EtaGroupGeometry`) is built on: η-grid groups and the
+//! cross-group picker are sub-communicators, not a second code path. On
+//! [`SocketComm`] every sub-group stamps its frames with a scope tag
+//! ([`wire::derive_scope`]) so collectives of different groups sharing mesh
+//! links cannot cross-talk.
+//!
+//! The repo-root `ARCHITECTURE.md` maps this crate's pieces to §III-C of
+//! the paper and spells out the determinism contracts in one place.
+
+#![deny(missing_docs)]
 
 pub mod communicator;
 pub mod cost;

@@ -45,13 +45,14 @@
 //!   threads whose endpoints still talk over real localhost TCP — the
 //!   test/bench harness for the socket path.
 
-use std::cell::{RefCell, RefMut};
+use std::cell::{Cell, RefCell, RefMut};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::Command;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use crate::communicator::{CommStats, Communicator, ReduceOp};
+use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
 use crate::wire::{self, MaxLoc, MAGIC};
 
 /// Env var carrying this process's rank (set by the launcher).
@@ -132,11 +133,29 @@ fn bind_retry(addr: &str) -> io::Result<TcpListener> {
 
 /// One rank's endpoint of a TCP process group (see the module docs for the
 /// rendezvous protocol and collective algorithms).
+///
+/// A `SocketComm` is either the **root** group built by [`SocketComm::connect`]
+/// (members = all mesh ranks, frames tagged with [`wire::ROOT_SCOPE`]) or a
+/// **sub-group** produced by [`Communicator::split`]: the same mesh links
+/// (shared via `Rc` — a rank's endpoints all live on one thread), a subset
+/// of members in new-rank order, and a split-derived scope tag stamped on
+/// every frame so collectives of different sub-groups sharing a link can
+/// never consume each other's traffic.
 pub struct SocketComm {
-    rank: usize,
-    size: usize,
-    /// Mesh links indexed by peer rank; `None` at our own slot.
-    peers: Vec<Option<RefCell<Peer>>>,
+    /// This endpoint's rank in the *root* mesh (stable across splits; the
+    /// index into `peers`).
+    world_rank: usize,
+    /// Mesh links indexed by **world rank**; `None` at our own slot (and at
+    /// every slot when the root group has a single rank).
+    peers: Rc<Vec<Option<RefCell<Peer>>>>,
+    /// World ranks of this group's members, in group-rank order.
+    members: Vec<usize>,
+    /// My position in `members` (= my rank in this group).
+    my_pos: usize,
+    /// Scope tag prefixed to every collective frame of this group.
+    scope: u64,
+    /// Split generations issued from this endpoint (names sub-group scopes).
+    split_seq: Cell<u64>,
     stats: RefCell<CommStats>,
 }
 
@@ -176,14 +195,18 @@ impl SocketComm {
     ) -> io::Result<Self> {
         assert!(size > 0, "SPMD group needs at least one rank");
         assert!(rank < size, "rank {rank} out of {size}");
+        let root = |peers: Vec<Option<RefCell<Peer>>>| Self {
+            world_rank: rank,
+            peers: Rc::new(peers),
+            members: (0..size).collect(),
+            my_pos: rank,
+            scope: wire::ROOT_SCOPE,
+            split_seq: Cell::new(0),
+            stats: RefCell::new(CommStats::default()),
+        };
         let mut peers: Vec<Option<RefCell<Peer>>> = (0..size).map(|_| None).collect();
         if size == 1 {
-            return Ok(Self {
-                rank,
-                size,
-                peers,
-                stats: RefCell::new(CommStats::default()),
-            });
+            return Ok(root(peers));
         }
 
         if rank == 0 {
@@ -264,12 +287,7 @@ impl SocketComm {
             }
         }
 
-        let comm = Self {
-            rank,
-            size,
-            peers,
-            stats: RefCell::new(CommStats::default()),
-        };
+        let comm = root(peers);
         // Construction is a sync point (like MPI_Init): nobody proceeds
         // until the whole mesh is wired.
         comm.hub_barrier().map_err(|e| {
@@ -278,123 +296,154 @@ impl SocketComm {
         Ok(comm)
     }
 
-    fn peer(&self, r: usize) -> RefMut<'_, Peer> {
-        self.peers[r]
+    /// The mesh link to a peer, addressed by **world rank**.
+    fn peer(&self, world: usize) -> RefMut<'_, Peer> {
+        self.peers[world]
             .as_ref()
             .expect("no mesh link at this slot (own rank?)")
             .borrow_mut()
     }
 
+    /// World rank of this group's hub (group rank 0).
+    fn hub(&self) -> usize {
+        self.members[0]
+    }
+
     fn die(&self, what: &str, e: &io::Error) -> ! {
         panic!(
-            "SocketComm rank {}/{}: {what} failed: {e} (a peer rank likely died)",
-            self.rank, self.size
+            "SocketComm rank {}/{} (world rank {}, scope {:#x}): {what} failed: {e} \
+             (a peer rank likely died)",
+            self.my_pos,
+            self.members.len(),
+            self.world_rank,
+            self.scope
         );
     }
 
     fn hub_barrier(&self) -> io::Result<()> {
-        if self.size == 1 {
+        if self.members.len() == 1 {
             return Ok(());
         }
-        if self.rank == 0 {
-            for r in 1..self.size {
-                expect_magic(&mut self.peer(r).reader)?;
+        if self.my_pos == 0 {
+            for &m in &self.members[1..] {
+                wire::expect_scope(&mut self.peer(m).reader, self.scope)?;
             }
-            for r in 1..self.size {
-                let mut p = self.peer(r);
-                wire::write_u64(&mut p.writer, MAGIC)?;
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
                 p.writer.flush()?;
             }
         } else {
-            let mut p = self.peer(0);
-            wire::write_u64(&mut p.writer, MAGIC)?;
+            let mut p = self.peer(self.hub());
+            wire::write_scope(&mut p.writer, self.scope)?;
             p.writer.flush()?;
-            expect_magic(&mut p.reader)?;
+            wire::expect_scope(&mut p.reader, self.scope)?;
         }
         Ok(())
     }
 
-    /// Gather to rank 0, reduce in rank order, return the result to all —
-    /// bitwise identical to [`crate::ThreadComm`]'s deposit/combine.
+    /// Gather to the group hub, reduce in group-rank order, return the
+    /// result to all — bitwise identical to [`crate::ThreadComm`]'s
+    /// deposit/combine (and, for sub-groups, to a root group of the same
+    /// size). Every frame is scope-tagged.
     fn hub_allreduce(&self, buf: &mut [f64], op: ReduceOp) -> io::Result<()> {
-        if self.rank == 0 {
+        if self.my_pos == 0 {
             let mut contrib = vec![0.0; buf.len()];
-            for r in 1..self.size {
-                wire::read_f64s_into(&mut self.peer(r).reader, &mut contrib)?;
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::expect_scope(&mut p.reader, self.scope)?;
+                wire::read_f64s_into(&mut p.reader, &mut contrib)?;
                 for (b, v) in buf.iter_mut().zip(contrib.iter()) {
                     *b = op.combine(*b, *v);
                 }
             }
-            for r in 1..self.size {
-                let mut p = self.peer(r);
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
                 wire::write_f64s(&mut p.writer, buf)?;
                 p.writer.flush()?;
             }
         } else {
-            let mut p = self.peer(0);
+            let mut p = self.peer(self.hub());
+            wire::write_scope(&mut p.writer, self.scope)?;
             wire::write_f64s(&mut p.writer, buf)?;
             p.writer.flush()?;
+            wire::expect_scope(&mut p.reader, self.scope)?;
             wire::read_f64s_into(&mut p.reader, buf)?;
         }
         Ok(())
     }
 
     fn hub_bcast(&self, buf: &mut [f64], root: usize) -> io::Result<()> {
-        if self.rank == root {
-            for r in 0..self.size {
-                if r == root {
+        let root_world = self.members[root];
+        if self.my_pos == root {
+            for &m in &self.members {
+                if m == root_world {
                     continue;
                 }
-                let mut p = self.peer(r);
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
                 wire::write_f64s(&mut p.writer, buf)?;
                 p.writer.flush()?;
             }
         } else {
-            wire::read_f64s_into(&mut self.peer(root).reader, buf)?;
+            let mut p = self.peer(root_world);
+            wire::expect_scope(&mut p.reader, self.scope)?;
+            wire::read_f64s_into(&mut p.reader, buf)?;
         }
         Ok(())
     }
 
     fn hub_allgatherv(&self, local: &[f64]) -> io::Result<Vec<f64>> {
-        if self.rank == 0 {
+        if self.my_pos == 0 {
             let mut out = local.to_vec();
-            for r in 1..self.size {
-                out.extend(wire::read_f64s(&mut self.peer(r).reader)?);
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::expect_scope(&mut p.reader, self.scope)?;
+                out.extend(wire::read_f64s(&mut p.reader)?);
             }
-            for r in 1..self.size {
-                let mut p = self.peer(r);
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
                 wire::write_f64s(&mut p.writer, &out)?;
                 p.writer.flush()?;
             }
             Ok(out)
         } else {
-            let mut p = self.peer(0);
+            let mut p = self.peer(self.hub());
+            wire::write_scope(&mut p.writer, self.scope)?;
             wire::write_f64s(&mut p.writer, local)?;
             p.writer.flush()?;
+            wire::expect_scope(&mut p.reader, self.scope)?;
             wire::read_f64s(&mut p.reader)
         }
     }
 
     fn hub_maxloc(&self, own: MaxLoc) -> io::Result<MaxLoc> {
-        if self.rank == 0 {
-            let mut contribs = Vec::with_capacity(self.size);
+        if self.my_pos == 0 {
+            let mut contribs = Vec::with_capacity(self.members.len());
             contribs.push(own);
             let mut frame = [0u8; MaxLoc::WIRE_BYTES];
-            for r in 1..self.size {
-                self.peer(r).reader.read_exact(&mut frame)?;
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::expect_scope(&mut p.reader, self.scope)?;
+                p.reader.read_exact(&mut frame)?;
                 contribs.push(MaxLoc::decode(&frame));
             }
             let best = MaxLoc::reduce_rank_ordered(contribs);
-            for r in 1..self.size {
-                let mut p = self.peer(r);
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
                 p.writer.write_all(&best.encode())?;
                 p.writer.flush()?;
             }
             Ok(best)
         } else {
-            let mut p = self.peer(0);
+            let mut p = self.peer(self.hub());
+            wire::write_scope(&mut p.writer, self.scope)?;
             p.writer.write_all(&own.encode())?;
             p.writer.flush()?;
+            wire::expect_scope(&mut p.reader, self.scope)?;
             let mut frame = [0u8; MaxLoc::WIRE_BYTES];
             p.reader.read_exact(&mut frame)?;
             Ok(MaxLoc::decode(&frame))
@@ -404,11 +453,11 @@ impl SocketComm {
 
 impl Communicator for SocketComm {
     fn rank(&self) -> usize {
-        self.rank
+        self.my_pos
     }
 
     fn size(&self) -> usize {
-        self.size
+        self.members.len()
     }
 
     fn barrier(&self) {
@@ -418,7 +467,7 @@ impl Communicator for SocketComm {
 
     fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
         let t0 = Instant::now();
-        if self.size > 1 {
+        if self.size() > 1 {
             self.hub_allreduce(buf, op)
                 .unwrap_or_else(|e| self.die("allreduce", &e));
         }
@@ -430,8 +479,8 @@ impl Communicator for SocketComm {
 
     fn bcast_f64(&self, buf: &mut [f64], root: usize) {
         let t0 = Instant::now();
-        assert!(root < self.size, "bcast root out of range");
-        if self.size > 1 {
+        assert!(root < self.size(), "bcast root out of range");
+        if self.size() > 1 {
             self.hub_bcast(buf, root)
                 .unwrap_or_else(|e| self.die("bcast", &e));
         }
@@ -443,7 +492,7 @@ impl Communicator for SocketComm {
 
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
         let t0 = Instant::now();
-        let out = if self.size > 1 {
+        let out = if self.size() > 1 {
             self.hub_allgatherv(local)
                 .unwrap_or_else(|e| self.die("allgatherv", &e))
         } else {
@@ -459,7 +508,7 @@ impl Communicator for SocketComm {
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
         let t0 = Instant::now();
         let own = MaxLoc { value, payload };
-        let best = if self.size > 1 {
+        let best = if self.size() > 1 {
             self.hub_maxloc(own)
                 .unwrap_or_else(|e| self.die("allreduce_maxloc", &e))
         } else {
@@ -470,6 +519,29 @@ impl Communicator for SocketComm {
         st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
         st.time += t0.elapsed();
         (best.value, best.payload)
+    }
+
+    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        // Membership over the parent collectives (scope-tagged with the
+        // *parent's* scope — split traffic belongs to the parent group).
+        let (positions, my_pos) = split_membership(self, color, key);
+        let members: Vec<usize> = positions.iter().map(|&p| self.members[p]).collect();
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        let sub = SocketComm {
+            world_rank: self.world_rank,
+            peers: Rc::clone(&self.peers),
+            members,
+            my_pos,
+            scope: wire::derive_scope(self.scope, seq, color as u64),
+            split_seq: Cell::new(0),
+            stats: RefCell::new(CommStats::default()),
+        };
+        // First use of the new scope is a barrier: a wiring or ordering
+        // mistake fails loudly at split time, not at the first collective.
+        sub.hub_barrier()
+            .unwrap_or_else(|e| sub.die("post-split barrier", &e));
+        Box::new(sub)
     }
 
     fn stats(&self) -> CommStats {
@@ -783,6 +855,128 @@ mod tests {
         });
         assert!(socket.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(socket, thread);
+    }
+
+    #[test]
+    fn split_disjoint_colors_form_independent_groups() {
+        // 4 ranks → pairs {0, 2} and {1, 3}; each pair's collectives run
+        // over the shared mesh links with their own scope tags.
+        let results = socket_launch(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let mut buf = vec![comm.rank() as f64];
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            let gathered = sub.allgatherv_f64(&[10.0 + comm.rank() as f64]);
+            (sub.rank(), sub.size(), buf[0], gathered)
+        });
+        for (rank, (sub_rank, sub_size, sum, gathered)) in results.into_iter().enumerate() {
+            assert_eq!(sub_size, 2);
+            assert_eq!(sub_rank, rank / 2);
+            let (a, b) = (rank % 2, rank % 2 + 2);
+            assert_eq!(sum, (a + b) as f64);
+            assert_eq!(gathered, vec![10.0 + a as f64, 10.0 + b as f64]);
+        }
+    }
+
+    #[test]
+    fn split_singleton_groups_short_circuit() {
+        let results = socket_launch(3, |comm| {
+            let sub = comm.split(comm.rank(), 0);
+            let mut buf = vec![5.0];
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            (sub.rank(), sub.size(), buf[0], sub.allreduce_maxloc(2.0, 7))
+        });
+        for (sub_rank, sub_size, v, maxloc) in results {
+            assert_eq!((sub_rank, sub_size), (0, 1));
+            assert_eq!(v, 5.0);
+            assert_eq!(maxloc, (2.0, 7));
+        }
+    }
+
+    #[test]
+    fn split_key_reorders_sub_group_ranks() {
+        // Descending keys reverse the group: new rank 0 = old rank 2, so a
+        // sub-group bcast from root 0 must deliver old rank 2's buffer.
+        let results = socket_launch(3, |comm| {
+            let sub = comm.split(0, 100 - comm.rank());
+            let mut buf = vec![comm.rank() as f64];
+            sub.bcast_f64(&mut buf, 0);
+            (sub.rank(), buf[0])
+        });
+        for (rank, (sub_rank, v)) in results.into_iter().enumerate() {
+            assert_eq!(sub_rank, 2 - rank);
+            assert_eq!(v, 2.0);
+        }
+    }
+
+    #[test]
+    fn split_nested_sub_groups_and_maxloc() {
+        // Split 4 → pairs, then each pair → singletons; exercise MAXLOC at
+        // every level interleaved with parent collectives, so frames of
+        // three scope generations share the mesh without cross-talk.
+        let results = socket_launch(4, |comm| {
+            let pair = comm.split(comm.rank() / 2, comm.rank());
+            let single = pair.split(pair.rank(), 0);
+            let (pv, pp) = pair.allreduce_maxloc(comm.rank() as f64, comm.rank() as u64);
+            let mut world = vec![1.0];
+            comm.allreduce_f64(&mut world, ReduceOp::Sum);
+            let (sv, sp) = single.allreduce_maxloc(-1.0, 99);
+            (pv, pp, world[0], sv, sp)
+        });
+        for (rank, (pv, pp, world, sv, sp)) in results.into_iter().enumerate() {
+            // Pair max = the higher rank of the pair.
+            let hi = (rank / 2) * 2 + 1;
+            assert_eq!((pv, pp), (hi as f64, hi as u64));
+            assert_eq!(world, 4.0);
+            assert_eq!((sv, sp), (-1.0, 99));
+        }
+    }
+
+    #[test]
+    fn split_sub_group_reduction_matches_root_group_bitwise() {
+        // The determinism contract survives the split: a 2-rank sub-group
+        // reduces the same bits as a 2-rank root group (and as ThreadComm).
+        let contribution = |new_rank: usize| vec![[1.0e16, 1.0][new_rank]];
+        let root = socket_launch(2, |comm| {
+            let mut buf = contribution(comm.rank());
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        let split = socket_launch(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let mut buf = contribution(sub.rank());
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        let thread = crate::launch(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let mut buf = contribution(sub.rank());
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        for &bits in &split {
+            assert_eq!(bits, root[0]);
+        }
+        assert_eq!(split, thread);
+    }
+
+    #[test]
+    fn split_sub_comm_tracks_its_own_wire_stats() {
+        let results = socket_launch(2, |comm| {
+            let sub = comm.split(0, comm.rank());
+            let mut buf = vec![0.5; 256];
+            for _ in 0..4 {
+                sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            }
+            (sub.stats(), comm.stats())
+        });
+        for (sub_stats, parent_stats) in results {
+            assert_eq!(sub_stats.allreduce_calls, 4);
+            assert_eq!(sub_stats.allreduce_bytes, 4 * 256 * 8);
+            assert!(sub_stats.time > Duration::ZERO, "sub-group wire time");
+            // Parent saw only the split's membership allgather.
+            assert_eq!(parent_stats.allreduce_calls, 0);
+            assert_eq!(parent_stats.allgather_calls, 1);
+        }
     }
 
     #[test]

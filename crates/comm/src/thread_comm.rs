@@ -15,11 +15,12 @@
 //! `MPI_Allreduce`/`MPI_Bcast`/`MPI_Allgather` usage; transport cost is
 //! modelled analytically by [`crate::CostModel`].
 
-use std::cell::RefCell;
-use std::sync::{Arc, Barrier, RwLock, RwLockReadGuard};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
-use crate::communicator::{CommStats, Communicator, ReduceOp};
+use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
 use crate::wire::MaxLoc;
 
 /// Pad each slot to its own cache line so rank publications don't false-share.
@@ -47,9 +48,26 @@ struct Shared {
     size: usize,
     slots: Vec<CachePadded<RwLock<Slot>>>,
     barrier: Barrier,
+    /// Rendezvous table for [`Communicator::split`]: each sub-group's
+    /// leader (new rank 0) deposits the freshly built sub-[`Shared`] under
+    /// `(split sequence number, color)`; the other members pick it up
+    /// between two parent barriers. Entries are removed once claimed, so
+    /// the map stays empty outside an in-flight split.
+    splits: Mutex<HashMap<(u64, u64), Arc<Shared>>>,
 }
 
 impl Shared {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            slots: (0..size)
+                .map(|_| CachePadded::new(RwLock::new(Slot::default())))
+                .collect(),
+            barrier: Barrier::new(size),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+
     fn read_slot(&self, rank: usize) -> RwLockReadGuard<'_, Slot> {
         self.slots[rank].0.read().expect("slot lock poisoned")
     }
@@ -59,6 +77,10 @@ impl Shared {
 pub struct ThreadComm {
     rank: usize,
     shared: Arc<Shared>,
+    /// Per-endpoint split counter; members of one group call `split`
+    /// collectively, so their counters advance in lock-step and uniquely
+    /// name each split generation in the shared rendezvous table.
+    split_seq: Cell<u64>,
     stats: RefCell<CommStats>,
 }
 
@@ -67,6 +89,7 @@ impl ThreadComm {
         Self {
             rank,
             shared,
+            split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
         }
     }
@@ -165,6 +188,47 @@ impl Communicator for ThreadComm {
         out
     }
 
+    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        // 1. Shared membership exchange over the parent collectives (every
+        //    member of one color group computes the identical roster).
+        let (members, my_pos) = split_membership(self, color, key);
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+
+        // 2. The sub-group leader builds the group's Shared and deposits it
+        //    in the parent's rendezvous table; a parent barrier publishes
+        //    all leaders' deposits at once.
+        if my_pos == 0 {
+            let sub = Arc::new(Shared::new(members.len()));
+            self.shared
+                .splits
+                .lock()
+                .expect("split table poisoned")
+                .insert((seq, color as u64), sub);
+        }
+        self.shared.barrier.wait();
+
+        // 3. Every member claims its group's Shared; a second parent
+        //    barrier lets the leaders retire their entries afterwards.
+        let sub = Arc::clone(
+            self.shared
+                .splits
+                .lock()
+                .expect("split table poisoned")
+                .get(&(seq, color as u64))
+                .expect("sub-group leader never deposited its Shared"),
+        );
+        self.shared.barrier.wait();
+        if my_pos == 0 {
+            self.shared
+                .splits
+                .lock()
+                .expect("split table poisoned")
+                .remove(&(seq, color as u64));
+        }
+        Box::new(ThreadComm::new(my_pos, sub))
+    }
+
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
         let t0 = Instant::now();
         // The payload rides the slot's integer lane — never through the
@@ -215,13 +279,7 @@ where
     F: Fn(&ThreadComm) -> R + Sync,
 {
     assert!(p > 0, "launch needs at least one rank");
-    let shared = Arc::new(Shared {
-        size: p,
-        slots: (0..p)
-            .map(|_| CachePadded::new(RwLock::new(Slot::default())))
-            .collect(),
-        barrier: Barrier::new(p),
-    });
+    let shared = Arc::new(Shared::new(p));
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
@@ -399,6 +457,123 @@ mod tests {
             assert_eq!(s.allreduce_bytes, 32);
             assert_eq!(s.bcast_calls, 1);
             assert_eq!(s.allgather_calls, 1);
+        }
+    }
+
+    #[test]
+    fn split_disjoint_colors_form_independent_groups() {
+        // 6 ranks → colors {0, 1, 2} of sizes {3, 2, 1}; each sub-group's
+        // allreduce must see only its own members' contributions.
+        let results = launch(6, |comm| {
+            let color = comm.rank() % 3;
+            let sub = comm.split(color, comm.rank());
+            let mut buf = vec![comm.rank() as f64];
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            (color, sub.rank(), sub.size(), buf[0])
+        });
+        // color 0 ⇒ ranks {0, 3} sum 3; color 1 ⇒ {1, 4} sum 5;
+        // color 2 ⇒ {2, 5} sum 7.
+        for (rank, (color, sub_rank, sub_size, sum)) in results.into_iter().enumerate() {
+            assert_eq!(sub_size, 2);
+            assert_eq!(sub_rank, rank / 3, "key=parent rank keeps parent order");
+            assert_eq!(sum, [3.0, 5.0, 7.0][color]);
+        }
+    }
+
+    #[test]
+    fn split_singleton_groups_are_selfcomm_like() {
+        let results = launch(4, |comm| {
+            let sub = comm.split(comm.rank(), 0);
+            let mut buf = vec![42.0 + comm.rank() as f64];
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            sub.bcast_f64(&mut buf, 0);
+            (sub.rank(), sub.size(), buf[0], sub.allreduce_maxloc(1.0, 9))
+        });
+        for (rank, (sub_rank, sub_size, v, maxloc)) in results.into_iter().enumerate() {
+            assert_eq!((sub_rank, sub_size), (0, 1));
+            assert_eq!(v, 42.0 + rank as f64);
+            assert_eq!(maxloc, (1.0, 9));
+        }
+    }
+
+    #[test]
+    fn split_key_reorders_sub_group_ranks() {
+        // One group, keys descending with parent rank ⇒ new ranks reversed.
+        let results = launch(4, |comm| {
+            let sub = comm.split(0, 100 - comm.rank());
+            // bcast from new rank 0 = old rank 3.
+            let mut buf = vec![comm.rank() as f64];
+            sub.bcast_f64(&mut buf, 0);
+            (sub.rank(), buf[0])
+        });
+        for (rank, (sub_rank, v)) in results.into_iter().enumerate() {
+            assert_eq!(sub_rank, 3 - rank);
+            assert_eq!(v, 3.0, "root of the reordered group is old rank 3");
+        }
+    }
+
+    #[test]
+    fn split_nested_and_interleaved_with_parent_collectives() {
+        // Split 4 → two pairs, split each pair → singletons, and interleave
+        // collectives on all three levels to prove the slots/barriers of
+        // different generations don't interfere.
+        let results = launch(4, |comm| {
+            let pair = comm.split(comm.rank() / 2, comm.rank());
+            let single = pair.split(pair.rank(), 0);
+            let mut a = vec![1.0];
+            comm.allreduce_f64(&mut a, ReduceOp::Sum); // world: 4
+            let mut b = vec![1.0];
+            pair.allreduce_f64(&mut b, ReduceOp::Sum); // pair: 2
+            let mut c = vec![1.0];
+            single.allreduce_f64(&mut c, ReduceOp::Sum); // self: 1
+            let mut d = vec![comm.rank() as f64];
+            comm.allreduce_f64(&mut d, ReduceOp::Max); // world again: 3
+            (a[0], b[0], c[0], d[0])
+        });
+        for r in results {
+            assert_eq!(r, (4.0, 2.0, 1.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn split_sub_group_reduction_matches_root_group_bitwise() {
+        // A sub-group of size 2 must reduce exactly like a root group of
+        // size 2 over the same contributions (the determinism contract
+        // split guarantees to the execution layer).
+        let contribution = |new_rank: usize| vec![[1.0e16, 1.0][new_rank]];
+        let root: Vec<u64> = launch(2, |comm| {
+            let mut buf = contribution(comm.rank());
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            buf[0].to_bits()
+        });
+        let split: Vec<(usize, u64)> = launch(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let mut buf = contribution(sub.rank());
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            (comm.rank(), buf[0].to_bits())
+        });
+        for (_, bits) in split {
+            assert_eq!(bits, root[0]);
+        }
+    }
+
+    #[test]
+    fn split_sub_comm_starts_fresh_stats() {
+        let results = launch(2, |comm| {
+            let mut buf = vec![0.0];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            let sub = comm.split(0, comm.rank());
+            let before = sub.stats();
+            sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            (before, sub.stats().allreduce_calls, comm.stats())
+        });
+        for (before, sub_calls, parent) in results {
+            assert_eq!(before, CommStats::default());
+            assert_eq!(sub_calls, 1);
+            // The parent counted its own allreduce plus the membership
+            // allgather of split, but none of the sub-group's traffic.
+            assert_eq!(parent.allreduce_calls, 1);
+            assert_eq!(parent.allgather_calls, 1);
         }
     }
 

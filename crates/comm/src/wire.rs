@@ -1,6 +1,6 @@
 //! The wire format shared by the real transports.
 //!
-//! Everything a [`crate::Communicator`](crate::Communicator) puts on a wire
+//! Everything a [`crate::Communicator`] puts on a wire
 //! is defined here exactly once, so every backend ([`crate::ThreadComm`]'s
 //! shared-memory slots, [`crate::SocketComm`]'s TCP frames, and any future
 //! process transport) agrees bit-for-bit:
@@ -16,7 +16,14 @@
 //!   index it carries;
 //! * the MAXLOC reduction itself is [`MaxLoc::reduce_rank_ordered`], the
 //!   single definition of the tie/sentinel semantics every backend must
-//!   implement.
+//!   implement;
+//! * every collective frame is prefixed by a **scope tag** ([`ROOT_SCOPE`],
+//!   [`derive_scope`], [`expect_scope`]): sub-communicators produced by
+//!   `Communicator::split` stamp their frames with a scope derived from the
+//!   parent's, so a collective issued on one sub-group can never be consumed
+//!   by a collective of a different (sub-)group sharing the same mesh links
+//!   — a mismatched program order fails loudly instead of silently
+//!   desynchronizing the stream.
 
 use std::io::{self, Read, Write};
 
@@ -24,6 +31,51 @@ use std::io::{self, Read, Write};
 /// stray connection (or a rank built from an incompatible protocol
 /// revision) fails loudly instead of desynchronizing the mesh.
 pub const MAGIC: u64 = 0xF1AA_1C0D_E550_0001;
+
+/// Scope tag of the root (un-split) communicator: the frame prefix every
+/// collective on the full group carries. Sub-communicators derive their own
+/// tags from this via [`derive_scope`].
+pub const ROOT_SCOPE: u64 = 0xF1AA_5C0B_E000_0000;
+
+/// Derive a sub-communicator's scope tag from its parent's scope, the
+/// parent's running split counter, and the split `color`.
+///
+/// Every member of one sub-group computes the identical tag (the inputs are
+/// replicated by the split's membership exchange), while different groups —
+/// and different split generations — get distinct tags with overwhelming
+/// probability (SplitMix64 finalizer over the packed inputs).
+pub fn derive_scope(parent: u64, seq: u64, color: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(color.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Write a scope tag ahead of a collective frame.
+pub fn write_scope(w: &mut impl Write, scope: u64) -> io::Result<()> {
+    write_u64(w, scope)
+}
+
+/// Read and verify the scope tag ahead of a collective frame. A mismatch
+/// means the peer issued a collective on a *different* (sub-)communicator
+/// sharing the same link — the cross-talk hazard `Communicator::split`
+/// framing exists to catch.
+pub fn expect_scope(r: &mut impl Read, scope: u64) -> io::Result<()> {
+    let got = read_u64(r)?;
+    if got != scope {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "collective scope mismatch on the wire: got {got:#018x}, expected \
+                 {scope:#018x} (sub-group collectives issued in different orders \
+                 on the two ends of this link?)"
+            ),
+        ));
+    }
+    Ok(())
+}
 
 /// One rank's MAXLOC contribution: a value and the opaque payload that
 /// travels with it (for Approx-FIRAL, the global pool index of the
@@ -265,6 +317,40 @@ mod tests {
         write_u64(&mut buf, (MAX_WIRE_ELEMS as u64) + 1).unwrap();
         let mut cursor = &buf[..];
         assert!(read_f64s(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn scope_tags_roundtrip_and_mismatch_fails() {
+        let scope = derive_scope(ROOT_SCOPE, 0, 3);
+        let mut buf = Vec::new();
+        write_scope(&mut buf, scope).unwrap();
+        let mut cursor = &buf[..];
+        assert!(expect_scope(&mut cursor, scope).is_ok());
+        let mut cursor = &buf[..];
+        let err = expect_scope(&mut cursor, ROOT_SCOPE).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn derived_scopes_are_distinct_per_color_seq_and_parent() {
+        // Same inputs ⇒ same tag (all members of a group must agree)...
+        assert_eq!(
+            derive_scope(ROOT_SCOPE, 1, 2),
+            derive_scope(ROOT_SCOPE, 1, 2)
+        );
+        // ...while varying any input separates the groups.
+        let tags = [
+            ROOT_SCOPE,
+            derive_scope(ROOT_SCOPE, 0, 0),
+            derive_scope(ROOT_SCOPE, 0, 1),
+            derive_scope(ROOT_SCOPE, 1, 0),
+            derive_scope(derive_scope(ROOT_SCOPE, 0, 0), 0, 0),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b, "scope collision between derivations");
+            }
+        }
     }
 
     #[test]

@@ -104,6 +104,15 @@ pub struct FiralConfig<T: Scalar> {
     /// `FIRAL_NUM_THREADS`/host parallelism). Results are bitwise identical
     /// at every setting (see `firal_linalg::gemm`'s determinism contract).
     pub threads: usize,
+    /// η-grid groups `p_eta` of the 2D rank geometry
+    /// `p = p_shard × p_eta` (see `firal_core::exec::EtaGroupGeometry`):
+    /// the SPMD world splits into `p_eta` sub-communicator groups that
+    /// sweep the §IV-A η grid concurrently, one contiguous grid slice per
+    /// group, with a final cross-group argmax. `0` (the default) and `1`
+    /// both mean "one group" — the sequential sweep. Must divide the world
+    /// size; results are bitwise identical at every setting for a fixed
+    /// group size `p_shard`.
+    pub eta_groups: usize,
 }
 
 #[cfg(test)]

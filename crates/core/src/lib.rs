@@ -25,6 +25,12 @@
 //! * [`parallel`] — thin SPMD-flavoured wrappers over [`exec`] for callers
 //!   that hold a communicator directly;
 //! * [`timing`] — the phase timers behind the Figs. 5–7 breakdowns.
+//!
+//! The repo-root `ARCHITECTURE.md` maps paper sections/equations to these
+//! modules in detail, including the η-group (`p = p_shard × p_eta`)
+//! geometry and the determinism contracts.
+
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod driver;
@@ -42,7 +48,8 @@ pub mod timing;
 pub use config::{FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig};
 pub use driver::{run_experiment, ExperimentResult, RoundRecord};
 pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
-pub use exec::{Executor, RelaxRun, RoundRun, ShardedProblem};
+pub use exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun, ShardedProblem};
+pub use parallel::{parallel_approx_firal_grouped, GroupedFiralRun};
 pub use problem::SelectionProblem;
 pub use relax::{fast_relax, RelaxOutput};
 pub use round::{diag_round, diag_round_with_eig, select_eta, EigSolver, RoundOutput};

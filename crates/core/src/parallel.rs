@@ -13,10 +13,10 @@
 //! rank via the `spmd_launch` binary, which sets the `FIRAL_SPMD_*` env
 //! vars and joins ranks with `SocketComm::from_env`).
 
-use firal_comm::{CommScalar, Communicator};
+use firal_comm::{CommScalar, CommStats, Communicator};
 
-use crate::config::RelaxConfig;
-use crate::exec::{Executor, RelaxRun, RoundRun};
+use crate::config::{FiralConfig, RelaxConfig};
+use crate::exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun};
 use crate::problem::SelectionProblem;
 use crate::round::EigSolver;
 
@@ -81,4 +81,72 @@ pub fn parallel_approx_firal_threads<T: CommScalar>(
     let relax = exec.relax(budget, config);
     exec.round(&relax.z_local, budget, eta, EigSolver::Exact)
         .selected
+}
+
+/// Per-rank result of [`parallel_approx_firal_grouped`]: the RELAX and
+/// ROUND runs plus this rank's coordinates in the 2D geometry and the
+/// per-sub-communicator traffic, so harnesses can bill communication to
+/// the group and cross axes separately.
+#[derive(Debug, Clone)]
+pub struct GroupedFiralRun<T> {
+    /// The RELAX solve over this rank's η-group communicator.
+    pub relax: RelaxRun<T>,
+    /// The winning ROUND run of the distributed η sweep (selection, η★,
+    /// criterion identical on every rank).
+    pub round: RoundRun<T>,
+    /// The geometry the world was split into.
+    pub geometry: EtaGroupGeometry,
+    /// This rank's η group (= its contiguous grid-slice owner id).
+    pub group: usize,
+    /// Collectives this rank issued on the group communicator.
+    pub group_stats: CommStats,
+    /// Collectives this rank issued on the cross-group communicator.
+    pub cross_stats: CommStats,
+}
+
+/// Full Approx-FIRAL over the 2D rank geometry `p = p_shard × p_eta`
+/// (`config.eta_groups`; see [`EtaGroupGeometry`]) on one rank of an SPMD
+/// group.
+///
+/// The world communicator splits into `p_eta` η-group communicators (color
+/// = group) and `p_shard` cross-group communicators (color = shard rank);
+/// RELAX runs inside each group on the group's `p_shard`-way pool partition
+/// (every group computes bit-identical `z⋄` — the probe panels are seeded,
+/// and group collectives reduce in rank order), then
+/// [`Executor::select_eta_grouped`] distributes the η grid across the
+/// groups. With `eta_groups ≤ 1` this degenerates to the sequential grid
+/// sweep of [`Executor::select_eta`] on the whole world — same bits, one
+/// code path.
+///
+/// A fixed `config.round.eta` skips the grid, making η groups pure
+/// redundancy; this entry point therefore ignores `config.round.eta` and
+/// always runs the §IV-A grid rule over `config.round.eta_grid`.
+pub fn parallel_approx_firal_grouped<T: CommScalar>(
+    world: &dyn Communicator,
+    problem: &SelectionProblem<T>,
+    budget: usize,
+    config: &FiralConfig<T>,
+) -> GroupedFiralRun<T> {
+    let geometry = EtaGroupGeometry::new(world.size(), config.eta_groups);
+    let group = geometry.group_of(world.rank());
+    let shard_rank = geometry.shard_rank_of(world.rank());
+    // Key = world rank: group ranks keep world order (shard r of the group
+    // is world rank g·p_shard + r) and cross ranks are exactly the group
+    // ids — the ordering select_eta_grouped's tie-breaking relies on.
+    let group_comm = world.split(group, world.rank());
+    let cross_comm = world.split(shard_rank, world.rank());
+
+    let shard = ShardedProblem::shard(problem, shard_rank, geometry.p_shard);
+    let exec = Executor::new(&*group_comm, &shard).with_threads(config.threads);
+    let relax = exec.relax(budget, &config.relax);
+    let round =
+        exec.select_eta_grouped(&relax.z_local, budget, &config.round.eta_grid, &*cross_comm);
+    GroupedFiralRun {
+        relax,
+        round,
+        geometry,
+        group,
+        group_stats: group_comm.stats(),
+        cross_stats: cross_comm.stats(),
+    }
 }

@@ -7,14 +7,14 @@
 //! shard. This module keeps the pieces both the serial wrappers and the
 //! unified solver share:
 //!
-//! * the Eq. 17 rational score ([`round_scores`]) — the Sherman–Morrison
+//! * the Eq. 17 rational score (`round_scores`) — the Sherman–Morrison
 //!   identity of Lemma 3 applied to the per-candidate objective of Eq. 9
 //!   (note: the published Eq. 17 prints `(Σ⋄)_k^{-1}` in the numerator; the
 //!   derivation in Eqs. 18–20 shows the factor is `(Σ⋄)_k` — we implement
 //!   the derived form and cross-check it against the dense trace objective
 //!   in tests);
 //! * the Line-9 eigensolver choice ([`EigSolver`]) with its Lanczos
-//!   machinery ([`WhitenedBlock`], [`pad_spectrum`]);
+//!   machinery (`WhitenedBlock`, `pad_spectrum`);
 //! * the η-selection criterion of §IV-A ([`selection_min_eig`]).
 //!
 //! Storage is `O(n(d+c) + cd²)` and compute `O(bncd²)` (Table II).

@@ -20,12 +20,12 @@
 //!   order, so any row grouping yields identical bits;
 //! * **reduction kernels** ([`gemm_at_b`], [`gram_weighted`],
 //!   [`gram_weighted_multi`]) fix their chunk boundaries from the problem
-//!   shape alone ([`reduce_chunk_rows`] — never
+//!   shape alone (`reduce_chunk_rows` — never
 //!   `rayon::current_num_threads()`) and combine partial accumulators in
 //!   chunk-index order (the shim's ordered `reduce`);
 //! * the sequential small-shape fallback uses the same accumulation order,
 //!   and the parallel/sequential branch is a pure shape predicate
-//!   ([`PAR_THRESHOLD`]).
+//!   (`PAR_THRESHOLD`).
 //!
 //! Consequence: `FIRAL_NUM_THREADS ∈ {1, 2, …}` (or any
 //! `ThreadPool::install` scope) produces bitwise-identical numerics, which

@@ -7,14 +7,23 @@
 //! `--socket` the same rank bodies run over the real localhost-TCP
 //! `SocketComm` mesh, so the measured comm column is actual wire time.
 //!
-//! Run with: `cargo run --release --example distributed_scaling [--socket]`
+//! Run with: `cargo run --release --example distributed_scaling [--socket]
+//! [--eta-groups G]`
+//!
+//! With `--eta-groups G > 1` a second table follows: the full pipeline
+//! (RELAX + the §IV-A η-grid sweep) over the 2D rank geometry
+//! `p = p_shard × G`, one row per η group with that group's own
+//! communication counters.
 //!
 //! For one-OS-process-per-rank execution of this same measurement, use the
 //! SPMD launcher: `cargo run --release -p firal-bench --bin spmd_launch --
 //! -p 4 scaling`.
 
 use firal::comm::{launch_backend, Backend, CostModel};
-use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
+use firal::core::{
+    parallel_approx_firal_grouped, EigSolver, Executor, FiralConfig, RelaxConfig, SelectionProblem,
+    ShardedProblem,
+};
 use firal::data::SyntheticConfig;
 use firal::logreg::LogisticRegression;
 
@@ -108,6 +117,83 @@ fn main() {
         // Sanity: every rank agrees on the selection.
         for (_, _, _, sel) in &results[1..] {
             assert_eq!(sel, selected, "ranks disagreed on the selection!");
+        }
+    }
+
+    // Optional second act: distribute the η grid over sub-communicator
+    // groups (the ranks × η-groups tier).
+    let eta_groups: usize = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--eta-groups")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    };
+    if eta_groups > 1 {
+        println!(
+            "\nη grid distributed over {eta_groups} groups (grid {:?}·√ê, backend {}):",
+            firal::core::RoundConfig::<f32>::default().eta_grid,
+            backend.tag(),
+        );
+        println!(
+            "{:<10} {:>4} {:>10} {:>16} {:>10} {:>10} {:>16}",
+            "p", "grp", "eta*", "grp calls", "grp MB", "grp comm", "cross ar/bc/ag"
+        );
+        for p in [1usize, 2, 4]
+            .into_iter()
+            .filter(|p| p.is_multiple_of(eta_groups))
+        {
+            let prob = problem.clone();
+            let config = FiralConfig::<f32> {
+                relax: RelaxConfig {
+                    seed: 1,
+                    md: firal::core::MirrorDescentConfig {
+                        max_iters: 3,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                eta_groups,
+                ..Default::default()
+            };
+            let results = launch_backend(backend, p, move |comm| {
+                let run = parallel_approx_firal_grouped(comm, &prob, budget, &config);
+                (
+                    run.group,
+                    run.round.eta,
+                    run.round.selected,
+                    run.group_stats,
+                    run.cross_stats,
+                )
+            });
+            // One row per group (its shard-rank-0 endpoint), plus a
+            // cross-rank agreement check.
+            let p_shard = p / eta_groups;
+            for g in 0..eta_groups {
+                let (group, eta_star, selected, grp, cross) = &results[g * p_shard];
+                assert_eq!(*group, g);
+                assert_eq!(
+                    selected, &results[0].2,
+                    "groups disagreed on the winning selection!"
+                );
+                println!(
+                    "{:<10} {:>4} {:>10.3} {:>16} {:>10.2} {:>9.3}s {:>16}",
+                    format!("{}={}x{}", p, p_shard, eta_groups),
+                    g,
+                    eta_star,
+                    format!(
+                        "{}/{}/{}",
+                        grp.allreduce_calls, grp.bcast_calls, grp.allgather_calls
+                    ),
+                    grp.total_bytes() as f64 / 1e6,
+                    grp.time.as_secs_f64(),
+                    format!(
+                        "{}/{}/{}",
+                        cross.allreduce_calls, cross.bcast_calls, cross.allgather_calls
+                    ),
+                );
+            }
         }
     }
 

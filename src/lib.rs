@@ -7,6 +7,11 @@
 //!
 //! ## Architecture
 //!
+//! The repo-root `ARCHITECTURE.md` maps every paper section, algorithm,
+//! and equation to its crate and module, and states the determinism
+//! contracts the layers hold each other to; this section is the
+//! condensed version.
+//!
 //! The paper's central structural claim is that Approx-FIRAL is *one*
 //! algorithm whose collectives degenerate to no-ops at `p = 1`. The
 //! workspace mirrors that claim in its layering — RELAX and ROUND are

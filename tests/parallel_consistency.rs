@@ -8,8 +8,10 @@
 use firal::comm::{
     launch, launch_backend, socket_launch, Backend, CommScalar, Communicator, ReduceOp, SelfComm,
 };
-use firal::core::parallel::parallel_approx_firal;
-use firal::core::{EigSolver, Executor, RelaxConfig, SelectionProblem, ShardedProblem};
+use firal::core::parallel::{parallel_approx_firal, parallel_approx_firal_grouped};
+use firal::core::{
+    EigSolver, Executor, FiralConfig, RelaxConfig, SelectionProblem, ShardedProblem,
+};
 use firal::data::SyntheticConfig;
 use firal::linalg::Scalar;
 use firal::logreg::LogisticRegression;
@@ -195,6 +197,89 @@ fn thread_determinism_matrix() {
             Some(r) => assert_eq!(&sel, r, "p={ranks}: selection diverged across rank counts"),
         }
     }
+}
+
+/// The η-group consistency matrix: the full grouped pipeline (RELAX on
+/// each group's p_shard-way partition, then the η grid distributed over
+/// p_eta sub-communicator groups) must return the **bitwise identical**
+/// (η★, selection) as the serial SelfComm grid sweep at every layout
+/// (p_shard, p_eta) ∈ {(1,1), (2,1), (1,2), (2,2)} on both multi-rank
+/// backends — and the criterion bits must be invariant along the η-group
+/// axis for a fixed group size p_shard (the only permitted float
+/// difference across layouts is shard-boundary partial sums along the
+/// p_shard axis).
+#[test]
+fn eta_group_matrix_matches_serial_grid_sweep() {
+    let p: SelectionProblem<f64> = problem(41, 36, 4, 3);
+    let budget = 5;
+    let config = FiralConfig {
+        relax: RelaxConfig {
+            seed: 17,
+            md: firal::core::MirrorDescentConfig {
+                max_iters: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // Serial reference: SelfComm RELAX + sequential grid sweep.
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(&p);
+    let exec = Executor::serial(&comm, &shard);
+    let ref_relax = exec.relax(budget, &config.relax);
+    let ref_round = exec.select_eta(&ref_relax.z_local, budget, &config.round.eta_grid);
+    let ref_crit = ref_round.criterion.expect("grid sweep records criterion");
+
+    // criterion bits per p_shard: layouts with the same group size must
+    // agree exactly, whatever p_eta is.
+    let mut crit_bits_by_shard: std::collections::HashMap<usize, u64> = Default::default();
+    for (p_shard, p_eta) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
+        let world = p_shard * p_eta;
+        for backend in [Backend::Thread, Backend::Socket] {
+            let prob = p.clone();
+            let mut cfg = config.clone();
+            cfg.eta_groups = p_eta;
+            let results = launch_backend(backend, world, move |comm| {
+                let run = parallel_approx_firal_grouped(comm, &prob, budget, &cfg);
+                (
+                    run.round.selected,
+                    run.round.eta.to_bits(),
+                    run.round.criterion.unwrap().to_bits(),
+                    run.group,
+                    run.geometry,
+                )
+            });
+            for (rank, (selected, eta_bits, crit_bits, group, geometry)) in
+                results.iter().enumerate()
+            {
+                assert_eq!((geometry.p_shard, geometry.p_eta), (p_shard, p_eta));
+                assert_eq!(*group, rank / p_shard);
+                assert_eq!(
+                    selected, &ref_round.selected,
+                    "{backend:?} ({p_shard}x{p_eta}) rank {rank}: selection diverged from serial"
+                );
+                assert_eq!(
+                    *eta_bits,
+                    ref_round.eta.to_bits(),
+                    "{backend:?} ({p_shard}x{p_eta}) rank {rank}: η★ bits diverged from serial"
+                );
+                match crit_bits_by_shard.get(&p_shard) {
+                    None => {
+                        crit_bits_by_shard.insert(p_shard, *crit_bits);
+                    }
+                    Some(&bits) => assert_eq!(
+                        *crit_bits, bits,
+                        "{backend:?} ({p_shard}x{p_eta}) rank {rank}: criterion bits changed \
+                         along the η-group axis"
+                    ),
+                }
+            }
+        }
+    }
+    // p_shard = 1 is exactly the serial computation: same criterion bits.
+    assert_eq!(crit_bits_by_shard[&1], ref_crit.to_bits());
 }
 
 #[test]
