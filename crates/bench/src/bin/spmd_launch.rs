@@ -27,12 +27,21 @@
 //!   and print one `grp` row per group with that group's own `CommStats`).
 //! * `scaling` — the `distributed_scaling` example's measurement row at
 //!   the launched rank count.
+//! * `strat` — the strategy consistency gate + scaling rows: every
+//!   registered selection strategy named by `--strategy` (comma-separated;
+//!   default `upal,bayes-batch`) runs distributed over the process mesh
+//!   via the executor-generic `DistStrategy` path and is verified against
+//!   the serial `SelfComm` selection of the same seeded problem; one table
+//!   row per strategy (`strategy` column + per-rank `CommStats`). Options:
+//!   `--strategy`, `--n`, `--budget`, `--seed`, `--threads`. Non-zero exit
+//!   on any divergence — CI runs this at `-p 2`.
 //!
 //! Examples:
 //! ```text
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 4
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 4 fig6 --n 8000
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 2 scaling
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 2 strat --strategy upal,bayes-batch,approx-firal
 //! ```
 
 use std::time::Duration;
@@ -40,13 +49,13 @@ use std::time::Duration;
 use firal_bench::report::{arg_value, comm_cells, has_flag, Table, COMM_HEADERS};
 use firal_bench::workloads::{
     fig6_rank_body, fig7_eta_sweep_rank_body, fig7_rank_body, scaling_problem,
-    selection_problem_from_dataset,
+    selection_problem_from_dataset, strategy_rank_body,
 };
 use firal_comm::{fork_self, CommStats, Communicator, SelfComm, SocketComm};
 use firal_core::{EigSolver, Executor, MirrorDescentConfig, RelaxConfig, ShardedProblem};
 use firal_data::SyntheticConfig;
 
-const WORKLOADS: [&str; 4] = ["firal", "fig6", "fig7", "scaling"];
+const WORKLOADS: [&str; 5] = ["firal", "fig6", "fig7", "scaling", "strat"];
 
 /// Rank count from `-p`/`--ranks` (default 2); a malformed value is fatal,
 /// not silently replaced by the default.
@@ -68,9 +77,8 @@ fn workload_name() -> String {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" | "--threads" | "--eta-groups" => {
-                i += 2
-            }
+            "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" | "--threads" | "--eta-groups"
+            | "--strategy" | "--budget" | "--seed" => i += 2,
             a if a.starts_with('-') => i += 1,
             a => return a.to_string(),
         }
@@ -97,6 +105,7 @@ fn main() {
             "fig6" => workload_fig6(&comm),
             "fig7" => workload_fig7(&comm),
             "scaling" => workload_scaling(&comm),
+            "strat" => workload_strategies(&comm),
             other => {
                 eprintln!("unknown workload {other:?}; known: {WORKLOADS:?}");
                 2
@@ -420,6 +429,94 @@ fn workload_fig7_eta_groups(
         }
     }
     i32::from(!consistent)
+}
+
+/// The strategy consistency gate: every requested registry strategy runs
+/// distributed over the process mesh through the executor-generic
+/// `DistStrategy` path, all ranks must agree on the batch, and the batch
+/// must equal the serial `SelfComm` selection of the same seeded problem
+/// (computed once on rank 0 and broadcast). One fig-style table row per
+/// strategy, with the `strategy` column and this mesh's per-rank comm
+/// record.
+fn workload_strategies(comm: &SocketComm) -> i32 {
+    let n: usize = arg_value("--n").unwrap_or(240);
+    let budget: usize = arg_value("--budget").unwrap_or(8);
+    let seed: u64 = arg_value("--seed").unwrap_or(5);
+    let threads: usize = arg_value("--threads").unwrap_or(1);
+    let names: String =
+        arg_value::<String>("--strategy").unwrap_or_else(|| "upal,bayes-batch".to_string());
+
+    let ds = SyntheticConfig::new(4, 6)
+        .with_pool_size(n)
+        .with_initial_per_class(2)
+        .with_seed(17)
+        .generate::<f64>();
+    let problem = selection_problem_from_dataset(&ds);
+
+    let mut headers = vec!["p", "strategy", "backend", "select s"];
+    headers.extend(COMM_HEADERS);
+    headers.push("verified");
+    let mut table = Table::new(
+        format!(
+            "Selection strategies over SocketComm processes (pool n={n} d={} c={}, budget={budget})",
+            problem.dim(),
+            problem.num_classes
+        ),
+        &headers,
+    );
+    let mut all_ok = true;
+    for name in names.split(',').filter(|s| !s.is_empty()) {
+        let rep = strategy_rank_body(&problem, name, budget, seed, threads, comm);
+
+        // Serial reference on rank 0, broadcast over the mesh.
+        let mut ref_buf = vec![0.0f64; budget];
+        if comm.rank() == 0 {
+            let serial = firal_core::strategy_by_name::<f64>(name)
+                .unwrap_or_else(|| panic!("unknown strategy {name:?}"))
+                .select(&problem, budget, seed)
+                .unwrap_or_else(|e| panic!("serial {name}: {e}"));
+            for (slot, &idx) in ref_buf.iter_mut().zip(&serial) {
+                *slot = idx as f64;
+            }
+        }
+        comm.bcast_f64(&mut ref_buf, 0);
+        let reference: Vec<usize> = ref_buf.iter().map(|&v| v as usize).collect();
+
+        // Every rank checks itself AND gathers peer agreement, so one exit
+        // code covers both rank-divergence and serial-divergence.
+        let ok = rep.selected == reference;
+        if !ok {
+            eprintln!(
+                "rank {}: strategy {name}: {:?} diverged from serial {:?}",
+                comm.rank(),
+                rep.selected,
+                reference
+            );
+        }
+        let row = [rep.seconds, if ok { 1.0 } else { 0.0 }];
+        let gathered = comm.allgatherv_f64(&row);
+        let peers_ok = gathered.chunks_exact(row.len()).all(|c| c[1] == 1.0);
+        all_ok &= ok && peers_ok;
+        if comm.rank() == 0 {
+            let mut cells = vec![
+                comm.size().to_string(),
+                name.to_string(),
+                "socket-proc".to_string(),
+                format!("{:.4}", rep.seconds),
+            ];
+            cells.extend(comm_cells(&rep.comm_stats));
+            cells.push(if ok && peers_ok { "ok" } else { "FAIL" }.to_string());
+            table.row(&cells);
+        }
+    }
+    if comm.rank() == 0 {
+        if has_flag("--csv") {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+    i32::from(!all_ok)
 }
 
 /// The `distributed_scaling` example's measurement at the launched rank

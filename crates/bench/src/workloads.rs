@@ -6,10 +6,10 @@
 //! `spmd_launch` (socket backend, one process per rank) measure the
 //! identical computation and differ only in transport.
 
-use firal_comm::{CommStats, Communicator};
+use firal_comm::{CommScalar, CommStats, Communicator};
 use firal_core::{
-    EigSolver, EtaGroupGeometry, Executor, MirrorDescentConfig, PhaseTimer, RelaxConfig,
-    RoundConfig, SelectionProblem, ShardedProblem,
+    parallel_select_by_name, EigSolver, EtaGroupGeometry, Executor, MirrorDescentConfig,
+    PhaseTimer, RelaxConfig, RoundConfig, SelectionProblem, ShardedProblem,
 };
 use firal_data::{extend_with_noise, Dataset, SyntheticConfig};
 use firal_linalg::{Matrix, Scalar};
@@ -195,6 +195,43 @@ pub fn fig7_eta_sweep_rank_body(
     }
 }
 
+/// Per-rank report of one distributed strategy selection
+/// ([`strategy_rank_body`]): what was picked, how long this rank spent,
+/// and the collective traffic it issued — one `strategy` table row.
+pub struct StrategyReport {
+    /// Registry name of the strategy that ran.
+    pub strategy: String,
+    /// Selected global pool indices (identical on every rank).
+    pub selected: Vec<usize>,
+    /// Seconds this rank spent inside the selection.
+    pub seconds: f64,
+    /// Collectives this rank issued during the selection.
+    pub comm_stats: CommStats,
+}
+
+/// The strategy-scaling measurement body shared by `spmd_launch strat`
+/// (socket backend, one process per rank) and the in-process harnesses:
+/// resolve `name` from the strategy registry and run the distributed
+/// selection on this rank's shard of `problem`. Panics on unknown names or
+/// invalid budgets — harness misconfiguration, not a measurement.
+pub fn strategy_rank_body<T: CommScalar>(
+    problem: &SelectionProblem<T>,
+    name: &str,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+    comm: &dyn Communicator,
+) -> StrategyReport {
+    let run = parallel_select_by_name(comm, problem, name, budget, seed, threads)
+        .unwrap_or_else(|e| panic!("strategy {name:?}: {e}"));
+    StrategyReport {
+        strategy: name.to_string(),
+        selected: run.selected,
+        seconds: run.seconds,
+        comm_stats: run.comm_stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +271,27 @@ mod tests {
     fn extended_problem_grows_the_pool() {
         let p = scaling_problem(3, 4, 60, true, 7, 8);
         assert_eq!(p.pool_size(), 60);
+    }
+
+    #[test]
+    fn strategy_body_matches_serial_selection_across_thread_ranks() {
+        let ds = firal_data::SyntheticConfig::new(3, 4)
+            .with_pool_size(36)
+            .with_initial_per_class(2)
+            .with_seed(5)
+            .generate::<f64>();
+        let p = selection_problem_from_dataset(&ds);
+        for name in ["upal", "bayes-batch"] {
+            let comm = SelfComm::new();
+            let serial = strategy_rank_body(&p, name, 4, 7, 1, &comm);
+            assert_eq!(serial.selected.len(), 4);
+            let dist = firal_comm::launch(2, |comm| {
+                strategy_rank_body(&p, name, 4, 7, 1, comm).selected
+            });
+            for sel in &dist {
+                assert_eq!(sel, &serial.selected, "{name}");
+            }
+        }
     }
 
     #[test]

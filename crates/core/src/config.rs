@@ -1,6 +1,8 @@
-//! Hyperparameter bundles for the RELAX and ROUND solvers.
+//! Hyperparameter bundles for the RELAX and ROUND solvers and the
+//! non-FIRAL selection strategies.
 
 use firal_linalg::Scalar;
+use firal_logreg::TrainConfig;
 
 /// Entropic-mirror-descent controls (shared by the exact and fast RELAX
 /// solvers, Algorithms 1–2).
@@ -115,9 +117,54 @@ pub struct FiralConfig<T: Scalar> {
     pub eta_groups: usize,
 }
 
+/// Controls for [`crate::strategies::UpalStrategy`] — the UPAL-style
+/// unbiased pool sampler (Ganti & Gray, arXiv:1111.1784; see PAPERS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct UpalConfig<T: Scalar> {
+    /// Uniform mixing weight `ε` of the sampling distribution
+    /// `p_t = (1-ε)·uncertainty + ε·uniform`: UPAL's minimum-probability
+    /// floor, which bounds every importance weight by `n/ε`.
+    pub mix: T,
+    /// Cap on any single importance weight (numerical safety for the
+    /// weighted re-fit; `∞` disables).
+    pub max_weight: T,
+    /// Training configuration of the per-step weighted re-fit.
+    pub train: TrainConfig<T>,
+}
+
+impl<T: Scalar> Default for UpalConfig<T> {
+    fn default() -> Self {
+        Self {
+            mix: T::from_f64(0.1),
+            max_weight: T::from_f64(1e6),
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Controls for [`crate::strategies::BayesBatchStrategy`] — Bayesian batch
+/// selection as sparse subset approximation via Frank–Wolfe (Pinsler et
+/// al., arXiv:1908.02144; see PAPERS.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BayesBatchConfig<T: Scalar> {
+    /// Ridge added to every point's squared embedding norm `σ_i²` before
+    /// the score division (guards pool points whose predictive
+    /// probabilities are numerically one-hot, i.e. `σ_i = 0`).
+    pub norm_ridge: T,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn strategy_defaults_are_sane() {
+        let u = UpalConfig::<f64>::default();
+        assert!((0.0..1.0).contains(&u.mix));
+        assert!(u.max_weight > 1.0);
+        let b = BayesBatchConfig::<f32>::default();
+        assert_eq!(b.norm_ridge, 0.0);
+    }
 
     #[test]
     fn defaults_match_paper() {

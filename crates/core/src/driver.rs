@@ -7,12 +7,13 @@
 //! (iv) buys their labels from the oracle. The per-round accuracy series is
 //! exactly what Figs. 2–3 plot against "Number of Labeled Samples".
 
+use firal_comm::{CommScalar, CommStats};
 use firal_data::Dataset;
 use firal_linalg::Scalar;
 use firal_logreg::{LogisticRegression, TrainConfig};
 
 use crate::problem::SelectionProblem;
-use crate::strategies::{SelectError, Strategy};
+use crate::strategies::{strategy_by_name, SelectError, Strategy};
 
 /// One round's record.
 #[derive(Debug, Clone)]
@@ -28,6 +29,10 @@ pub struct RoundRecord {
     /// Seconds spent in the selection call this round (0 for the final
     /// evaluation-only record).
     pub selection_seconds: f64,
+    /// Collective calls/bytes/time the selection issued this round (zeros
+    /// for strategies that never touch a communicator, and for the final
+    /// evaluation-only record).
+    pub selection_comm: CommStats,
 }
 
 /// Full experiment outcome.
@@ -82,6 +87,7 @@ pub fn run_experiment<T: Scalar, S: Strategy<T> + ?Sized>(
             model.balanced_accuracy(&dataset.eval_features, &dataset.eval_labels);
 
         let mut selection_seconds = 0.0;
+        let mut selection_comm = CommStats::default();
         if round < rounds {
             // Build the selection problem on the not-yet-acquired pool.
             let remaining: Vec<usize> = (0..dataset.pool_size())
@@ -103,10 +109,12 @@ pub fn run_experiment<T: Scalar, S: Strategy<T> + ?Sized>(
                 dataset.num_classes,
             );
             let t0 = std::time::Instant::now();
-            let picked = strategy.select(&problem, budget, seed.wrapping_add(round as u64))?;
+            let run =
+                strategy.select_with_stats(&problem, budget, seed.wrapping_add(round as u64))?;
             selection_seconds = t0.elapsed().as_secs_f64();
+            selection_comm = run.comm;
             // Map back to original pool indices.
-            acquired.extend(picked.into_iter().map(|i| remaining[i]));
+            acquired.extend(run.selected.into_iter().map(|i| remaining[i]));
         }
 
         records.push(RoundRecord {
@@ -115,6 +123,7 @@ pub fn run_experiment<T: Scalar, S: Strategy<T> + ?Sized>(
             eval_accuracy,
             balanced_eval_accuracy,
             selection_seconds,
+            selection_comm,
         });
     }
 
@@ -123,6 +132,31 @@ pub fn run_experiment<T: Scalar, S: Strategy<T> + ?Sized>(
         rounds: records,
         acquired,
     })
+}
+
+/// [`run_experiment`] with the strategy resolved from the registry
+/// ([`crate::strategies::strategy_by_name`], default configuration) — the
+/// entry point the benches and CLI harnesses drive by name. Fails with
+/// [`SelectError::UnknownStrategy`] for unregistered names.
+pub fn run_experiment_named<T: CommScalar>(
+    dataset: &Dataset<T>,
+    strategy: &str,
+    rounds: usize,
+    budget: usize,
+    seed: u64,
+    train_config: &TrainConfig<T>,
+) -> Result<ExperimentResult, SelectError> {
+    let resolved = strategy_by_name::<T>(strategy).ok_or_else(|| SelectError::UnknownStrategy {
+        name: strategy.to_string(),
+    })?;
+    run_experiment(
+        dataset,
+        resolved.as_ref(),
+        rounds,
+        budget,
+        seed,
+        train_config,
+    )
 }
 
 #[cfg(test)]
@@ -175,6 +209,33 @@ mod tests {
             last >= first,
             "accuracy should not degrade with more labels: {first} → {last}"
         );
+    }
+
+    #[test]
+    fn named_experiment_resolves_registry_and_rejects_unknown() {
+        let ds = tiny_dataset(4);
+        let named = run_experiment_named(&ds, "random", 2, 4, 3, &TrainConfig::default()).unwrap();
+        let direct =
+            run_experiment(&ds, &RandomStrategy, 2, 4, 3, &TrainConfig::default()).unwrap();
+        assert_eq!(named.acquired, direct.acquired);
+        assert_eq!(named.strategy, "Random");
+        let err = run_experiment_named(&ds, "nope", 2, 4, 3, &TrainConfig::default());
+        assert!(matches!(err, Err(SelectError::UnknownStrategy { .. })));
+    }
+
+    #[test]
+    fn comm_backed_strategies_populate_round_comm_stats() {
+        let ds = tiny_dataset(5);
+        let res =
+            run_experiment_named(&ds, "bayes-batch", 2, 4, 0, &TrainConfig::default()).unwrap();
+        // Selection rounds record collective traffic; the final
+        // evaluation-only record stays zero.
+        for r in &res.rounds[..2] {
+            assert!(r.selection_comm.total_calls() > 0);
+            assert!(r.selection_seconds > 0.0);
+        }
+        assert_eq!(res.rounds[2].selection_comm.total_calls(), 0);
+        assert_eq!(res.rounds[2].selection_seconds, 0.0);
     }
 
     #[test]

@@ -306,7 +306,9 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     }
 
     /// Run `f` with this rank's sub-pool installed (no-op without one).
-    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+    /// Crate-visible so the distributed strategies scope their dense
+    /// kernels on the same per-rank pool the solvers use.
+    pub(crate) fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         match &self.pool {
             Some(pool) => pool.install(f),
             None => f(),
@@ -345,10 +347,29 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     }
 
     /// Rank owning global pool index `i` under the even decomposition.
-    fn owner_of(&self, i: usize) -> usize {
+    pub(crate) fn owner_of(&self, i: usize) -> usize {
         (0..self.size())
             .find(|&r| shard_range(self.shard.global_n, r, self.size()).contains(&i))
             .expect("global index outside the pool")
+    }
+
+    /// Replicate the `(x, h)` rows of global pool index `i` on every rank:
+    /// the owner fills the payload from its shard and broadcasts (the same
+    /// Line-11 pattern ROUND uses). Returns `(x_i, h_i)` with the owner's
+    /// exact bits on every rank.
+    pub(crate) fn bcast_pool_point(&self, i: usize) -> (Vec<T>, Vec<T>) {
+        let shard = self.shard;
+        let d = shard.dim();
+        let cm1 = shard.nblocks();
+        let mut payload = vec![T::ZERO; d + cm1];
+        let owner = self.owner_of(i);
+        if let Some(l) = i.checked_sub(shard.offset).filter(|&l| l < shard.local_n()) {
+            payload[..d].copy_from_slice(shard.local_x.row(l));
+            payload[d..].copy_from_slice(shard.local_h.row(l));
+        }
+        T::bcast(self.comm, &mut payload, owner);
+        let h = payload.split_off(d);
+        (payload, h)
     }
 
     /// Allreduce-sum a block diagonal in place (the §III-C partial-sum
@@ -369,7 +390,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     }
 
     /// Scalar allreduce through the f64 wire format.
-    fn allreduce_scalar(&self, value: T, op: ReduceOp) -> T {
+    pub(crate) fn allreduce_scalar(&self, value: T, op: ReduceOp) -> T {
         let mut buf = [value.to_f64()];
         self.comm.allreduce_f64(&mut buf, op);
         T::from_f64(buf[0])
@@ -678,23 +699,17 @@ impl<'a, T: CommScalar> Executor<'a, T> {
 
             // The owner broadcasts x_{i_t}, h_{i_t} (the Line-11 Bcast of
             // §III-C).
-            let owner_local = it.checked_sub(shard.offset).filter(|&l| l < n_local);
-            let mut payload = vec![T::ZERO; d + cm1];
-            let owner_rank = self.owner_of(it);
-            if let Some(l) = owner_local {
+            if let Some(l) = it.checked_sub(shard.offset).filter(|&l| l < n_local) {
                 taken_local[l] = true;
-                payload[..d].copy_from_slice(shard.local_x.row(l));
-                payload[d..].copy_from_slice(shard.local_h.row(l));
             }
-            T::bcast(self.comm, &mut payload, owner_rank);
-            let (xit, hit) = payload.split_at(d);
+            let (xit, hit) = self.bcast_pool_point(it);
 
             // Line 8: (H)_k += (1/b)(H_o)_k + g_{i_t,k} x_{i_t}x_{i_t}ᵀ
             // (replicated state, local arithmetic).
             timer.time("other", || {
                 h_acc.add_scaled(binv, bho);
                 let gammas: Vec<T> = hit.iter().map(|&h| h * (T::ONE - h)).collect();
-                h_acc.rank_one_update(&gammas, xit);
+                h_acc.rank_one_update(&gammas, &xit);
             });
 
             // Line 9: eigenvalues of (H̃)_k = (Σ⋄)_k^{-1/2}(H)_k(Σ⋄)_k^{-1/2}

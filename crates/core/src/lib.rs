@@ -20,7 +20,14 @@
 //!   code over a real rank group — shared-memory `ThreadComm` threads or
 //!   `SocketComm` processes on a TCP mesh (`spmd_launch`);
 //! * [`strategies`] — Random / K-Means / Entropy / Exact-FIRAL /
-//!   Approx-FIRAL behind one [`strategies::Strategy`] trait;
+//!   Approx-FIRAL plus the PAPERS.md extensions UPAL
+//!   ([`strategies::UpalStrategy`]) and Bayesian batch selection
+//!   ([`strategies::BayesBatchStrategy`]), behind two traits: the serial
+//!   [`strategies::Strategy`] surface the driver consumes, and the
+//!   executor-generic [`strategies::DistStrategy`] surface underneath it —
+//!   each strategy is written once against [`exec::Executor`] and runs
+//!   unchanged on every comm backend ([`strategies::strategy_by_name`]
+//!   resolves registered names);
 //! * [`driver`] — the §IV-A multi-round active-learning loop;
 //! * [`parallel`] — thin SPMD-flavoured wrappers over [`exec`] for callers
 //!   that hold a communicator directly;
@@ -45,15 +52,22 @@ pub mod round;
 pub mod strategies;
 pub mod timing;
 
-pub use config::{FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig};
-pub use driver::{run_experiment, ExperimentResult, RoundRecord};
+pub use config::{
+    BayesBatchConfig, FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig, UpalConfig,
+};
+pub use driver::{run_experiment, run_experiment_named, ExperimentResult, RoundRecord};
 pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
 pub use exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun, ShardedProblem};
-pub use parallel::{parallel_approx_firal_grouped, GroupedFiralRun};
+pub use parallel::{
+    parallel_approx_firal_grouped, parallel_select, parallel_select_by_name, GroupedFiralRun,
+    ParallelSelectRun,
+};
 pub use problem::SelectionProblem;
 pub use relax::{fast_relax, RelaxOutput};
 pub use round::{diag_round, diag_round_with_eig, select_eta, EigSolver, RoundOutput};
 pub use strategies::{
-    ApproxFiral, EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError, Strategy,
+    select_serial, strategy_by_name, ApproxFiral, BayesBatchStrategy, DistStrategy,
+    EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError, SelectionRun,
+    Strategy, UpalStrategy, STRATEGY_NAMES,
 };
 pub use timing::PhaseTimer;

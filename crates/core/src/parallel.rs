@@ -19,6 +19,7 @@ use crate::config::{FiralConfig, RelaxConfig};
 use crate::exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun};
 use crate::problem::SelectionProblem;
 use crate::round::EigSolver;
+use crate::strategies::{strategy_by_name, DistStrategy, SelectError};
 
 pub use crate::exec::ShardedProblem;
 
@@ -81,6 +82,61 @@ pub fn parallel_approx_firal_threads<T: CommScalar>(
     let relax = exec.relax(budget, config);
     exec.round(&relax.z_local, budget, eta, EigSolver::Exact)
         .selected
+}
+
+/// Per-rank result of [`parallel_select`]: the selection plus this rank's
+/// collective record and wall-clock, so the scaling harnesses can print a
+/// per-strategy row without re-instrumenting.
+#[derive(Debug, Clone)]
+pub struct ParallelSelectRun {
+    /// Selected **global** pool indices, identical on all ranks.
+    pub selected: Vec<usize>,
+    /// Seconds this rank spent inside the selection.
+    pub seconds: f64,
+    /// Collectives this rank issued during the selection.
+    pub comm_stats: CommStats,
+}
+
+/// Run any [`DistStrategy`] on one rank of an SPMD group, given the *full*
+/// problem (each rank shards it internally, mirroring
+/// [`parallel_approx_firal`]). `threads` sizes this rank's private kernel
+/// sub-pool (`0` inherits the ambient pool). Every rank returns the
+/// identical selection.
+pub fn parallel_select<T: CommScalar>(
+    comm: &dyn Communicator,
+    problem: &SelectionProblem<T>,
+    strategy: &dyn DistStrategy<T>,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<ParallelSelectRun, SelectError> {
+    let shard = ShardedProblem::shard(problem, comm.rank(), comm.size());
+    let exec = Executor::new(comm, &shard).with_threads(threads);
+    let stats0 = comm.stats();
+    let t0 = std::time::Instant::now();
+    let selected = strategy.select_dist(&exec, budget, seed)?;
+    Ok(ParallelSelectRun {
+        selected,
+        seconds: t0.elapsed().as_secs_f64(),
+        comm_stats: comm.stats().since(&stats0),
+    })
+}
+
+/// [`parallel_select`] with the strategy resolved from the registry
+/// ([`strategy_by_name`], default configuration). Fails with
+/// [`SelectError::UnknownStrategy`] for unregistered names.
+pub fn parallel_select_by_name<T: CommScalar>(
+    comm: &dyn Communicator,
+    problem: &SelectionProblem<T>,
+    strategy: &str,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<ParallelSelectRun, SelectError> {
+    let resolved = strategy_by_name::<T>(strategy).ok_or_else(|| SelectError::UnknownStrategy {
+        name: strategy.to_string(),
+    })?;
+    parallel_select(comm, problem, resolved.as_ref(), budget, seed, threads)
 }
 
 /// Per-rank result of [`parallel_approx_firal_grouped`]: the RELAX and

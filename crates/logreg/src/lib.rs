@@ -108,6 +108,39 @@ impl<T: Scalar> LogisticRegression<T> {
         num_classes: usize,
         config: &TrainConfig<T>,
     ) -> Result<Self, TrainError> {
+        Self::fit_impl(features, labels, None, num_classes, config)
+    }
+
+    /// Train on importance-weighted data: point `i` contributes
+    /// `w_i · ℓ_i(θ)` to the negative log-likelihood (the L2 penalty is
+    /// unweighted). With `weights ≡ 1` this is exactly [`Self::fit`].
+    ///
+    /// This is the estimator UPAL-style unbiased active learning needs: a
+    /// queried point carries the inverse of its (cumulative) sampling
+    /// probability so the weighted empirical risk stays an unbiased
+    /// estimate of the pool risk (Ganti & Gray, arXiv:1111.1784).
+    pub fn fit_weighted(
+        features: &Matrix<T>,
+        labels: &[usize],
+        weights: &[T],
+        num_classes: usize,
+        config: &TrainConfig<T>,
+    ) -> Result<Self, TrainError> {
+        assert_eq!(
+            weights.len(),
+            features.rows(),
+            "weights/features length mismatch"
+        );
+        Self::fit_impl(features, labels, Some(weights), num_classes, config)
+    }
+
+    fn fit_impl(
+        features: &Matrix<T>,
+        labels: &[usize],
+        weights: Option<&[T]>,
+        num_classes: usize,
+        config: &TrainConfig<T>,
+    ) -> Result<Self, TrainError> {
         let (n, d) = features.shape();
         assert_eq!(labels.len(), n, "labels/features length mismatch");
         assert!(num_classes >= 2, "need at least two classes");
@@ -122,13 +155,15 @@ impl<T: Scalar> LogisticRegression<T> {
         let cm1 = num_classes - 1;
         let l2 = config.l2;
 
-        // Objective over flattened θ (row-major d×(c-1)): NLL + 0.5 λ‖θ‖².
+        // Objective over flattened θ (row-major d×(c-1)):
+        // Σ_i w_i·NLL_i + 0.5 λ‖θ‖² (w ≡ 1 without weights).
         let objective = |theta: &[T], grad: &mut [T]| -> T {
             grad.fill(T::ZERO);
             let mut loss = T::ZERO;
             let mut logits = vec![T::ZERO; cm1];
             let mut probs = vec![T::ZERO; cm1 + 1];
             for i in 0..n {
+                let wi = weights.map_or(T::ONE, |w| w[i]);
                 let xi = features.row(i);
                 // logits_k = θ_kᵀ x = Σ_j θ[j][k] x[j]
                 logits.fill(T::ZERO);
@@ -141,13 +176,13 @@ impl<T: Scalar> LogisticRegression<T> {
                 softmax_full(&logits, &mut probs);
                 let yi = labels[i];
                 let p = probs[yi].maxv(T::MIN_POSITIVE);
-                loss -= p.ln();
-                // grad_{jk} += (h_k - 1[y=k]) x_j for k < c-1
+                loss -= wi * p.ln();
+                // grad_{jk} += w (h_k - 1[y=k]) x_j for k < c-1
                 for (j, &xj) in xi.iter().enumerate() {
                     let grow = &mut grad[j * cm1..(j + 1) * cm1];
                     for (k, gk) in grow.iter_mut().enumerate() {
                         let indicator = if yi == k { T::ONE } else { T::ZERO };
-                        *gk += (probs[k] - indicator) * xj;
+                        *gk += wi * (probs[k] - indicator) * xj;
                     }
                 }
             }
@@ -385,6 +420,55 @@ mod tests {
         let x: Matrix<f32> = x64.cast();
         let model = LogisticRegression::<f32>::fit_default(&x, &y).unwrap();
         assert!(model.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_fit_bitwise() {
+        let (x, y) = two_blob_data();
+        let cfg = TrainConfig::<f64>::default();
+        let plain = LogisticRegression::fit(&x, &y, 2, &cfg).unwrap();
+        let ones = vec![1.0; y.len()];
+        let weighted = LogisticRegression::fit_weighted(&x, &y, &ones, 2, &cfg).unwrap();
+        assert_eq!(
+            plain.weights().as_slice(),
+            weighted.weights().as_slice(),
+            "w ≡ 1 must take the identical optimizer trajectory"
+        );
+    }
+
+    #[test]
+    fn upweighted_points_pull_the_boundary() {
+        // Two overlapping 1-D blobs; upweighting the positive class points
+        // must shift the decision boundary so more points predict class 1.
+        let mut feats = Matrix::zeros(40, 1);
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let k = i % 2;
+            let jitter = ((i * 131) % 100) as f64 / 50.0 - 1.0;
+            feats[(i, 0)] = if k == 0 { -0.5 } else { 0.5 } + jitter;
+            labels.push(k);
+        }
+        let cfg = TrainConfig::<f64>::default();
+        let weights: Vec<f64> = labels
+            .iter()
+            .map(|&k| if k == 1 { 10.0 } else { 1.0 })
+            .collect();
+        let plain = LogisticRegression::fit(&feats, &labels, 2, &cfg).unwrap();
+        let weighted =
+            LogisticRegression::fit_weighted(&feats, &labels, &weights, 2, &cfg).unwrap();
+        let count1 =
+            |m: &LogisticRegression<f64>| m.predict(&feats).iter().filter(|&&p| p == 1).count();
+        assert!(
+            count1(&weighted) >= count1(&plain),
+            "upweighting class 1 should not shrink its predicted region"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weights/features length mismatch")]
+    fn weighted_fit_rejects_wrong_weight_length() {
+        let (x, y) = two_blob_data();
+        let _ = LogisticRegression::fit_weighted(&x, &y, &[1.0; 3], 2, &TrainConfig::default());
     }
 
     #[test]

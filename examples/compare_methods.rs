@@ -1,15 +1,18 @@
-//! Mini Fig. 2: compare Random, K-Means, Entropy and Approx-FIRAL on a
-//! balanced and an imbalanced pool.
+//! Mini Fig. 2: compare Random, K-Means, Entropy, UPAL, Bayes-Batch and
+//! Approx-FIRAL on a balanced and an imbalanced pool.
 //!
 //! The paper's headline accuracy result is that FIRAL dominates the
 //! baselines — especially under class imbalance, where Random/K-Means
 //! degrade. This example reproduces that story at toy scale in a few
-//! seconds.
+//! seconds, with the two PAPERS.md strategies (UPAL's unbiased
+//! importance-weighted sampler and Bayesian batch selection via
+//! Frank–Wolfe) in the lineup.
 //!
 //! Run with: `cargo run --release --example compare_methods`
 
 use firal::core::{
-    run_experiment, ApproxFiral, EntropyStrategy, KMeansStrategy, RandomStrategy, Strategy,
+    run_experiment, ApproxFiral, BayesBatchStrategy, EntropyStrategy, KMeansStrategy,
+    RandomStrategy, Strategy, UpalStrategy,
 };
 use firal::data::SyntheticConfig;
 use firal::logreg::TrainConfig;
@@ -36,13 +39,15 @@ fn run_suite(title: &str, imbalance: f64) {
         Box::new(RandomStrategy),
         Box::new(KMeansStrategy),
         Box::new(EntropyStrategy),
+        Box::new(UpalStrategy::default()),
+        Box::new(BayesBatchStrategy::default()),
         Box::new(ApproxFiral::default()),
     ];
     for strategy in &strategies {
         // Average the stochastic baselines over a few trials, like the
         // paper's 10-trial averages.
         let trials: u64 = match strategy.name() {
-            "Random" | "K-Means" => 5,
+            "Random" | "K-Means" | "UPAL" => 5,
             _ => 1,
         };
         let mut pool_acc = 0.0;

@@ -2,8 +2,8 @@
 //! public umbrella API, exact-vs-approx agreement, and reproducibility.
 
 use firal::core::{
-    run_experiment, ApproxFiral, EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy,
-    SelectionProblem, Strategy,
+    run_experiment, run_experiment_named, strategy_by_name, ApproxFiral, ExactFiral,
+    RandomStrategy, SelectionProblem, Strategy, STRATEGY_NAMES,
 };
 use firal::data::{ExperimentPreset, PresetName, SyntheticConfig};
 use firal::logreg::{LogisticRegression, TrainConfig};
@@ -32,14 +32,9 @@ fn problem_from(ds: &firal::data::Dataset<f64>) -> SelectionProblem<f64> {
 #[test]
 fn every_strategy_completes_a_three_round_loop() {
     let ds = small_dataset(1);
-    let strategies: Vec<Box<dyn Strategy<f64>>> = vec![
-        Box::new(RandomStrategy),
-        Box::new(KMeansStrategy),
-        Box::new(EntropyStrategy),
-        Box::new(ApproxFiral::default()),
-        Box::new(ExactFiral::default()),
-    ];
-    for s in &strategies {
+    // The full registry — the paper's five plus UPAL and Bayes-Batch.
+    for name in STRATEGY_NAMES {
+        let s = strategy_by_name::<f64>(name).unwrap();
         let res = run_experiment(&ds, s.as_ref(), 3, 4, 0, &TrainConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         assert_eq!(res.rounds.len(), 4, "{}", s.name());
@@ -51,6 +46,51 @@ fn every_strategy_completes_a_three_round_loop() {
         for r in &res.rounds {
             assert!((0.0..=1.0).contains(&r.eval_accuracy));
         }
+    }
+}
+
+#[test]
+fn upal_and_bayes_batch_keep_up_with_random_and_record_their_runs() {
+    // Two rounds of the §IV-A loop on the synthetic Gaussian problem: the
+    // new strategies must be no worse than the Random baseline (averaged
+    // over trials, like the paper's 10-trial protocol), and every
+    // selection round must record its wall-clock and collective traffic.
+    let ds = small_dataset(6);
+    let rounds = 2;
+    let budget = 8;
+    let train = TrainConfig::default();
+
+    let mut random_mean = 0.0;
+    let trials = 5;
+    for seed in 0..trials {
+        let res = run_experiment(&ds, &RandomStrategy, rounds, budget, seed, &train).unwrap();
+        random_mean += res.final_eval_accuracy();
+    }
+    random_mean /= trials as f64;
+
+    for name in ["upal", "bayes-batch"] {
+        let res = run_experiment_named(&ds, name, rounds, budget, 0, &train)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(res.rounds.len(), rounds + 1);
+        assert!(
+            res.final_eval_accuracy() >= random_mean - 1e-9,
+            "{name}: final eval accuracy {} worse than mean Random {random_mean}",
+            res.final_eval_accuracy()
+        );
+        // RoundRecord bookkeeping: selection rounds carry wall-clock and
+        // the comm-layer record (both strategies issue collectives even on
+        // the serial SelfComm path); the final evaluation-only round is
+        // all zeros.
+        for r in &res.rounds[..rounds] {
+            assert!(r.selection_seconds > 0.0, "{name}: missing timing");
+            assert!(
+                r.selection_comm.total_calls() > 0,
+                "{name}: missing CommStats"
+            );
+        }
+        let last = res.rounds.last().unwrap();
+        assert_eq!(last.selection_seconds, 0.0);
+        assert_eq!(last.selection_comm.total_calls(), 0);
     }
 }
 

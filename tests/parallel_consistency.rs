@@ -8,9 +8,12 @@
 use firal::comm::{
     launch, launch_backend, socket_launch, Backend, CommScalar, Communicator, ReduceOp, SelfComm,
 };
-use firal::core::parallel::{parallel_approx_firal, parallel_approx_firal_grouped};
+use firal::core::parallel::{
+    parallel_approx_firal, parallel_approx_firal_grouped, parallel_select_by_name,
+};
 use firal::core::{
-    EigSolver, Executor, FiralConfig, RelaxConfig, SelectionProblem, ShardedProblem,
+    strategy_by_name, EigSolver, Executor, FiralConfig, RelaxConfig, SelectionProblem,
+    ShardedProblem,
 };
 use firal::data::SyntheticConfig;
 use firal::linalg::Scalar;
@@ -125,6 +128,58 @@ fn consistency_matrix_f32() {
     // tolerance is correspondingly looser, but the selected batch must
     // still be identical.
     consistency_matrix_case::<f32>(22, 5e-3);
+}
+
+/// The backend × strategy consistency matrix for the executor-generic
+/// selection strategies, mirroring the Approx-FIRAL rows above: the
+/// distributed selection must be **bitwise identical** to the serial
+/// SelfComm selection (the `p = 1` instantiation of the same
+/// `DistStrategy` code) on both multi-rank backends at p ∈ {1, 2, 4} and
+/// at kernel-pool sizes threads ∈ {1, 4}, and all ranks must agree among
+/// themselves. For UPAL every decision is made from replicated state
+/// (Allgathered scores in global order + owner-Bcast rows), so the
+/// invariance is by construction; for Bayes-Batch the pool target `t`
+/// crosses shard boundaries through an Allreduce, making this matrix the
+/// pin that the Frank–Wolfe argmaxes absorb the last-ulp drift exactly
+/// like ROUND's MAXLOC does.
+fn strategy_matrix_case(name: &str) {
+    let p: SelectionProblem<f64> = problem(51, 48, 4, 3);
+    let budget = 5;
+    let seed = 9;
+    let serial = strategy_by_name::<f64>(name)
+        .unwrap()
+        .select(&p, budget, seed)
+        .unwrap();
+    assert_eq!(serial.len(), budget);
+    for backend in [Backend::Thread, Backend::Socket] {
+        for procs in [1usize, 2, 4] {
+            for threads in [1usize, 4] {
+                let prob = p.clone();
+                let results = launch_backend(backend, procs, move |comm| {
+                    parallel_select_by_name(comm, &prob, name, budget, seed, threads)
+                        .unwrap()
+                        .selected
+                });
+                for (rank, sel) in results.iter().enumerate() {
+                    assert_eq!(
+                        sel, &serial,
+                        "{name}: {backend:?} p={procs} threads={threads} rank {rank} \
+                         diverged from the SelfComm reference"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_matrix_upal() {
+    strategy_matrix_case("upal");
+}
+
+#[test]
+fn strategy_matrix_bayes_batch() {
+    strategy_matrix_case("bayes-batch");
 }
 
 /// The intra-rank parallelism determinism matrix: Approx-FIRAL's selected
