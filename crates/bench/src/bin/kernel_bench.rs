@@ -1,13 +1,23 @@
 //! Kernel throughput harness: times the hot `firal_linalg` kernels
 //! (`gemm_at_b` — the Eq. 13 reduction GEMM of the fast Hessian matvec —
 //! and `gram_weighted_multi` — the Definition-1 preconditioner build) at
-//! paper-like tall-skinny shapes across kernel-pool sizes, and writes
-//! `BENCH_kernels.json` so future PRs have a throughput trajectory to
-//! compare against.
+//! paper-like tall-skinny shapes across kernel-pool sizes **and SIMD
+//! dispatch tiers**, and writes `BENCH_kernels.json` so future PRs have a
+//! throughput trajectory to compare against.
 //!
-//! Besides measuring, the harness **verifies the determinism contract**:
-//! for every (kernel, shape, dtype) the output bits must be identical at
-//! every thread count; any mismatch is a non-zero exit.
+//! Besides measuring, the harness **verifies the determinism contract**
+//! along both axes: for every (kernel, shape, dtype) the output bits must
+//! be identical at every thread count AND on every available SIMD tier
+//! (scalar included — the canonical-summation-tree contract of
+//! `firal_linalg::simd`); any mismatch is a non-zero exit.
+//!
+//! The host's best tier gets the full thread sweep; every other available
+//! tier contributes single-thread rows so the JSON records the
+//! scalar → SSE2 → AVX2 (or NEON) trajectory without tripling the sweep
+//! time. Each row carries the tier and the autotuned blocking plan
+//! (`jb`/`pack`/`class_block`), and the header records the detected CPU
+//! features and cache geometry, so a reader can tell exactly which code
+//! path produced each number.
 //!
 //! GF/s is derived from the pinned flop formulas in
 //! `firal_linalg::counters`, so numbers stay comparable across PRs even if
@@ -24,7 +34,10 @@ use std::time::Instant;
 
 use firal_bench::report::{arg_value, has_flag};
 use firal_bench::workloads::lcg_matrix;
-use firal_linalg::{counters, gemm_at_b, gram_weighted_multi, Matrix, Scalar};
+use firal_linalg::simd::{active_tier, available_tiers, cpu_features, Tier};
+use firal_linalg::{
+    cache_geometry, counters, gemm_at_b_tier, gram_weighted_multi_tier, plan_for, Matrix, Scalar,
+};
 
 /// Columns of `gemm_at_b`'s B operand (a `(c-1)·s`-wide probe panel shape).
 const AT_B_COLS: usize = 40;
@@ -38,6 +51,10 @@ struct Row {
     d: usize,
     m: usize,
     threads: usize,
+    tier: &'static str,
+    jb: usize,
+    pack: bool,
+    class_block: usize,
     secs: f64,
     gflops: f64,
 }
@@ -82,61 +99,83 @@ fn run_shape<T: Scalar>(
         })
     };
 
+    // One bit reference per kernel, shared across the tier AND thread axes:
+    // every (tier, threads) cell must reproduce it exactly.
     let mut at_b_ref: Option<u64> = None;
     let mut gram_ref: Option<u64> = None;
-    for &threads in threads_list {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool build");
+    let best = active_tier();
+    for tier in available_tiers() {
+        // Full thread sweep on the active tier; single-thread rows on the
+        // others (enough for the trajectory and the bit cross-check).
+        let tier_threads: &[usize] = if tier == best { threads_list } else { &[1] };
+        let plan = plan_for::<T>(tier, d);
+        for &threads in tier_threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool build");
 
-        let (secs, bits) = pool.install(|| bench(reps, || gemm_at_b(&x, &b), matrix_bits));
-        match at_b_ref {
-            None => at_b_ref = Some(bits),
-            Some(reference) if reference != bits => {
-                eprintln!("DETERMINISM VIOLATION: gemm_at_b {dtype} n={n} d={d} t={threads}");
-                *mismatches += 1;
+            let (secs, bits) =
+                pool.install(|| bench(reps, || gemm_at_b_tier(tier, &x, &b), matrix_bits));
+            match at_b_ref {
+                None => at_b_ref = Some(bits),
+                Some(reference) if reference != bits => {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: gemm_at_b {dtype} n={n} d={d} \
+                         tier={tier} t={threads}"
+                    );
+                    *mismatches += 1;
+                }
+                _ => {}
             }
-            _ => {}
-        }
-        rows.push(Row {
-            kernel: "gemm_at_b",
-            dtype,
-            n,
-            d,
-            m: AT_B_COLS,
-            threads,
-            secs,
-            gflops: counters::gemm_at_b_flops(n, d, AT_B_COLS) as f64 / secs / 1e9,
-        });
+            rows.push(Row {
+                kernel: "gemm_at_b",
+                dtype,
+                n,
+                d,
+                m: AT_B_COLS,
+                threads,
+                tier: tier.name(),
+                jb: plan.jb,
+                pack: plan.pack,
+                class_block: plan.class_block,
+                secs,
+                gflops: counters::gemm_at_b_flops(n, d, AT_B_COLS) as f64 / secs / 1e9,
+            });
 
-        let (secs, bits) = pool.install(|| {
-            bench(
-                reps,
-                || gram_weighted_multi(&x, &w),
-                |gs| gs.iter().fold(0u64, |acc, g| acc ^ matrix_bits(g)),
-            )
-        });
-        match gram_ref {
-            None => gram_ref = Some(bits),
-            Some(reference) if reference != bits => {
-                eprintln!(
-                    "DETERMINISM VIOLATION: gram_weighted_multi {dtype} n={n} d={d} t={threads}"
-                );
-                *mismatches += 1;
+            let (secs, bits) = pool.install(|| {
+                bench(
+                    reps,
+                    || gram_weighted_multi_tier(tier, &x, &w),
+                    |gs| gs.iter().fold(0u64, |acc, g| acc ^ matrix_bits(g)),
+                )
+            });
+            match gram_ref {
+                None => gram_ref = Some(bits),
+                Some(reference) if reference != bits => {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: gram_weighted_multi {dtype} n={n} d={d} \
+                         tier={tier} t={threads}"
+                    );
+                    *mismatches += 1;
+                }
+                _ => {}
             }
-            _ => {}
+            rows.push(Row {
+                kernel: "gram_weighted_multi",
+                dtype,
+                n,
+                d,
+                m: GRAM_CLASSES,
+                threads,
+                tier: tier.name(),
+                jb: plan.jb,
+                pack: plan.pack,
+                class_block: plan.class_block,
+                secs,
+                gflops: counters::gram_weighted_multi_flops(GRAM_CLASSES, n, d) as f64 / secs / 1e9,
+            });
         }
-        rows.push(Row {
-            kernel: "gram_weighted_multi",
-            dtype,
-            n,
-            d,
-            m: GRAM_CLASSES,
-            threads,
-            secs,
-            gflops: counters::gram_weighted_multi_flops(GRAM_CLASSES, n, d) as f64 / secs / 1e9,
-        });
     }
 }
 
@@ -151,6 +190,8 @@ fn main() {
     };
     let threads_list = [1usize, 2, 4];
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let geo = cache_geometry();
+    let tiers: Vec<&'static str> = available_tiers().iter().map(|t| Tier::name(*t)).collect();
 
     let mut rows = Vec::new();
     let mut mismatches = 0usize;
@@ -165,24 +206,62 @@ fn main() {
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cpu_features\": \"{}\",", cpu_features());
+    let _ = writeln!(json, "  \"simd_tier\": \"{}\",", active_tier().name());
+    let _ = writeln!(
+        json,
+        "  \"available_tiers\": [{}],",
+        tiers
+            .iter()
+            .map(|t| format!("\"{t}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"l1d\": {}, \"l2\": {}, \"source\": \"{}\"}},",
+        geo.l1d, geo.l2, geo.source
+    );
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"dtype\": \"{}\", \"n\": {}, \"d\": {}, \"m\": {}, \
-             \"threads\": {}, \"secs\": {:.6}, \"gflops\": {:.3}}}{comma}",
-            r.kernel, r.dtype, r.n, r.d, r.m, r.threads, r.secs, r.gflops
+             \"threads\": {}, \"tier\": \"{}\", \"jb\": {}, \"pack\": {}, \"class_block\": {}, \
+             \"secs\": {:.6}, \"gflops\": {:.3}}}{comma}",
+            r.kernel,
+            r.dtype,
+            r.n,
+            r.d,
+            r.m,
+            r.threads,
+            r.tier,
+            r.jb,
+            r.pack,
+            r.class_block,
+            r.secs,
+            r.gflops
         );
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
 
-    println!("kernel                dtype      n     d  thr      secs    GF/s");
+    println!("kernel                dtype      n     d  thr  tier  jb pk  kb      secs    GF/s");
     for r in &rows {
         println!(
-            "{:<20}  {:<4} {:>7} {:>4} {:>4}  {:>8.4} {:>7.2}",
-            r.kernel, r.dtype, r.n, r.d, r.threads, r.secs, r.gflops
+            "{:<20}  {:<4} {:>7} {:>4} {:>4}  {:<4} {:>3} {:>2} {:>3}  {:>8.4} {:>7.2}",
+            r.kernel,
+            r.dtype,
+            r.n,
+            r.d,
+            r.threads,
+            r.tier,
+            r.jb,
+            if r.pack { "y" } else { "n" },
+            r.class_block,
+            r.secs,
+            r.gflops
         );
     }
     eprintln!("[kernel_bench] wrote {out_path} ({} rows)", rows.len());

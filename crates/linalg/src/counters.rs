@@ -51,6 +51,33 @@ pub fn gram_weighted_multi_flops(c: usize, n: usize, d: usize) -> usize {
     c * gram_weighted_flops(n, d)
 }
 
+// ---------------------------------------------------------------------------
+// Pinned byte formulas for the packed-panel SIMD paths. Packing stages an
+// operand copy that the scalar kernels never make, so it is charged to the
+// byte counter (one element write per packed element) — keeping Table-III
+// style traffic accounting honest across dispatch tiers.
+// ---------------------------------------------------------------------------
+
+/// Bytes staged when packing a `rows × cols` operand panel into a
+/// contiguous buffer: `rows·cols·elem`.
+pub fn pack_panel_bytes(rows: usize, cols: usize, elem: usize) -> usize {
+    rows * cols * elem
+}
+
+/// Packed-panel traffic of one `C = AᵀB` call when the autotuned plan
+/// enables packing: each of the `n` rows stages its `vd` lane-aligned
+/// leading columns once — [`pack_panel_bytes`]`(n, vd, elem)`.
+pub fn gemm_at_b_pack_bytes(n: usize, vd: usize, elem: usize) -> usize {
+    pack_panel_bytes(n, vd, elem)
+}
+
+/// Packed-operand traffic of the `C = A·Bᵀ` SIMD path, which stages `Bᵀ`
+/// (`d × m`) once per call so the panel kernel streams `B` row-major:
+/// [`pack_panel_bytes`]`(d, m, elem)`.
+pub fn gemm_a_bt_pack_bytes(d: usize, m: usize, elem: usize) -> usize {
+    pack_panel_bytes(d, m, elem)
+}
+
 /// Record `n` floating-point operations.
 #[inline(always)]
 pub fn add_flops(n: usize) {
@@ -131,5 +158,18 @@ mod tests {
             gram_weighted_multi_flops(7, 123, 17),
             7 * gram_weighted_flops(123, 17)
         );
+    }
+
+    #[test]
+    fn pack_byte_formulas_are_pinned() {
+        // Packed-panel staging traffic: one element write per packed
+        // element, and the per-kernel formulas are pure reparameterizations
+        // of `pack_panel_bytes`.
+        assert_eq!(pack_panel_bytes(100, 8, 4), 100 * 8 * 4);
+        assert_eq!(pack_panel_bytes(3, 5, 8), 3 * 5 * 8);
+        assert_eq!(gemm_at_b_pack_bytes(1000, 64, 4), 1000 * 64 * 4);
+        assert_eq!(gemm_at_b_pack_bytes(77, 16, 8), pack_panel_bytes(77, 16, 8));
+        assert_eq!(gemm_a_bt_pack_bytes(64, 40, 8), 64 * 40 * 8);
+        assert_eq!(gemm_a_bt_pack_bytes(65, 1, 4), pack_panel_bytes(65, 1, 4));
     }
 }

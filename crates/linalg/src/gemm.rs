@@ -10,10 +10,19 @@
 //! blocked GEMM: operand panels are reused across a 4-row tile instead of
 //! being re-streamed per row).
 //!
+//! Every kernel exists in two forms: the plain entry point (`gemm` etc.),
+//! which runs on the process-wide SIMD tier picked once by
+//! [`crate::simd::active_tier`], and an explicit `*_tier` variant that the
+//! equality harnesses use to cross-check every available tier bitwise. The
+//! SIMD bodies live in `crate::simd`; the scalar register-tiled panels in
+//! this module remain the always-available fallback and the reference
+//! semantics. Blocking parameters for the packed-panel paths come from the
+//! one-shot autotuner ([`crate::autotune`]).
+//!
 //! # Determinism contract
 //!
 //! Every kernel's result depends only on operand shapes and values — never
-//! on the worker-thread count:
+//! on the worker-thread count **or the dispatch tier**:
 //!
 //! * **row-parallel kernels** ([`gemm`], [`gemm_a_bt`]) produce each output
 //!   row in exactly one task with a fixed depth-ascending accumulation
@@ -25,17 +34,26 @@
 //!   chunk-index order (the shim's ordered `reduce`);
 //! * the sequential small-shape fallback uses the same accumulation order,
 //!   and the parallel/sequential branch is a pure shape predicate
-//!   (`PAR_THRESHOLD`).
+//!   (`PAR_THRESHOLD`);
+//! * every SIMD tier implements the same canonical per-element summation
+//!   tree as the scalar panels (lane-width independent because lanes span
+//!   output elements, never a reduction axis; all arithmetic unfused — see
+//!   the `crate::simd` module docs), and the autotuned blocking knobs are
+//!   bit-neutral by construction.
 //!
 //! Consequence: `FIRAL_NUM_THREADS ∈ {1, 2, …}` (or any
-//! `ThreadPool::install` scope) produces bitwise-identical numerics, which
-//! the SPMD consistency matrix in `tests/parallel_consistency.rs` relies on.
+//! `ThreadPool::install` scope) crossed with `FIRAL_SIMD ∈ {off, sse2,
+//! avx2, neon}` produces bitwise-identical numerics, which the SPMD
+//! consistency matrix in `tests/parallel_consistency.rs` and the
+//! `simd_equality` suite rely on.
 
 use rayon::prelude::*;
 
+use crate::autotune::{self, KernelPlan};
 use crate::counters;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
+use crate::simd::{self, Tier};
 
 /// Work threshold (in multiply-adds) below which kernels run sequentially.
 /// Parallelizing tiny GEMMs costs more in task dispatch than it saves.
@@ -57,11 +75,27 @@ fn reduce_chunk_rows(n: usize, min_rows: usize) -> usize {
     n.div_ceil(MAX_REDUCE_CHUNKS).max(min_rows)
 }
 
-/// `C = A · B`.
+/// Fail loudly if a harness hands us a tier the CPU cannot execute
+/// (cheap: the feature probes behind it are cached).
+fn check_tier(tier: Tier) {
+    assert!(
+        simd::tier_available(tier),
+        "SIMD tier '{tier}' is unavailable on this host"
+    );
+}
+
+/// `C = A · B` on the process-wide dispatch tier.
 ///
 /// Row-parallel over 4-row tiles, `ikj` loop order so both `B` and `C`
 /// stream row-major; each `B` row is reused across the 4-row tile.
 pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    gemm_tier(simd::active_tier(), a, b)
+}
+
+/// [`gemm`] on an explicit dispatch tier (must be available on this host;
+/// see [`crate::simd::available_tiers`]). Bitwise identical across tiers.
+pub fn gemm_tier<T: Scalar>(tier: Tier, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    check_tier(tier);
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm: A is {m}x{k}, B is {kb}x{n}");
@@ -71,20 +105,27 @@ pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     if m == 0 || n == 0 || k == 0 {
         return c;
     }
+    let use_simd = simd::tier_is_simd(tier);
+    let body = |ci: &mut [T], ai: &[T]| {
+        if !(use_simd && T::simd_gemm_panel(tier, ci, ai, b.as_slice(), k, n)) {
+            gemm_rows(ci, ai, b);
+        }
+    };
     if m * n * k >= PAR_THRESHOLD && m > 1 {
         c.as_mut_slice()
             .par_chunks_mut(ROW_BLOCK * n)
             .zip(a.as_slice().par_chunks(ROW_BLOCK * k))
-            .for_each(|(ci, ai)| gemm_rows(ci, ai, b));
+            .for_each(|(ci, ai)| body(ci, ai));
     } else {
-        gemm_rows(c.as_mut_slice(), a.as_slice(), b);
+        body(c.as_mut_slice(), a.as_slice());
     }
     c
 }
 
 /// `C[r] += A[r] · B` for a panel of rows; 4-row register-tiled body with a
 /// depth-ascending (`p`) accumulation order identical for every row, so the
-/// result is independent of how rows are grouped into panels.
+/// result is independent of how rows are grouped into panels. This is the
+/// canonical summation tree the SIMD panel bodies replicate.
 fn gemm_rows<T: Scalar>(crows: &mut [T], arows: &[T], b: &Matrix<T>) {
     let (k, n) = b.shape();
     let rows = arows.len() / k;
@@ -145,7 +186,8 @@ fn gemm_rows<T: Scalar>(crows: &mut [T], arows: &[T], b: &Matrix<T>) {
     }
 }
 
-/// `C = Aᵀ · B` where `A` is `n × d` and `B` is `n × m` (both tall-skinny).
+/// `C = Aᵀ · B` where `A` is `n × d` and `B` is `n × m` (both tall-skinny),
+/// on the process-wide dispatch tier.
 ///
 /// This is the reduction-shaped GEMM of the fast Hessian matvec (Eq. 13):
 /// the pool dimension `n` is long, the output `d × m` is small. Implemented
@@ -153,8 +195,30 @@ fn gemm_rows<T: Scalar>(crows: &mut [T], arows: &[T], b: &Matrix<T>) {
 /// accumulators combined in chunk order — the shared-memory analogue of the
 /// paper's per-GPU partial sums followed by `MPI_Allreduce`. The chunk body
 /// consumes rows in 4-row tiles so each accumulator row takes four
-/// multiply-adds per pass over it.
+/// multiply-adds per pass over it; on SIMD tiers the chunk body is the
+/// packed-panel reduction microkernel with autotuned register blocking.
 pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    gemm_at_b_tier(simd::active_tier(), a, b)
+}
+
+/// [`gemm_at_b`] on an explicit dispatch tier, with the blocking plan
+/// autotuned for `(tier, d, dtype)`. Bitwise identical across tiers.
+pub fn gemm_at_b_tier<T: Scalar>(tier: Tier, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    check_tier(tier);
+    gemm_at_b_planned(tier, autotune::plan_for::<T>(tier, a.cols()), a, b)
+}
+
+/// [`gemm_at_b`] with an explicit blocking plan. Exposed so the autotuner
+/// probe and the block-invariance tests can pin that every legal plan
+/// yields identical bits; normal callers use [`gemm_at_b`] /
+/// [`gemm_at_b_tier`].
+pub fn gemm_at_b_planned<T: Scalar>(
+    tier: Tier,
+    plan: KernelPlan,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    check_tier(tier);
     let (n, d) = a.shape();
     let (nb, m) = b.shape();
     assert_eq!(n, nb, "gemm_at_b: A is {n}x{d}, B is {nb}x{m}");
@@ -162,6 +226,61 @@ pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     if d == 0 || m == 0 {
         return Matrix::zeros(d, m);
     }
+    if !simd::tier_is_simd(tier) {
+        return gemm_at_b_scalar(a, b);
+    }
+
+    let elem = std::mem::size_of::<T>();
+    let lanes = autotune::lane_count(tier, elem);
+    let vd = d - d % lanes;
+    let jb = plan.jb.clamp(1, 8);
+    let pack = plan.pack && vd > 0;
+    if pack {
+        counters::add_bytes(counters::gemm_at_b_pack_bytes(n, vd, elem));
+    }
+
+    // The SIMD microkernel accumulates into a j-major m×d scratch so the
+    // contiguous d axis of each A row is the vector axis; the reduced
+    // result is transposed once into the row-major d×m output.
+    let chunk_body = |ca: &[T], cb: &[T]| -> Vec<T> {
+        let mut acc = vec![T::ZERO; m * d];
+        let mut packbuf = Vec::new();
+        let handled = T::simd_at_b_chunk(tier, &mut acc, ca, cb, d, m, jb, pack, &mut packbuf);
+        debug_assert!(handled);
+        acc
+    };
+    let jmajor = if n * d * m >= PAR_THRESHOLD && n > 1 {
+        let chunk_rows = reduce_chunk_rows(n, 64);
+        a.as_slice()
+            .par_chunks(chunk_rows * d)
+            .zip(b.as_slice().par_chunks(chunk_rows * m))
+            .map(|(ca, cb)| chunk_body(ca, cb))
+            .reduce(
+                || vec![T::ZERO; m * d],
+                |mut x, y| {
+                    for (xi, yi) in x.iter_mut().zip(y.iter()) {
+                        *xi += *yi;
+                    }
+                    x
+                },
+            )
+    } else {
+        chunk_body(a.as_slice(), b.as_slice())
+    };
+    let mut data = vec![T::ZERO; d * m];
+    for j in 0..m {
+        for (i, row) in data.chunks_exact_mut(m).enumerate() {
+            row[j] = jmajor[j * d + i];
+        }
+    }
+    Matrix::from_vec(d, m, data)
+}
+
+/// Scalar reference path of [`gemm_at_b`]: per-chunk row-major `d × m`
+/// accumulators, rows consumed in the canonical 4-row groups.
+fn gemm_at_b_scalar<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (n, d) = a.shape();
+    let m = b.cols();
 
     let accumulate = |chunk_a: &[T], chunk_b: &[T]| -> Vec<T> {
         let rows = chunk_a.len() / d.max(1);
@@ -229,13 +348,23 @@ pub fn gemm_at_b<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     Matrix::from_vec(d, m, data)
 }
 
-/// `C = A · Bᵀ` where `A` is `n × d` and `B` is `m × d`.
+/// `C = A · Bᵀ` where `A` is `n × d` and `B` is `m × d`, on the
+/// process-wide dispatch tier.
 ///
 /// Row-parallel; each `A` row is dotted against a 4-row tile of `B` at a
 /// time (four independent accumulators), so the `A` row is loaded from
-/// cache once per four outputs. Used for pairwise scores such as `X·V_k`
-/// panels and k-means distance computations.
+/// cache once per four outputs. On SIMD tiers `Bᵀ` is staged once (`d × m`,
+/// row-major) and the GEMM panel kernel runs on it — the per-element
+/// depth-ascending accumulation is identical either way. Used for pairwise
+/// scores such as `X·V_k` panels and k-means distance computations.
 pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    gemm_a_bt_tier(simd::active_tier(), a, b)
+}
+
+/// [`gemm_a_bt`] on an explicit dispatch tier. Bitwise identical across
+/// tiers.
+pub fn gemm_a_bt_tier<T: Scalar>(tier: Tier, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    check_tier(tier);
     let (n, d) = a.shape();
     let (m, db) = b.shape();
     assert_eq!(d, db, "gemm_a_bt: A is {n}x{d}, B is {m}x{db}");
@@ -243,6 +372,27 @@ pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 
     let mut c = Matrix::zeros(n, m);
     if n == 0 || m == 0 || d == 0 {
+        return c;
+    }
+    if simd::tier_is_simd(tier) {
+        let bt = b.transpose();
+        counters::add_bytes(counters::gemm_a_bt_pack_bytes(
+            d,
+            m,
+            std::mem::size_of::<T>(),
+        ));
+        let body = |ci: &mut [T], ai: &[T]| {
+            let handled = T::simd_gemm_panel(tier, ci, ai, bt.as_slice(), d, m);
+            debug_assert!(handled);
+        };
+        if n * m * d >= PAR_THRESHOLD && n > 1 {
+            c.as_mut_slice()
+                .par_chunks_mut(ROW_BLOCK * m)
+                .zip(a.as_slice().par_chunks(ROW_BLOCK * d))
+                .for_each(|(ci, ai)| body(ci, ai));
+        } else {
+            body(c.as_mut_slice(), a.as_slice());
+        }
         return c;
     }
     let body = |(crows, arows): (&mut [T], &[T])| {
@@ -291,28 +441,32 @@ pub fn gemm_a_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     c
 }
 
-/// Weighted Gram matrix `G = Xᵀ diag(w) X` for `X ∈ n × d`.
-///
-/// One block of the Definition-1 preconditioner (Eq. 15 summed over the
-/// pool): `B_k(Σ) = Σᵢ wᵢ xᵢxᵢᵀ`. Exploits symmetry (computes the upper
-/// triangle, mirrors at the end); shape-fixed reduction chunks combined in
-/// chunk order (see the module determinism contract).
-pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
-    let (n, d) = x.shape();
-    assert_eq!(w.len(), n, "gram_weighted: weight length mismatch");
-    counters::add_flops(counters::gram_weighted_flops(n, d));
-
-    let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
-        let mut acc = vec![T::ZERO; d * d];
-        for i in rows {
-            let wi = w[i];
-            if wi == T::ZERO {
+/// Scalar chunk body shared by the weighted Gram kernels: for every class
+/// `k` in `k0..k1`, accumulate `Σᵢ W[i][k]·xᵢxᵢᵀ` (upper triangle) over the
+/// chunk's rows into `acc` (one `d × d` block per class, flattened). Rows
+/// accumulate strictly sequentially — the canonical summation tree the SIMD
+/// Gram body replicates.
+fn gram_rows_scalar<T: Scalar>(
+    acc: &mut [T],
+    x: &[T],
+    w: &[T],
+    wstride: usize,
+    k0: usize,
+    k1: usize,
+    d: usize,
+) {
+    let rows = x.len() / d;
+    for i in 0..rows {
+        let xi = &x[i * d..(i + 1) * d];
+        for k in k0..k1 {
+            let wik = w[i * wstride + k];
+            if wik == T::ZERO {
                 continue;
             }
-            let xi = x.row(i);
+            let blk = &mut acc[(k - k0) * d * d..(k - k0 + 1) * d * d];
             for p in 0..d {
-                let s = wi * xi[p];
-                let dst = &mut acc[p * d..(p + 1) * d];
+                let s = wik * xi[p];
+                let dst = &mut blk[p * d..(p + 1) * d];
                 let mut q = p;
                 while q + 4 <= d {
                     dst[q] += s * xi[q];
@@ -326,6 +480,39 @@ pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
                     q += 1;
                 }
             }
+        }
+    }
+}
+
+/// Weighted Gram matrix `G = Xᵀ diag(w) X` for `X ∈ n × d`, on the
+/// process-wide dispatch tier.
+///
+/// One block of the Definition-1 preconditioner (Eq. 15 summed over the
+/// pool): `B_k(Σ) = Σᵢ wᵢ xᵢxᵢᵀ`. Exploits symmetry (computes the upper
+/// triangle, mirrors at the end); shape-fixed reduction chunks combined in
+/// chunk order (see the module determinism contract).
+pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
+    gram_weighted_tier(simd::active_tier(), x, w)
+}
+
+/// [`gram_weighted`] on an explicit dispatch tier. Bitwise identical across
+/// tiers.
+pub fn gram_weighted_tier<T: Scalar>(tier: Tier, x: &Matrix<T>, w: &[T]) -> Matrix<T> {
+    check_tier(tier);
+    let (n, d) = x.shape();
+    assert_eq!(w.len(), n, "gram_weighted: weight length mismatch");
+    counters::add_flops(counters::gram_weighted_flops(n, d));
+    if d == 0 {
+        return Matrix::zeros(0, 0);
+    }
+
+    let use_simd = simd::tier_is_simd(tier);
+    let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
+        let mut acc = vec![T::ZERO; d * d];
+        let xs = &x.as_slice()[rows.start * d..rows.end * d];
+        let ws = &w[rows.start..rows.end];
+        if !(use_simd && T::simd_gram_rows(tier, &mut acc, xs, ws, 1, 0, 1, d)) {
+            gram_rows_scalar(&mut acc, xs, ws, 1, 0, 1, d);
         }
         acc
     };
@@ -361,64 +548,91 @@ pub fn gram_weighted<T: Scalar>(x: &Matrix<T>, w: &[T]) -> Matrix<T> {
 
 /// All class-block Gram matrices in one pass over the pool:
 /// `G_k = Xᵀ diag(W[:,k]) X` for every column `k` of the `n × c` weight
-/// panel `W`. This is exactly Line 5 of Algorithm 2 (preconditioner
-/// construction), fused so `X` streams through memory once.
+/// panel `W`, on the process-wide dispatch tier. This is exactly Line 5 of
+/// Algorithm 2 (preconditioner construction), fused so `X` streams through
+/// memory once per class block.
+///
+/// Classes are processed in blocks of `class_block` (autotuned from the L2
+/// size) so each reduction chunk's live accumulator set stays
+/// cache-resident — an unblocked pass carries `c · d²` accumulator elements
+/// per chunk (up to ~1 MiB at `c = 8`, `d = 128`, `f64`), which blows L2
+/// and flatlines thread scaling. Blocking is bit-neutral: classes are
+/// independent outputs and each keeps its exact per-chunk row order.
 pub fn gram_weighted_multi<T: Scalar>(x: &Matrix<T>, w: &Matrix<T>) -> Vec<Matrix<T>> {
+    gram_weighted_multi_tier(simd::active_tier(), x, w)
+}
+
+/// [`gram_weighted_multi`] on an explicit dispatch tier, with the class
+/// blocking autotuned for `(tier, d, dtype)`. Bitwise identical across
+/// tiers.
+pub fn gram_weighted_multi_tier<T: Scalar>(
+    tier: Tier,
+    x: &Matrix<T>,
+    w: &Matrix<T>,
+) -> Vec<Matrix<T>> {
+    check_tier(tier);
+    gram_weighted_multi_planned(tier, autotune::plan_for::<T>(tier, x.cols()), x, w)
+}
+
+/// [`gram_weighted_multi`] with an explicit blocking plan (see
+/// [`gemm_at_b_planned`] for why this is exposed).
+pub fn gram_weighted_multi_planned<T: Scalar>(
+    tier: Tier,
+    plan: KernelPlan,
+    x: &Matrix<T>,
+    w: &Matrix<T>,
+) -> Vec<Matrix<T>> {
+    check_tier(tier);
     let (n, d) = x.shape();
     let (nw, c) = w.shape();
     assert_eq!(n, nw, "gram_weighted_multi: weight panel mismatch");
     counters::add_flops(counters::gram_weighted_multi_flops(c, n, d));
+    if c == 0 {
+        return Vec::new();
+    }
+    if d == 0 {
+        return (0..c).map(|_| Matrix::zeros(0, 0)).collect();
+    }
 
-    let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
-        // c upper-triangular d×d accumulators, flattened.
-        let mut acc = vec![T::ZERO; c * d * d];
-        for i in rows {
-            let xi = x.row(i);
-            let wi = w.row(i);
-            for (k, &wik) in wi.iter().enumerate() {
-                if wik == T::ZERO {
-                    continue;
-                }
-                let blk = &mut acc[k * d * d..(k + 1) * d * d];
-                for p in 0..d {
-                    let s = wik * xi[p];
-                    let dst = &mut blk[p * d..(p + 1) * d];
-                    let mut q = p;
-                    while q + 4 <= d {
-                        dst[q] += s * xi[q];
-                        dst[q + 1] += s * xi[q + 1];
-                        dst[q + 2] += s * xi[q + 2];
-                        dst[q + 3] += s * xi[q + 3];
-                        q += 4;
-                    }
-                    while q < d {
-                        dst[q] += s * xi[q];
-                        q += 1;
-                    }
-                }
+    let use_simd = simd::tier_is_simd(tier);
+    let kb = plan.class_block.max(1);
+    // The parallel predicate and chunking depend on the full problem shape
+    // only — not on the class blocking — so partial-sum splits are
+    // identical whatever `class_block` the autotuner picked.
+    let par = n * c * d * d >= PAR_THRESHOLD && n > 1;
+    let chunk = reduce_chunk_rows(n, 16);
+    let mut data = vec![T::ZERO; c * d * d];
+    for k0 in (0..c).step_by(kb) {
+        let k1 = (k0 + kb).min(c);
+        let bw = (k1 - k0) * d * d;
+        let accumulate = |rows: std::ops::Range<usize>| -> Vec<T> {
+            let mut acc = vec![T::ZERO; bw];
+            let xs = &x.as_slice()[rows.start * d..rows.end * d];
+            let ws = &w.as_slice()[rows.start * c..rows.end * c];
+            if !(use_simd && T::simd_gram_rows(tier, &mut acc, xs, ws, c, k0, k1, d)) {
+                gram_rows_scalar(&mut acc, xs, ws, c, k0, k1, d);
             }
-        }
-        acc
-    };
-
-    let data = if n * c * d * d >= PAR_THRESHOLD && n > 1 {
-        let chunk = reduce_chunk_rows(n, 16);
-        let ranges: Vec<std::ops::Range<usize>> = (0..n)
-            .step_by(chunk)
-            .map(|s| s..(s + chunk).min(n))
-            .collect();
-        ranges.into_par_iter().map(accumulate).reduce(
-            || vec![T::ZERO; c * d * d],
-            |mut a, b| {
-                for (ai, bi) in a.iter_mut().zip(b.iter()) {
-                    *ai += *bi;
-                }
-                a
-            },
-        )
-    } else {
-        accumulate(0..n)
-    };
+            acc
+        };
+        let pass = if par {
+            let ranges: Vec<std::ops::Range<usize>> = (0..n)
+                .step_by(chunk)
+                .map(|s| s..(s + chunk).min(n))
+                .collect();
+            ranges.into_par_iter().map(accumulate).reduce(
+                || vec![T::ZERO; bw],
+                |mut a, b| {
+                    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+                        *ai += *bi;
+                    }
+                    a
+                },
+            )
+        } else {
+            accumulate(0..n)
+        };
+        data[k0 * d * d..k1 * d * d].copy_from_slice(&pass);
+    }
 
     (0..c)
         .map(|k| {

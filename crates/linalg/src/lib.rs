@@ -16,6 +16,7 @@
 //! Global flop/byte counters ([`counters`]) let the benchmark harness verify
 //! the complexity claims of Tables II and III empirically.
 
+pub mod autotune;
 pub mod blockdiag;
 pub mod cholesky;
 pub mod counters;
@@ -24,16 +25,23 @@ pub mod gemm;
 pub mod kron;
 pub mod matrix;
 pub mod scalar;
+pub mod simd;
 pub mod spd;
 pub mod vecops;
 
+pub use autotune::{cache_geometry, plan_for, CacheGeometry, KernelPlan};
 pub use blockdiag::BlockDiag;
 pub use cholesky::Cholesky;
 pub use eigen::{eigh, eigvalsh, jacobi_eigh, EigDecomposition};
-pub use gemm::{gemm, gemm_a_bt, gemm_at_b, gram_weighted, gram_weighted_multi};
+pub use gemm::{
+    gemm, gemm_a_bt, gemm_a_bt_tier, gemm_at_b, gemm_at_b_planned, gemm_at_b_tier, gemm_tier,
+    gram_weighted, gram_weighted_multi, gram_weighted_multi_planned, gram_weighted_multi_tier,
+    gram_weighted_tier,
+};
 pub use kron::{kron, unvec, vec_of};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
+pub use simd::{active_tier, available_tiers, cpu_features, Tier};
 pub use spd::{spd_condition_number, spd_inv_sqrt, spd_inverse, spd_sqrt};
 pub use vecops::{axpy, dot, nrm2, scale};
 

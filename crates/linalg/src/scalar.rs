@@ -15,8 +15,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// Implemented for `f32` and `f64`. The constants and conversions are the
 /// minimal set the workspace needs; this avoids pulling a numeric-traits
 /// dependency into an HPC crate that wants full control over inlining.
+/// The [`crate::simd::Dispatch`] supertrait routes the hot kernels to the
+/// monomorphic `std::arch` bodies of the active SIMD tier.
 pub trait Scalar:
-    Copy
+    crate::simd::Dispatch
+    + Copy
     + Send
     + Sync
     + PartialOrd

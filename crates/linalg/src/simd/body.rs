@@ -1,0 +1,366 @@
+//! Width-generic SIMD kernel bodies.
+//!
+//! Each body is written once against the [`SimdVec`] abstraction and
+//! monomorphized per (tier, dtype) by the `#[target_feature]` wrappers in
+//! the parent module; `#[inline(always)]` guarantees the body collapses
+//! into the wrapper so the intrinsics compile under the wrapper's feature
+//! set.
+//!
+//! # Canonical summation trees
+//!
+//! Every body reproduces the exact per-element accumulation order of the
+//! scalar register-tiled panels in `firal_linalg::gemm` — the pinned
+//! canonical tree of each kernel (see the `simd` module docs). That works
+//! because vector lanes always span an **output-element** dimension (the
+//! columns of `C` in the GEMM panel, the columns of `G` in the Gram rows,
+//! the `d` rows of `C = AᵀB` in the reduction microkernel), never a
+//! summation axis: changing the lane width regroups which independent
+//! output elements share a register, but never re-associates any sum. All
+//! arithmetic is unfused multiply-then-add, matching the scalar fallback's
+//! two-rounding semantics.
+
+use super::vector::SimdVec;
+use crate::scalar::Scalar;
+
+/// `C[r] += A[r] · B` for a panel of rows (the [`crate::gemm::gemm`] /
+/// [`crate::gemm::gemm_a_bt`] inner body).
+///
+/// 4-row × 2-vector register tile: the `C` tile lives in registers across
+/// the whole depth loop, each `B` row vector is reused by all four `A`
+/// rows. Per element the accumulation is depth-ascending onto the incoming
+/// `C` value — bitwise identical to the scalar `gemm_rows` panel.
+///
+/// # Safety
+/// Caller must hold the target feature backing `V` and pass consistent
+/// shapes: `a.len() = rows·k`, `c.len() = rows·n`, `b.len() = k·n`, `k > 0`.
+#[inline(always)]
+pub(crate) unsafe fn gemm_panel<T: Scalar, V: SimdVec<T>>(
+    c: &mut [T],
+    a: &[T],
+    b: &[T],
+    k: usize,
+    n: usize,
+) {
+    let l = V::LANES;
+    let rows = a.len() / k;
+    let cp = c.as_mut_ptr();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut r = 0;
+    while r + 4 <= rows {
+        let mut j = 0;
+        while j + 2 * l <= n {
+            let mut c00 = V::load(cp.add(r * n + j));
+            let mut c01 = V::load(cp.add(r * n + j + l));
+            let mut c10 = V::load(cp.add((r + 1) * n + j));
+            let mut c11 = V::load(cp.add((r + 1) * n + j + l));
+            let mut c20 = V::load(cp.add((r + 2) * n + j));
+            let mut c21 = V::load(cp.add((r + 2) * n + j + l));
+            let mut c30 = V::load(cp.add((r + 3) * n + j));
+            let mut c31 = V::load(cp.add((r + 3) * n + j + l));
+            for p in 0..k {
+                let b0 = V::load(bp.add(p * n + j));
+                let b1 = V::load(bp.add(p * n + j + l));
+                let x0 = V::splat(*ap.add(r * k + p));
+                c00 = c00.add(x0.mul(b0));
+                c01 = c01.add(x0.mul(b1));
+                let x1 = V::splat(*ap.add((r + 1) * k + p));
+                c10 = c10.add(x1.mul(b0));
+                c11 = c11.add(x1.mul(b1));
+                let x2 = V::splat(*ap.add((r + 2) * k + p));
+                c20 = c20.add(x2.mul(b0));
+                c21 = c21.add(x2.mul(b1));
+                let x3 = V::splat(*ap.add((r + 3) * k + p));
+                c30 = c30.add(x3.mul(b0));
+                c31 = c31.add(x3.mul(b1));
+            }
+            c00.store(cp.add(r * n + j));
+            c01.store(cp.add(r * n + j + l));
+            c10.store(cp.add((r + 1) * n + j));
+            c11.store(cp.add((r + 1) * n + j + l));
+            c20.store(cp.add((r + 2) * n + j));
+            c21.store(cp.add((r + 2) * n + j + l));
+            c30.store(cp.add((r + 3) * n + j));
+            c31.store(cp.add((r + 3) * n + j + l));
+            j += 2 * l;
+        }
+        while j + l <= n {
+            let mut c0 = V::load(cp.add(r * n + j));
+            let mut c1 = V::load(cp.add((r + 1) * n + j));
+            let mut c2 = V::load(cp.add((r + 2) * n + j));
+            let mut c3 = V::load(cp.add((r + 3) * n + j));
+            for p in 0..k {
+                let bv = V::load(bp.add(p * n + j));
+                c0 = c0.add(V::splat(*ap.add(r * k + p)).mul(bv));
+                c1 = c1.add(V::splat(*ap.add((r + 1) * k + p)).mul(bv));
+                c2 = c2.add(V::splat(*ap.add((r + 2) * k + p)).mul(bv));
+                c3 = c3.add(V::splat(*ap.add((r + 3) * k + p)).mul(bv));
+            }
+            c0.store(cp.add(r * n + j));
+            c1.store(cp.add((r + 1) * n + j));
+            c2.store(cp.add((r + 2) * n + j));
+            c3.store(cp.add((r + 3) * n + j));
+            j += l;
+        }
+        while j < n {
+            for i in 0..4 {
+                let mut s = *cp.add((r + i) * n + j);
+                for p in 0..k {
+                    s += *ap.add((r + i) * k + p) * *bp.add(p * n + j);
+                }
+                *cp.add((r + i) * n + j) = s;
+            }
+            j += 1;
+        }
+        r += 4;
+    }
+    while r < rows {
+        let mut j = 0;
+        while j + l <= n {
+            let mut cv = V::load(cp.add(r * n + j));
+            for p in 0..k {
+                cv = cv.add(V::splat(*ap.add(r * k + p)).mul(V::load(bp.add(p * n + j))));
+            }
+            cv.store(cp.add(r * n + j));
+            j += l;
+        }
+        while j < n {
+            let mut s = *cp.add(r * n + j);
+            for p in 0..k {
+                s += *ap.add(r * k + p) * *bp.add(p * n + j);
+            }
+            *cp.add(r * n + j) = s;
+            j += 1;
+        }
+        r += 1;
+    }
+}
+
+/// Reduction microkernel of [`at_b_chunk`]: accumulates `JB` output columns
+/// (one per broadcast `B` column) over one `V::LANES`-wide strip of output
+/// rows, with the `JB × 1`-vector accumulator tile held in registers across
+/// the whole row loop. Rows are consumed in the canonical 4-row groups:
+/// `acc += ((a₀b₀ + a₁b₁) + a₂b₂) + a₃b₃`, trailing rows singly.
+///
+/// # Safety
+/// Caller must hold the target feature backing `V`; `accp` addresses a
+/// `j`-major accumulator with row stride `d`, `ap` an A-panel column strip
+/// with row stride `astride` and at least `V::LANES` valid columns, `b` a
+/// row-major operand with row stride `bstride` and at least `JB` valid
+/// columns.
+#[inline(always)]
+unsafe fn at_b_micro<T: Scalar, V: SimdVec<T>, const JB: usize>(
+    accp: *mut T,
+    d: usize,
+    ap: *const T,
+    astride: usize,
+    b: *const T,
+    bstride: usize,
+    rows: usize,
+) {
+    let mut acc: [V; JB] = core::array::from_fn(|jj| V::load(accp.add(jj * d)));
+    let mut r = 0;
+    while r + 4 <= rows {
+        let a0 = V::load(ap.add(r * astride));
+        let a1 = V::load(ap.add((r + 1) * astride));
+        let a2 = V::load(ap.add((r + 2) * astride));
+        let a3 = V::load(ap.add((r + 3) * astride));
+        for (jj, accv) in acc.iter_mut().enumerate() {
+            let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
+            t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
+            t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
+            t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
+            *accv = accv.add(t);
+        }
+        r += 4;
+    }
+    while r < rows {
+        let a0 = V::load(ap.add(r * astride));
+        for (jj, accv) in acc.iter_mut().enumerate() {
+            *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+        }
+        r += 1;
+    }
+    for (jj, accv) in acc.iter().enumerate() {
+        accv.store(accp.add(jj * d));
+    }
+}
+
+/// Variable-width tail of [`at_b_micro`] for `jl < JB` trailing columns.
+/// Identical arithmetic order; the accumulator array may spill, which only
+/// costs time on the final partial block.
+///
+/// # Safety
+/// As [`at_b_micro`], with `jl ≤ 8` valid `b` columns.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn at_b_micro_any<T: Scalar, V: SimdVec<T>>(
+    accp: *mut T,
+    d: usize,
+    ap: *const T,
+    astride: usize,
+    b: *const T,
+    bstride: usize,
+    rows: usize,
+    jl: usize,
+) {
+    debug_assert!(jl <= 8 && jl > 0);
+    let mut acc: [V; 8] =
+        core::array::from_fn(|jj| V::load(accp.add(if jj < jl { jj * d } else { 0 })));
+    let mut r = 0;
+    while r + 4 <= rows {
+        let a0 = V::load(ap.add(r * astride));
+        let a1 = V::load(ap.add((r + 1) * astride));
+        let a2 = V::load(ap.add((r + 2) * astride));
+        let a3 = V::load(ap.add((r + 3) * astride));
+        for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
+            let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
+            t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
+            t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
+            t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
+            *accv = accv.add(t);
+        }
+        r += 4;
+    }
+    while r < rows {
+        let a0 = V::load(ap.add(r * astride));
+        for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
+            *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+        }
+        r += 1;
+    }
+    for (jj, accv) in acc.iter().enumerate().take(jl) {
+        accv.store(accp.add(jj * d));
+    }
+}
+
+/// One reduction chunk of `C = AᵀB` (`A ∈ rows×d`, `B ∈ rows×m`),
+/// accumulated into a **`j`-major** `m × d` panel (`acc[j·d + i] = C[i][j]`)
+/// so the `d` axis — contiguous in every `A` row — is the vector axis.
+///
+/// Optionally packs each `V::LANES`-wide A-column strip into a contiguous
+/// panel (`packbuf`) so the row loop streams unit-stride memory regardless
+/// of `d`. Packing and the `jb` register-block size are chosen by the
+/// autotuner and are bit-neutral: per element the row-accumulation order is
+/// the canonical 4-row grouping of the scalar kernel, whatever the
+/// blocking.
+///
+/// # Safety
+/// Caller must hold the target feature backing `V` and pass
+/// `acc.len() = m·d`, `a.len() = rows·d`, `b.len() = rows·m`, `d > 0`,
+/// `m > 0`, `1 ≤ jb ≤ 8`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn at_b_chunk<T: Scalar, V: SimdVec<T>>(
+    acc: &mut [T],
+    a: &[T],
+    b: &[T],
+    d: usize,
+    m: usize,
+    jb: usize,
+    pack: bool,
+    packbuf: &mut Vec<T>,
+) {
+    let l = V::LANES;
+    let rows = a.len() / d;
+    let vd = d - d % l;
+    let mut ib = 0;
+    while ib < vd {
+        let (ap, astride) = if pack {
+            packbuf.clear();
+            packbuf.reserve(rows * l);
+            for r in 0..rows {
+                packbuf.extend_from_slice(&a[r * d + ib..r * d + ib + l]);
+            }
+            (packbuf.as_ptr(), l)
+        } else {
+            (a.as_ptr().add(ib), d)
+        };
+        let mut j0 = 0;
+        while j0 < m {
+            let jl = (m - j0).min(jb);
+            let accp = acc.as_mut_ptr().add(j0 * d + ib);
+            let bp = b.as_ptr().add(j0);
+            match jl {
+                8 => at_b_micro::<T, V, 8>(accp, d, ap, astride, bp, m, rows),
+                4 => at_b_micro::<T, V, 4>(accp, d, ap, astride, bp, m, rows),
+                _ => at_b_micro_any::<T, V>(accp, d, ap, astride, bp, m, rows, jl),
+            }
+            j0 += jl;
+        }
+        ib += l;
+    }
+    // Scalar tail for the last `d % LANES` output rows, in the identical
+    // canonical row grouping.
+    let apab = a.as_ptr();
+    let bpab = b.as_ptr();
+    for i in vd..d {
+        for j in 0..m {
+            let dst = acc.as_mut_ptr().add(j * d + i);
+            let mut s = *dst;
+            let mut r = 0;
+            while r + 4 <= rows {
+                s += *apab.add(r * d + i) * *bpab.add(r * m + j)
+                    + *apab.add((r + 1) * d + i) * *bpab.add((r + 1) * m + j)
+                    + *apab.add((r + 2) * d + i) * *bpab.add((r + 2) * m + j)
+                    + *apab.add((r + 3) * d + i) * *bpab.add((r + 3) * m + j);
+                r += 4;
+            }
+            while r < rows {
+                s += *apab.add(r * d + i) * *bpab.add(r * m + j);
+                r += 1;
+            }
+            *dst = s;
+        }
+    }
+}
+
+/// One reduction chunk of the weighted Gram kernels: for every class `k`
+/// in `k0..k1`, `acc_blk(k) += Σᵢ W[i][k]·xᵢxᵢᵀ` over the chunk's rows
+/// (upper triangle only; the caller mirrors). Rows accumulate
+/// sequentially, `q` is the vector axis — the canonical row-sequential
+/// tree of the scalar Gram panels, bit-for-bit.
+///
+/// # Safety
+/// Caller must hold the target feature backing `V` and pass
+/// `acc.len() = (k1-k0)·d·d`, `x.len() = rows·d`, a weight panel with row
+/// stride `wstride ≥ k1`, and `d > 0`.
+#[inline(always)]
+pub(crate) unsafe fn gram_rows<T: Scalar, V: SimdVec<T>>(
+    acc: &mut [T],
+    x: &[T],
+    w: &[T],
+    wstride: usize,
+    k0: usize,
+    k1: usize,
+    d: usize,
+) {
+    let l = V::LANES;
+    let rows = x.len() / d;
+    for i in 0..rows {
+        let xi = x.as_ptr().add(i * d);
+        for k in k0..k1 {
+            let wik = *w.get_unchecked(i * wstride + k);
+            if wik == T::ZERO {
+                continue;
+            }
+            let blk = acc.as_mut_ptr().add((k - k0) * d * d);
+            for p in 0..d {
+                let s = wik * *xi.add(p);
+                let sv = V::splat(s);
+                let dst = blk.add(p * d);
+                let mut q = p;
+                while q + l <= d {
+                    V::load(dst.add(q))
+                        .add(sv.mul(V::load(xi.add(q))))
+                        .store(dst.add(q));
+                    q += l;
+                }
+                while q < d {
+                    *dst.add(q) += s * *xi.add(q);
+                    q += 1;
+                }
+            }
+        }
+    }
+}

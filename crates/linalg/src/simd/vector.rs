@@ -1,0 +1,215 @@
+//! Minimal SIMD vector abstraction over `std::arch` intrinsics.
+//!
+//! Each implementation wraps one hardware register type and exposes exactly
+//! the four operations the kernel bodies in [`super::body`] need: unaligned
+//! load/store, lane broadcast, multiply, and add. Multiplication and
+//! addition are deliberately **unfused** (`mulps` + `addps`, never FMA):
+//! the crate-wide determinism contract pins two-rounding multiply-then-add
+//! semantics so every dispatch tier — the scalar fallback included —
+//! produces bitwise identical results (see `firal_linalg::simd`).
+//!
+//! All methods are `unsafe` because they compile to target-feature-gated
+//! intrinsics: callers must only invoke them from a context where the
+//! corresponding feature is known to be available (the `#[target_feature]`
+//! wrappers in `super::dispatch` establish exactly that).
+
+/// One SIMD register of `T` lanes.
+///
+/// Safety contract: every method must only be called when the CPU feature
+/// backing the implementing type has been verified at runtime (or is a
+/// compile-time baseline, like SSE2 on x86-64 and NEON on AArch64).
+pub(crate) trait SimdVec<T: Copy>: Copy {
+    /// Number of `T` lanes in the register.
+    const LANES: usize;
+
+    /// Unaligned load of `LANES` elements starting at `p`.
+    unsafe fn load(p: *const T) -> Self;
+    /// Unaligned store of `LANES` elements starting at `p`.
+    unsafe fn store(self, p: *mut T);
+    /// Broadcast one scalar to all lanes.
+    unsafe fn splat(x: T) -> Self;
+    /// Lane-wise product (single rounding per lane, not fused with any add).
+    unsafe fn mul(self, o: Self) -> Self;
+    /// Lane-wise sum.
+    unsafe fn add(self, o: Self) -> Self;
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use super::SimdVec;
+    use std::arch::x86_64::*;
+
+    /// 8 × f32 in one AVX ymm register.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Avx2F32(__m256);
+
+    impl SimdVec<f32> for Avx2F32 {
+        const LANES: usize = 8;
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(_mm256_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            _mm256_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(_mm256_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm256_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm256_add_ps(self.0, o.0))
+        }
+    }
+
+    /// 4 × f64 in one AVX ymm register.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Avx2F64(__m256d);
+
+    impl SimdVec<f64> for Avx2F64 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(_mm256_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(_mm256_set1_pd(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm256_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm256_add_pd(self.0, o.0))
+        }
+    }
+
+    /// 4 × f32 in one SSE xmm register (x86-64 baseline).
+    #[derive(Clone, Copy)]
+    pub(crate) struct Sse2F32(__m128);
+
+    impl SimdVec<f32> for Sse2F32 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(_mm_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            _mm_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(_mm_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm_add_ps(self.0, o.0))
+        }
+    }
+
+    /// 2 × f64 in one SSE xmm register (x86-64 baseline).
+    #[derive(Clone, Copy)]
+    pub(crate) struct Sse2F64(__m128d);
+
+    impl SimdVec<f64> for Sse2F64 {
+        const LANES: usize = 2;
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(_mm_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(_mm_set1_pd(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm_add_pd(self.0, o.0))
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod arm {
+    use super::SimdVec;
+    use std::arch::aarch64::*;
+
+    /// 4 × f32 in one NEON q register (AArch64 baseline).
+    #[derive(Clone, Copy)]
+    pub(crate) struct NeonF32(float32x4_t);
+
+    impl SimdVec<f32> for NeonF32 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(vld1q_f32(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            vst1q_f32(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(vdupq_n_f32(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(vmulq_f32(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(vaddq_f32(self.0, o.0))
+        }
+    }
+
+    /// 2 × f64 in one NEON q register (AArch64 baseline).
+    #[derive(Clone, Copy)]
+    pub(crate) struct NeonF64(float64x2_t);
+
+    impl SimdVec<f64> for NeonF64 {
+        const LANES: usize = 2;
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(vld1q_f64(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            vst1q_f64(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(vdupq_n_f64(x))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(vmulq_f64(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(vaddq_f64(self.0, o.0))
+        }
+    }
+}

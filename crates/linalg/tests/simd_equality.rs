@@ -1,0 +1,144 @@
+//! Cross-tier bitwise equality matrix for the five hot kernels.
+//!
+//! The determinism contract of `firal_linalg::gemm` says every available
+//! SIMD tier implements the same canonical per-element summation tree as
+//! the scalar panels, so results are **bitwise** identical — not merely
+//! close — across tiers, for both dtypes, at any shape. This suite sweeps
+//! deliberately awkward shapes: `n` values that are not multiples of any
+//! lane width (and straddle the parallel threshold and the 4-row tile),
+//! `d ∈ {1, 3, 64, 65}` (sub-lane, odd, lane-aligned, lane-misaligned),
+//! and `m ∈ {1, 8}` (degenerate and register-block-wide outputs). It also
+//! pins that the autotuner's blocking knobs (`jb`, `pack`, `class_block`)
+//! are bit-neutral, so a timing-dependent plan choice can never perturb
+//! numerics.
+
+use firal_linalg::simd::{available_tiers, Tier};
+use firal_linalg::{
+    gemm_a_bt_tier, gemm_at_b_planned, gemm_at_b_tier, gemm_tier, gram_weighted_multi_planned,
+    gram_weighted_multi_tier, gram_weighted_tier, KernelPlan, Matrix, Scalar,
+};
+
+/// Deterministic LCG test matrix, generic over dtype. A sprinkling of
+/// exact zeros exercises the `w == 0` skip path of the Gram kernels.
+fn test_mat<T: Scalar>(rows: usize, cols: usize, seed: u64, with_zeros: bool) -> Matrix<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut idx = 0u64;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        idx += 1;
+        if with_zeros && idx.is_multiple_of(7) {
+            T::ZERO
+        } else {
+            T::from_f64(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
+        }
+    })
+}
+
+/// Bit pattern of a matrix, dtype-independent (`f32 → f64` is exact, so
+/// equal f64 bits ⇔ equal original bits).
+fn bits<T: Scalar>(m: &Matrix<T>) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_f64().to_bits()).collect()
+}
+
+/// All five kernels at one shape on one tier, concatenated bit patterns.
+fn kernel_bits<T: Scalar>(tier: Tier, n: usize, d: usize, m: usize) -> Vec<u64> {
+    let a = test_mat::<T>(n, d, 1000 + n as u64, false);
+    let b = test_mat::<T>(n, m, 2000 + d as u64, false);
+    let sq = test_mat::<T>(d, m, 3000 + m as u64, false);
+    let bm = test_mat::<T>(m, d, 4000 + n as u64, false);
+    let w = test_mat::<T>(n, 1, 5000 + d as u64, true);
+    let wpanel = test_mat::<T>(n, m, 6000 + n as u64, true);
+
+    let mut out = Vec::new();
+    out.extend(bits(&gemm_tier(tier, &a, &sq)));
+    out.extend(bits(&gemm_at_b_tier(tier, &a, &b)));
+    out.extend(bits(&gemm_a_bt_tier(tier, &a, &bm)));
+    out.extend(bits(&gram_weighted_tier(tier, &a, w.as_slice())));
+    for g in gram_weighted_multi_tier(tier, &a, &wpanel) {
+        out.extend(bits(&g));
+    }
+    out
+}
+
+fn equality_sweep<T: Scalar>() {
+    let tiers = available_tiers();
+    assert_eq!(tiers[0], Tier::Scalar);
+    for &n in &[1usize, 7, 129, 1003] {
+        for &d in &[1usize, 3, 64, 65] {
+            for &m in &[1usize, 8] {
+                let reference = kernel_bits::<T>(Tier::Scalar, n, d, m);
+                for &tier in &tiers[1..] {
+                    assert_eq!(
+                        kernel_bits::<T>(tier, n, d, m),
+                        reference,
+                        "tier {tier} diverges from scalar at n={n} d={d} m={m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_tiers_bitwise_equal_scalar_f64() {
+    equality_sweep::<f64>();
+}
+
+#[test]
+fn all_tiers_bitwise_equal_scalar_f32() {
+    equality_sweep::<f32>();
+}
+
+/// Every legal blocking plan yields identical bits: the autotuner's choice
+/// is timing-dependent, so this is what keeps runs (and SPMD ranks that
+/// tuned differently) bitwise reproducible.
+#[test]
+fn block_plan_is_bit_neutral() {
+    let n = 777;
+    for &d in &[3usize, 64, 65] {
+        let a = test_mat::<f64>(n, d, 42, false);
+        let b = test_mat::<f64>(n, 6, 43, false);
+        let wpanel = test_mat::<f64>(n, 5, 44, true);
+        for tier in available_tiers() {
+            let reference_atb = gemm_at_b_tier(tier, &a, &b);
+            let reference_multi = gram_weighted_multi_tier(tier, &a, &wpanel);
+            for jb in [1usize, 2, 4, 5, 8] {
+                for pack in [false, true] {
+                    for class_block in [1usize, 2, 16] {
+                        let plan = KernelPlan {
+                            jb,
+                            pack,
+                            class_block,
+                        };
+                        let c = gemm_at_b_planned(tier, plan, &a, &b);
+                        assert_eq!(
+                            bits(&c),
+                            bits(&reference_atb),
+                            "at_b: tier {tier} d={d} plan {plan:?}"
+                        );
+                        let gs = gram_weighted_multi_planned(tier, plan, &a, &wpanel);
+                        assert_eq!(gs.len(), reference_multi.len());
+                        for (g, r) in gs.iter().zip(reference_multi.iter()) {
+                            assert_eq!(bits(g), bits(r), "multi: tier {tier} d={d} plan {plan:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate shapes must not panic and must agree across tiers.
+#[test]
+fn degenerate_shapes_are_consistent() {
+    for tier in available_tiers() {
+        let empty = test_mat::<f64>(0, 4, 9, false);
+        let b = test_mat::<f64>(0, 3, 10, false);
+        assert_eq!(gemm_at_b_tier(tier, &empty, &b).shape(), (4, 3));
+        let x1 = test_mat::<f64>(5, 4, 11, false);
+        let w0 = Matrix::<f64>::zeros(5, 0);
+        assert!(gram_weighted_multi_tier(tier, &x1, &w0).is_empty());
+    }
+}

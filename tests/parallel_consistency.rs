@@ -254,6 +254,111 @@ fn thread_determinism_matrix() {
     }
 }
 
+/// Selection + RELAX-objective fingerprint of one full Approx-FIRAL run
+/// (SelfComm, ambient threads), shared by the forced-scalar consistency
+/// row below. Shape chosen so the dense kernels cross firal_linalg's
+/// parallel threshold and genuinely engage the dispatched SIMD paths.
+fn simd_fingerprint() -> (Vec<usize>, Vec<u64>) {
+    let p: SelectionProblem<f64> = problem(31, 768, 16, 4);
+    let budget = 4;
+    let eta = 4.0 * (p.ehat() as f64).sqrt();
+    let cfg = RelaxConfig {
+        seed: 13,
+        md: firal::core::MirrorDescentConfig {
+            max_iters: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let comm = SelfComm::new();
+    let shard = ShardedProblem::replicate(&p);
+    let exec = Executor::serial(&comm, &shard);
+    let relax = exec.relax(budget, &cfg);
+    let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+    let obj_bits = relax
+        .telemetry
+        .objective_history
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (round.selected, obj_bits)
+}
+
+/// Child half of `simd_off_selection_is_bitwise_identical`: when re-invoked
+/// by that test with `FIRAL_SIMD=off` in the environment, print the
+/// fingerprint for the parent to parse; a no-op in a normal test run.
+/// (The SIMD tier is latched process-wide on first kernel use, so forcing
+/// the scalar tier requires a fresh process — flipping a global in-process
+/// would race with concurrently running tests.)
+#[test]
+fn simd_off_child_fingerprint() {
+    if std::env::var("FIRAL_SIMD_OFF_CHILD").is_err() {
+        return;
+    }
+    let (sel, bits) = simd_fingerprint();
+    let sel: Vec<String> = sel.iter().map(|v| v.to_string()).collect();
+    let bits: Vec<String> = bits.iter().map(|v| v.to_string()).collect();
+    println!("SIMD_OFF_FINGERPRINT={}|{}", sel.join(","), bits.join(","));
+}
+
+/// The `FIRAL_SIMD=off` consistency row: the full Approx-FIRAL selection
+/// AND the RELAX objective bits must be identical under forced-scalar
+/// kernels and under this process's default dispatch tier — the
+/// whole-pipeline instantiation of the canonical-summation-tree contract
+/// (`firal_linalg::simd`). The scalar run happens in a child process (same
+/// test binary, filtered to the helper above) because the tier latches
+/// once per process.
+#[test]
+fn simd_off_selection_is_bitwise_identical() {
+    if std::env::var("FIRAL_SIMD_OFF_CHILD").is_ok() {
+        return; // don't recurse when running inside the child
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "simd_off_child_fingerprint",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("FIRAL_SIMD_OFF_CHILD", "1")
+        .env("FIRAL_SIMD", "off")
+        .output()
+        .expect("spawn forced-scalar child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "forced-scalar child failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The harness may print its own `test … ...` prefix on the same line,
+    // so locate the marker anywhere in the line.
+    const MARKER: &str = "SIMD_OFF_FINGERPRINT=";
+    let payload = stdout
+        .lines()
+        .find_map(|l| l.find(MARKER).map(|i| &l[i + MARKER.len()..]))
+        .unwrap_or_else(|| panic!("child printed no fingerprint:\n{stdout}"));
+    let (sel_csv, bits_csv) = payload.split_once('|').expect("malformed fingerprint");
+    let parse_csv = |s: &str| -> Vec<u64> {
+        s.split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().unwrap())
+            .collect()
+    };
+    let child_sel: Vec<usize> = parse_csv(sel_csv).iter().map(|&v| v as usize).collect();
+    let child_bits = parse_csv(bits_csv);
+
+    let (sel, bits) = simd_fingerprint();
+    assert_eq!(
+        child_sel, sel,
+        "forced-scalar selection diverged from the default tier"
+    );
+    assert_eq!(
+        child_bits, bits,
+        "forced-scalar RELAX objective bits diverged from the default tier"
+    );
+}
+
 /// The η-group consistency matrix: the full grouped pipeline (RELAX on
 /// each group's p_shard-way partition, then the η grid distributed over
 /// p_eta sub-communicator groups) must return the **bitwise identical**
