@@ -116,6 +116,7 @@ fn main() {
             .build_global()
             .ok();
     }
+    // lint: allow(thread-count) harness banner: reports the pool size the run was benchmarked at; results are thread-count-invariant by contract
     let threads = rayon::current_num_threads();
 
     let model = CostModel::calibrate_on_host(160);

@@ -3,6 +3,8 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
+use crate::verify::{CollectiveKind, Dtype, Verifier};
+
 /// Reduction operators supported by [`Communicator::allreduce_f64`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -117,15 +119,39 @@ pub trait Communicator {
     /// Number of ranks in the group.
     fn size(&self) -> usize;
     /// Synchronization barrier.
+    ///
+    /// Determinism: no data moves, so nothing can perturb reproducibility —
+    /// but a barrier is still a schedule point every rank must reach, and
+    /// the debug-mode verifier ([`crate::verify`]) cross-checks it like any
+    /// other collective.
     fn barrier(&self);
-    /// In-place allreduce.
+    /// In-place allreduce: every rank's `buf` is overwritten with the
+    /// reduction of all contributions (same length on every rank).
+    ///
+    /// Determinism: the reduction is evaluated **in rank order** on every
+    /// backend, so the result is bitwise identical on every rank and across
+    /// backends — floating-point non-associativity never leaks schedule or
+    /// transport details into the bits.
     fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp);
-    /// Broadcast from `root`.
+    /// Broadcast from `root`: `root`'s buffer overwrites everyone's (same
+    /// length on every rank).
+    ///
+    /// Determinism: a pure byte copy of the root's buffer — receivers end
+    /// with exactly the root's bits, no arithmetic involved.
     fn bcast_f64(&self, buf: &mut [f64], root: usize);
     /// Variable-length allgather; returns all contributions concatenated in
     /// rank order.
+    ///
+    /// Determinism: the concatenation order is the group's rank order on
+    /// every backend, and each contribution is copied bit-exactly, so every
+    /// rank receives the identical vector.
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64>;
     /// Global max with payload (ties broken towards the lower rank).
+    ///
+    /// Determinism: implemented everywhere via the single rank-ordered
+    /// scan [`crate::wire::MaxLoc::reduce_rank_ordered`] — ties always
+    /// resolve to the lowest rank and the all-`-inf` sentinel case always
+    /// propagates rank 0's payload, identically on every backend.
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64);
     /// Collectively partition this group into disjoint sub-groups: ranks
     /// passing the same `color` land in the same sub-communicator, with new
@@ -137,6 +163,12 @@ pub trait Communicator {
     /// collective)**, and the returned endpoint starts a fresh
     /// [`CommStats`] record, so per-sub-group communication can be
     /// attributed independently of the parent's counters.
+    ///
+    /// Determinism: membership and new-rank order are computed from the
+    /// deterministic membership exchange, and every sub-communicator
+    /// satisfies the same rank-ordered reduction contract as its parent —
+    /// a sub-group of `p'` ranks reduces bitwise identically to a root
+    /// group of the same `p'` ranks.
     fn split(&self, color: usize, key: usize) -> Box<dyn Communicator>;
     /// Snapshot of this rank's communication statistics.
     fn stats(&self) -> CommStats;
@@ -175,9 +207,14 @@ pub(crate) fn split_membership(
 
 /// Single-rank communicator: all collectives are identities. The `p = 1`
 /// fast path, and what the serial algorithms run on.
+///
+/// The collective-order verifier ([`crate::verify`]) degenerates here to
+/// trace recording: there is no peer to disagree with, but the fingerprint
+/// trace still documents the schedule this endpoint ran.
 #[derive(Debug, Default)]
 pub struct SelfComm {
     stats: RefCell<CommStats>,
+    verify: Verifier,
 }
 
 impl SelfComm {
@@ -194,25 +231,44 @@ impl Communicator for SelfComm {
     fn size(&self) -> usize {
         1
     }
-    fn barrier(&self) {}
-    fn allreduce_f64(&self, buf: &mut [f64], _op: ReduceOp) {
+    fn barrier(&self) {
+        self.verify
+            .stamp(CollectiveKind::Barrier, Dtype::None, 0, 0);
+    }
+    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        self.verify.stamp(
+            CollectiveKind::allreduce(op),
+            Dtype::F64,
+            0,
+            buf.len() as u64,
+        );
         let mut s = self.stats.borrow_mut();
         s.allreduce_calls += 1;
         s.allreduce_bytes += (buf.len() * 8) as u64;
     }
     fn bcast_f64(&self, buf: &mut [f64], root: usize) {
         assert_eq!(root, 0, "SelfComm only has rank 0");
+        self.verify
+            .stamp(CollectiveKind::Bcast, Dtype::F64, 0, buf.len() as u64);
         let mut s = self.stats.borrow_mut();
         s.bcast_calls += 1;
         s.bcast_bytes += (buf.len() * 8) as u64;
     }
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        self.verify.stamp(
+            CollectiveKind::Allgatherv,
+            Dtype::F64,
+            0,
+            local.len() as u64,
+        );
         let mut s = self.stats.borrow_mut();
         s.allgather_calls += 1;
         s.allgather_bytes += (local.len() * 8) as u64;
         local.to_vec()
     }
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        self.verify
+            .stamp(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
         let mut s = self.stats.borrow_mut();
         s.allreduce_calls += 1;
         s.allreduce_bytes += 16;
@@ -222,6 +278,7 @@ impl Communicator for SelfComm {
         // A single rank always splits into the singleton group containing
         // itself; the shared membership exchange degenerates but still
         // counts as a collective on this endpoint.
+        self.verify.stamp(CollectiveKind::Split, Dtype::None, 0, 0);
         let (members, my_pos) = split_membership(self, color, key);
         debug_assert_eq!((members, my_pos), (vec![0], 0));
         Box::new(SelfComm::new())

@@ -20,6 +20,11 @@
 //!   `p` processes of itself and joins them via [`SocketComm::from_env`];
 //! * [`wire`] — the framing, MAXLOC encoding, and split-scope tags every
 //!   real transport shares, defined once;
+//! * [`verify`] — the debug-mode collective-order verifier: under
+//!   `FIRAL_COMM_VERIFY=1` (and by default in debug builds) every
+//!   collective cross-checks a schedule fingerprint across ranks, so a
+//!   skewed SPMD schedule aborts with a per-rank diagnostic trace instead
+//!   of deadlocking;
 //! * [`CostModel`] — the latency/bandwidth/compute model of Thakur,
 //!   Rabenseifner & Gropp that the paper uses for its theoretical
 //!   performance bars (recursive-doubling allreduce/allgather, binomial-tree
@@ -53,12 +58,14 @@ pub mod communicator;
 pub mod cost;
 pub mod socket_comm;
 pub mod thread_comm;
+pub mod verify;
 pub mod wire;
 
 pub use communicator::{CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
 pub use cost::CostModel;
 pub use socket_comm::{fork_self, free_rendezvous_addr, socket_launch, SocketComm};
 pub use thread_comm::{launch, ThreadComm};
+pub use verify::{verify_enabled, CollectiveKind, Dtype, Fingerprint, VERIFY_ENV};
 
 /// Which multi-rank transport a harness should launch ranks on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

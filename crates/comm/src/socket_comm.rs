@@ -53,6 +53,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
+use crate::verify::{CollectiveKind, Dtype, Fingerprint, Verifier};
 use crate::wire::{self, MaxLoc, MAGIC};
 
 /// Env var carrying this process's rank (set by the launcher).
@@ -157,6 +158,11 @@ pub struct SocketComm {
     /// Split generations issued from this endpoint (names sub-group scopes).
     split_seq: Cell<u64>,
     stats: RefCell<CommStats>,
+    /// Collective-order verifier state ([`crate::verify`]): when enabled,
+    /// every collective is preceded by a hub-style fingerprint exchange on
+    /// the same scope-tagged links, so a skewed schedule aborts with a
+    /// diagnostic before the data phase can deadlock.
+    verify: Verifier,
 }
 
 impl SocketComm {
@@ -203,6 +209,7 @@ impl SocketComm {
             scope: wire::ROOT_SCOPE,
             split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
+            verify: Verifier::new(wire::ROOT_SCOPE),
         };
         let mut peers: Vec<Option<RefCell<Peer>>> = (0..size).map(|_| None).collect();
         if size == 1 {
@@ -310,14 +317,90 @@ impl SocketComm {
     }
 
     fn die(&self, what: &str, e: &io::Error) -> ! {
+        // With verification on, append this rank's recent collective trace:
+        // when a peer aborts on a schedule mismatch, the surviving ranks'
+        // broken-pipe panics still tell the whole per-rank story.
+        let trace = if self.verify.enabled() {
+            format!(
+                "\n  last collectives on this rank (oldest first):\n{}",
+                self.verify.trace_dump()
+            )
+        } else {
+            String::new()
+        };
         panic!(
             "SocketComm rank {}/{} (world rank {}, scope {:#x}): {what} failed: {e} \
-             (a peer rank likely died)",
+             (a peer rank likely died){trace}",
             self.my_pos,
             self.members.len(),
             self.world_rank,
             self.scope
         );
+    }
+
+    /// Debug-mode schedule check run at the top of every collective: stamp
+    /// the fingerprint and exchange it hub-style over the group's
+    /// scope-tagged links. The exchange always flows member → hub → member
+    /// regardless of the collective's own data flow, so even kind
+    /// mismatches whose data phases would deadlock (one rank in `bcast`,
+    /// its peer in `allreduce`) abort with a diagnostic instead. No-op
+    /// unless verification is enabled ([`crate::verify::verify_enabled`]).
+    fn verify_collective(&self, kind: CollectiveKind, dtype: Dtype, param: u32, count: u64) {
+        let Some(own) = self.verify.stamp(kind, dtype, param, count) else {
+            return;
+        };
+        if self.members.len() == 1 {
+            return;
+        }
+        if let Err(e) = self.verify_exchange(&own) {
+            self.die("collective fingerprint exchange", &e);
+        }
+    }
+
+    fn verify_exchange(&self, own: &Fingerprint) -> io::Result<()> {
+        let mut frame = [0u8; Fingerprint::WIRE_BYTES];
+        if self.my_pos == 0 {
+            for (pos, &m) in self.members.iter().enumerate().skip(1) {
+                let mut p = self.peer(m);
+                wire::expect_scope(&mut p.reader, self.scope)?;
+                p.reader.read_exact(&mut frame)?;
+                let theirs = Fingerprint::decode(&frame);
+                match theirs {
+                    Some(fp) if own.matches(&fp) => {}
+                    _ => self.verify.mismatch_panic(
+                        self.my_pos,
+                        self.members.len(),
+                        *own,
+                        pos,
+                        theirs,
+                    ),
+                }
+            }
+            for &m in &self.members[1..] {
+                let mut p = self.peer(m);
+                wire::write_scope(&mut p.writer, self.scope)?;
+                p.writer.write_all(&own.encode())?;
+                p.writer.flush()?;
+            }
+        } else {
+            {
+                let mut p = self.peer(self.hub());
+                wire::write_scope(&mut p.writer, self.scope)?;
+                p.writer.write_all(&own.encode())?;
+                p.writer.flush()?;
+            }
+            let mut p = self.peer(self.hub());
+            wire::expect_scope(&mut p.reader, self.scope)?;
+            p.reader.read_exact(&mut frame)?;
+            let theirs = Fingerprint::decode(&frame);
+            match theirs {
+                Some(fp) if own.matches(&fp) => {}
+                _ => self
+                    .verify
+                    .mismatch_panic(self.my_pos, self.members.len(), *own, 0, theirs),
+            }
+        }
+        Ok(())
     }
 
     fn hub_barrier(&self) -> io::Result<()> {
@@ -461,11 +544,18 @@ impl Communicator for SocketComm {
     }
 
     fn barrier(&self) {
+        self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0);
         self.hub_barrier()
             .unwrap_or_else(|e| self.die("barrier", &e));
     }
 
     fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        self.verify_collective(
+            CollectiveKind::allreduce(op),
+            Dtype::F64,
+            0,
+            buf.len() as u64,
+        );
         let t0 = Instant::now();
         if self.size() > 1 {
             self.hub_allreduce(buf, op)
@@ -478,8 +568,14 @@ impl Communicator for SocketComm {
     }
 
     fn bcast_f64(&self, buf: &mut [f64], root: usize) {
-        let t0 = Instant::now();
         assert!(root < self.size(), "bcast root out of range");
+        self.verify_collective(
+            CollectiveKind::Bcast,
+            Dtype::F64,
+            root as u32,
+            buf.len() as u64,
+        );
+        let t0 = Instant::now();
         if self.size() > 1 {
             self.hub_bcast(buf, root)
                 .unwrap_or_else(|e| self.die("bcast", &e));
@@ -491,6 +587,12 @@ impl Communicator for SocketComm {
     }
 
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        self.verify_collective(
+            CollectiveKind::Allgatherv,
+            Dtype::F64,
+            0,
+            local.len() as u64,
+        );
         let t0 = Instant::now();
         let out = if self.size() > 1 {
             self.hub_allgatherv(local)
@@ -506,6 +608,7 @@ impl Communicator for SocketComm {
     }
 
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        self.verify_collective(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
         let t0 = Instant::now();
         let own = MaxLoc { value, payload };
         let best = if self.size() > 1 {
@@ -522,20 +625,26 @@ impl Communicator for SocketComm {
     }
 
     fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        // Fingerprint the split itself before the membership exchange:
+        // color/key are legitimately rank-dependent, but *that* every rank
+        // is splitting here is part of the schedule contract.
+        self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0);
         // Membership over the parent collectives (scope-tagged with the
         // *parent's* scope — split traffic belongs to the parent group).
         let (positions, my_pos) = split_membership(self, color, key);
         let members: Vec<usize> = positions.iter().map(|&p| self.members[p]).collect();
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
+        let scope = wire::derive_scope(self.scope, seq, color as u64);
         let sub = SocketComm {
             world_rank: self.world_rank,
             peers: Rc::clone(&self.peers),
             members,
             my_pos,
-            scope: wire::derive_scope(self.scope, seq, color as u64),
+            scope,
             split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
+            verify: Verifier::new(scope),
         };
         // First use of the new scope is a barrier: a wiring or ordering
         // mistake fails loudly at split time, not at the first collective.

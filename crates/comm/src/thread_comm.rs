@@ -16,12 +16,13 @@
 //! modelled analytically by [`crate::CostModel`].
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier, Mutex, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
-use crate::wire::MaxLoc;
+use crate::verify::{CollectiveKind, Dtype, Fingerprint, Verifier};
+use crate::wire::{self, MaxLoc};
 
 /// Pad each slot to its own cache line so rank publications don't false-share.
 #[repr(align(128))]
@@ -53,7 +54,19 @@ struct Shared {
     /// `(split sequence number, color)`; the other members pick it up
     /// between two parent barriers. Entries are removed once claimed, so
     /// the map stays empty outside an in-flight split.
-    splits: Mutex<HashMap<(u64, u64), Arc<Shared>>>,
+    ///
+    /// Determinism audit: the table is only ever accessed by exact key —
+    /// `insert`, `get`, `remove` — never iterated, so no container ordering
+    /// can reach a reduction. It is a `BTreeMap` anyway (the keys are
+    /// `Ord`), making the no-iteration-order property structural rather
+    /// than a usage convention (`firal-lint` rule `hash-order`).
+    splits: Mutex<BTreeMap<(u64, u64), Arc<Shared>>>,
+    /// Fingerprint table for the debug-mode collective-order verifier
+    /// ([`crate::verify`]): when verification is on, every rank publishes
+    /// the fingerprint of the collective it is entering here, and every
+    /// rank cross-checks all entries between two barriers *before* the
+    /// collective's data phase runs.
+    fps: Vec<CachePadded<RwLock<Option<Fingerprint>>>>,
 }
 
 impl Shared {
@@ -64,7 +77,10 @@ impl Shared {
                 .map(|_| CachePadded::new(RwLock::new(Slot::default())))
                 .collect(),
             barrier: Barrier::new(size),
-            splits: Mutex::new(HashMap::new()),
+            splits: Mutex::new(BTreeMap::new()),
+            fps: (0..size)
+                .map(|_| CachePadded::new(RwLock::new(None)))
+                .collect(),
         }
     }
 
@@ -82,16 +98,54 @@ pub struct ThreadComm {
     /// name each split generation in the shared rendezvous table.
     split_seq: Cell<u64>,
     stats: RefCell<CommStats>,
+    /// Collective-order verifier state ([`crate::verify`]); scope tags are
+    /// derived exactly like [`crate::SocketComm`]'s frame scopes so the
+    /// diagnostics name the same group identities across backends.
+    verify: Verifier,
 }
 
 impl ThreadComm {
-    fn new(rank: usize, shared: Arc<Shared>) -> Self {
+    fn new(rank: usize, shared: Arc<Shared>, scope: u64) -> Self {
         Self {
             rank,
             shared,
             split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
+            verify: Verifier::new(scope),
         }
+    }
+
+    /// Debug-mode schedule check run at the top of every collective: stamp
+    /// the fingerprint, publish it to the shared table, and cross-check all
+    /// ranks' entries between two barriers. A mismatch aborts with the
+    /// per-rank diagnostic trace instead of letting the data phase deadlock
+    /// on skewed barrier counts or combine mismatched slots. No-op unless
+    /// verification is enabled ([`crate::verify::verify_enabled`]).
+    fn verify_collective(&self, kind: CollectiveKind, dtype: Dtype, param: u32, count: u64) {
+        let Some(own) = self.verify.stamp(kind, dtype, param, count) else {
+            return;
+        };
+        if self.shared.size == 1 {
+            return;
+        }
+        *self.shared.fps[self.rank]
+            .0
+            .write()
+            .expect("fingerprint lock poisoned") = Some(own);
+        self.shared.barrier.wait();
+        for r in 0..self.shared.size {
+            let theirs = *self.shared.fps[r]
+                .0
+                .read()
+                .expect("fingerprint lock poisoned");
+            match theirs {
+                Some(fp) if own.matches(&fp) => {}
+                _ => self
+                    .verify
+                    .mismatch_panic(self.rank, self.shared.size, own, r, theirs),
+            }
+        }
+        self.shared.barrier.wait();
     }
 
     fn publish(&self, data: &[f64]) {
@@ -119,10 +173,17 @@ impl Communicator for ThreadComm {
     }
 
     fn barrier(&self) {
+        self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0);
         self.shared.barrier.wait();
     }
 
     fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        self.verify_collective(
+            CollectiveKind::allreduce(op),
+            Dtype::F64,
+            0,
+            buf.len() as u64,
+        );
         let t0 = Instant::now();
         self.publish(buf);
         self.shared.barrier.wait();
@@ -149,8 +210,14 @@ impl Communicator for ThreadComm {
     }
 
     fn bcast_f64(&self, buf: &mut [f64], root: usize) {
-        let t0 = Instant::now();
         assert!(root < self.shared.size, "bcast root out of range");
+        self.verify_collective(
+            CollectiveKind::Bcast,
+            Dtype::F64,
+            root as u32,
+            buf.len() as u64,
+        );
+        let t0 = Instant::now();
         if self.rank == root {
             self.publish(buf);
         }
@@ -172,6 +239,12 @@ impl Communicator for ThreadComm {
     }
 
     fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        self.verify_collective(
+            CollectiveKind::Allgatherv,
+            Dtype::F64,
+            0,
+            local.len() as u64,
+        );
         let t0 = Instant::now();
         self.publish(local);
         self.shared.barrier.wait();
@@ -189,6 +262,10 @@ impl Communicator for ThreadComm {
     }
 
     fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        // Fingerprint the split itself before the membership exchange:
+        // color/key are legitimately rank-dependent, but *that* every rank
+        // is splitting here is part of the schedule contract.
+        self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0);
         // 1. Shared membership exchange over the parent collectives (every
         //    member of one color group computes the identical roster).
         let (members, my_pos) = split_membership(self, color, key);
@@ -226,10 +303,14 @@ impl Communicator for ThreadComm {
                 .expect("split table poisoned")
                 .remove(&(seq, color as u64));
         }
-        Box::new(ThreadComm::new(my_pos, sub))
+        // Same scope derivation as SocketComm sub-groups: every member of
+        // one color group computes the identical tag.
+        let scope = wire::derive_scope(self.verify.scope(), seq, color as u64);
+        Box::new(ThreadComm::new(my_pos, sub, scope))
     }
 
     fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        self.verify_collective(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
         let t0 = Instant::now();
         // The payload rides the slot's integer lane — never through the
         // f64 buffer (see [`crate::wire::MaxLoc`]).
@@ -286,7 +367,7 @@ where
             .map(|rank| {
                 let shared = Arc::clone(&shared);
                 let f = &f;
-                scope.spawn(move || f(&ThreadComm::new(rank, shared)))
+                scope.spawn(move || f(&ThreadComm::new(rank, shared, wire::ROOT_SCOPE)))
             })
             .collect();
         handles

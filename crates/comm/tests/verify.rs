@@ -1,0 +1,211 @@
+//! Integration tests for the debug-mode collective-order verifier
+//! (`firal_comm::verify`): deliberately skewed SPMD schedules must abort
+//! with the fingerprint diagnostic — not hang, and not desync silently —
+//! while verified happy-path schedules stay bitwise identical across
+//! backends.
+//!
+//! Every test in this binary pins the verifier ON via the test override, so
+//! the skew tests are meaningful in release builds too (where the default
+//! is off). The override is process-global; this binary is its only user.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use firal_comm::{launch, socket_launch, Communicator, ReduceOp};
+
+fn force_verify_on() {
+    firal_comm::verify::set_verify_override(Some(true));
+}
+
+/// Run `f`, returning the panic message if it panicked.
+fn panic_message_of<F: FnOnce()>(f: F) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "(non-string panic payload)".to_string()),
+        ),
+    }
+}
+
+#[test]
+fn thread_kind_skew_aborts_with_fingerprint_diagnostic() {
+    force_verify_on();
+    // Rank 0 issues an allreduce while rank 1 issues a bcast: without the
+    // verifier this skew reaches the data phase with mismatched slot state
+    // (or deadlocks on transports with kind-dependent flow). With it, both
+    // ranks must abort at the fingerprint exchange with the diagnostic.
+    let messages = launch(2, |comm| {
+        panic_message_of(|| {
+            let mut buf = vec![1.0];
+            if comm.rank() == 0 {
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            } else {
+                comm.bcast_f64(&mut buf, 0);
+            }
+        })
+    });
+    for (rank, msg) in messages.iter().enumerate() {
+        let msg = msg
+            .as_deref()
+            .unwrap_or_else(|| panic!("rank {rank} did not abort on a skewed schedule"));
+        assert!(
+            msg.contains("collective schedule mismatch"),
+            "rank {rank} diagnostic: {msg}"
+        );
+        assert!(msg.contains("allreduce(sum)"), "rank {rank}: {msg}");
+        assert!(msg.contains("bcast"), "rank {rank}: {msg}");
+        assert!(
+            msg.contains("last collectives on this rank"),
+            "rank {rank} missing trace: {msg}"
+        );
+    }
+}
+
+#[test]
+fn thread_count_skew_aborts_before_the_data_phase() {
+    force_verify_on();
+    // Same collective, different element counts: the count lane must catch
+    // it at the fingerprint exchange, with both ranks' counts named.
+    let messages = launch(2, |comm| {
+        panic_message_of(|| {
+            let mut buf = vec![0.0; 1 + comm.rank()];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+        })
+    });
+    for (rank, msg) in messages.iter().enumerate() {
+        let msg = msg.as_deref().expect("count skew must abort");
+        assert!(
+            msg.contains("collective schedule mismatch"),
+            "rank {rank}: {msg}"
+        );
+        assert!(msg.contains("count=1"), "rank {rank}: {msg}");
+        assert!(msg.contains("count=2"), "rank {rank}: {msg}");
+    }
+}
+
+#[test]
+fn socket_kind_skew_aborts_with_fingerprint_diagnostic() {
+    force_verify_on();
+    // On SocketComm this exact skew (rank 1 in bcast-from-0 waits to read
+    // from rank 0; rank 0 in allreduce-as-hub waits to read from rank 1)
+    // would deadlock the data phase. The fingerprint preamble always flows
+    // member → hub first, so the hub detects the mismatch and aborts; the
+    // peer then fails loudly on the closed link, trace attached.
+    let messages = socket_launch(2, |comm| {
+        panic_message_of(|| {
+            let mut buf = vec![1.0];
+            if comm.rank() == 0 {
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            } else {
+                comm.bcast_f64(&mut buf, 0);
+            }
+        })
+    });
+    let hub = messages[0].as_deref().expect("hub rank must abort");
+    assert!(
+        hub.contains("collective schedule mismatch"),
+        "hub diagnostic: {hub}"
+    );
+    assert!(
+        hub.contains("allreduce(sum)") && hub.contains("bcast"),
+        "{hub}"
+    );
+    let peer = messages[1]
+        .as_deref()
+        .expect("peer rank must abort, not hang");
+    // The peer either saw the mismatch itself or died on the hub's closed
+    // link — both abort paths must carry the per-rank trace.
+    assert!(
+        peer.contains("last collectives on this rank"),
+        "peer diagnostic missing trace: {peer}"
+    );
+}
+
+#[test]
+fn socket_split_scope_skew_is_diagnosed() {
+    force_verify_on();
+    // Rank 0 issues a *parent* collective while rank 1 issues the same
+    // operation on a sub-communicator: same kind, same count, different
+    // scope. Only the fingerprint's scope lane (or the frame scope tag)
+    // can tell them apart.
+    let messages = socket_launch(2, |comm| {
+        panic_message_of(|| {
+            let mut buf = vec![1.0];
+            if comm.rank() == 0 {
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            } else {
+                let sub = comm.split(0, 0);
+                sub.allreduce_f64(&mut buf, ReduceOp::Sum);
+            }
+        })
+    });
+    // The hub (rank 0, in the parent collective) sees rank 1's fingerprint
+    // from a different schedule point and aborts with the full diagnostic.
+    let hub = messages[0].as_deref().expect("hub must abort, not hang");
+    assert!(
+        hub.contains("schedule mismatch") || hub.contains("scope mismatch"),
+        "hub: {hub}"
+    );
+    // The peer aborts too — either on its own mismatch/scope check or on
+    // the hub's closed link — and always carries its per-rank trace.
+    let peer = messages[1].as_deref().expect("peer must abort, not hang");
+    assert!(
+        peer.contains("schedule mismatch")
+            || peer.contains("scope mismatch")
+            || peer.contains("last collectives on this rank"),
+        "peer: {peer}"
+    );
+}
+
+#[test]
+fn verified_happy_path_is_bitwise_identical_across_backends() {
+    force_verify_on();
+    // The full backend matrix with verification pinned on: non-commuting
+    // contributions must still reduce to the same bits on every backend,
+    // and legitimately rank-dependent allgatherv lengths must not trip the
+    // verifier.
+    let contribution = |rank: usize| vec![[1.0e16, 1.0, -1.0e16][rank % 3]];
+    let run = |comm: &dyn Communicator| {
+        let mut buf = contribution(comm.rank());
+        comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+        let gathered = comm.allgatherv_f64(&vec![buf[0]; comm.rank() + 1]);
+        let mut top = vec![gathered.iter().sum::<f64>()];
+        comm.bcast_f64(&mut top, 0);
+        comm.barrier();
+        let (v, p) = comm.allreduce_maxloc(buf[0], comm.rank() as u64);
+        (buf[0].to_bits(), top[0].to_bits(), v.to_bits(), p)
+    };
+    let selfc = {
+        let c = firal_comm::SelfComm::new();
+        run(&c)
+    };
+    let threads = launch(4, |comm| run(comm));
+    let sockets = socket_launch(4, |comm| run(comm));
+    assert!(threads.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(threads, sockets);
+    // p = 1 world agrees with itself under verification too.
+    let _ = selfc;
+}
+
+#[test]
+fn disjoint_sub_groups_may_run_different_schedules() {
+    force_verify_on();
+    // Two split pairs running *different* collective sequences is a legal
+    // schedule: the verifier must only compare within a group.
+    let results = launch(4, |comm| {
+        let pair = comm.split(comm.rank() / 2, comm.rank());
+        let mut buf = vec![pair.rank() as f64 + 1.0];
+        if comm.rank() / 2 == 0 {
+            pair.allreduce_f64(&mut buf, ReduceOp::Sum);
+            pair.barrier();
+        } else {
+            pair.bcast_f64(&mut buf, 1);
+            let _ = pair.allgatherv_f64(&buf);
+        }
+        buf[0]
+    });
+    assert_eq!(results, vec![3.0, 3.0, 2.0, 2.0]);
+}

@@ -302,6 +302,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     pub fn threads(&self) -> usize {
         self.pool
             .as_ref()
+            // lint: allow(thread-count) telemetry-only accessor: the value feeds logs and Fig. 5/7 table columns, never a kernel shape (chunking is shape-only)
             .map_or_else(rayon::current_num_threads, rayon::ThreadPool::threads)
     }
 

@@ -308,7 +308,7 @@ mod tests {
         );
         let relax = crate::relax::fast_relax(&p, 4, &crate::config::RelaxConfig::default());
         let out = diag_round(&p, &relax.z_diamond, 4, 8.0 * (p.ehat() as f64).sqrt());
-        let classes: std::collections::HashSet<usize> =
+        let classes: std::collections::BTreeSet<usize> =
             out.selected.iter().map(|&i| ds.pool_labels[i]).collect();
         assert!(
             classes.len() >= 2,

@@ -35,7 +35,7 @@
 //! * `FIRAL_SIMD` (see [`crate::simd`]) selects the tier the plan is
 //!   keyed on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -206,11 +206,14 @@ fn probe_at_b<T: Scalar>(tier: Tier, d: usize) -> (usize, bool) {
 /// The blocking plan for one `(tier, d, dtype)` configuration, tuned at
 /// first use and memoized for the life of the process.
 pub fn plan_for<T: Scalar>(tier: Tier, d: usize) -> KernelPlan {
-    type PlanMap = HashMap<(u8, usize, usize), KernelPlan>;
+    // BTreeMap, not HashMap: the memo table is only keyed (never iterated),
+    // but an ordered container makes "no iteration order can leak into a
+    // kernel shape" structural (`firal-lint` rule `hash-order`).
+    type PlanMap = BTreeMap<(u8, usize, usize), KernelPlan>;
     static PLANS: OnceLock<Mutex<PlanMap>> = OnceLock::new();
     let elem = std::mem::size_of::<T>();
     let key = (tier as u8, d, elem);
-    let plans = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let plans = PLANS.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(plan) = plans.lock().unwrap().get(&key) {
         return *plan;
     }

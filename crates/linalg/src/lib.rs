@@ -15,6 +15,14 @@
 //!
 //! Global flop/byte counters ([`counters`]) let the benchmark harness verify
 //! the complexity claims of Tables II and III empirically.
+//!
+//! The bitwise-determinism contracts this crate participates in (canonical
+//! summation trees, no FMA, shape-only reduction chunking) are catalogued
+//! in the repo-root `ARCHITECTURE.md` ("Determinism contracts and how they
+//! are enforced") and mechanically checked by `firal-lint`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod autotune;
 pub mod blockdiag;

@@ -46,93 +46,100 @@ pub(crate) unsafe fn gemm_panel<T: Scalar, V: SimdVec<T>>(
     let cp = c.as_mut_ptr();
     let ap = a.as_ptr();
     let bp = b.as_ptr();
-    let mut r = 0;
-    while r + 4 <= rows {
-        let mut j = 0;
-        while j + 2 * l <= n {
-            let mut c00 = V::load(cp.add(r * n + j));
-            let mut c01 = V::load(cp.add(r * n + j + l));
-            let mut c10 = V::load(cp.add((r + 1) * n + j));
-            let mut c11 = V::load(cp.add((r + 1) * n + j + l));
-            let mut c20 = V::load(cp.add((r + 2) * n + j));
-            let mut c21 = V::load(cp.add((r + 2) * n + j + l));
-            let mut c30 = V::load(cp.add((r + 3) * n + j));
-            let mut c31 = V::load(cp.add((r + 3) * n + j + l));
-            for p in 0..k {
-                let b0 = V::load(bp.add(p * n + j));
-                let b1 = V::load(bp.add(p * n + j + l));
-                let x0 = V::splat(*ap.add(r * k + p));
-                c00 = c00.add(x0.mul(b0));
-                c01 = c01.add(x0.mul(b1));
-                let x1 = V::splat(*ap.add((r + 1) * k + p));
-                c10 = c10.add(x1.mul(b0));
-                c11 = c11.add(x1.mul(b1));
-                let x2 = V::splat(*ap.add((r + 2) * k + p));
-                c20 = c20.add(x2.mul(b0));
-                c21 = c21.add(x2.mul(b1));
-                let x3 = V::splat(*ap.add((r + 3) * k + p));
-                c30 = c30.add(x3.mul(b0));
-                c31 = c31.add(x3.mul(b1));
-            }
-            c00.store(cp.add(r * n + j));
-            c01.store(cp.add(r * n + j + l));
-            c10.store(cp.add((r + 1) * n + j));
-            c11.store(cp.add((r + 1) * n + j + l));
-            c20.store(cp.add((r + 2) * n + j));
-            c21.store(cp.add((r + 2) * n + j + l));
-            c30.store(cp.add((r + 3) * n + j));
-            c31.store(cp.add((r + 3) * n + j + l));
-            j += 2 * l;
-        }
-        while j + l <= n {
-            let mut c0 = V::load(cp.add(r * n + j));
-            let mut c1 = V::load(cp.add((r + 1) * n + j));
-            let mut c2 = V::load(cp.add((r + 2) * n + j));
-            let mut c3 = V::load(cp.add((r + 3) * n + j));
-            for p in 0..k {
-                let bv = V::load(bp.add(p * n + j));
-                c0 = c0.add(V::splat(*ap.add(r * k + p)).mul(bv));
-                c1 = c1.add(V::splat(*ap.add((r + 1) * k + p)).mul(bv));
-                c2 = c2.add(V::splat(*ap.add((r + 2) * k + p)).mul(bv));
-                c3 = c3.add(V::splat(*ap.add((r + 3) * k + p)).mul(bv));
-            }
-            c0.store(cp.add(r * n + j));
-            c1.store(cp.add((r + 1) * n + j));
-            c2.store(cp.add((r + 2) * n + j));
-            c3.store(cp.add((r + 3) * n + j));
-            j += l;
-        }
-        while j < n {
-            for i in 0..4 {
-                let mut s = *cp.add((r + i) * n + j);
+    // SAFETY: the caller's shape contract (`a.len() = rows·k`,
+    // `c.len() = rows·n`, `b.len() = k·n`) bounds every index below:
+    // `r < rows`, `j + l ≤ n` (vector steps) or `j < n` (scalar tail),
+    // `p < k`, so all pointer offsets stay inside their slices; the
+    // target feature backing `V` is held by the caller.
+    unsafe {
+        let mut r = 0;
+        while r + 4 <= rows {
+            let mut j = 0;
+            while j + 2 * l <= n {
+                let mut c00 = V::load(cp.add(r * n + j));
+                let mut c01 = V::load(cp.add(r * n + j + l));
+                let mut c10 = V::load(cp.add((r + 1) * n + j));
+                let mut c11 = V::load(cp.add((r + 1) * n + j + l));
+                let mut c20 = V::load(cp.add((r + 2) * n + j));
+                let mut c21 = V::load(cp.add((r + 2) * n + j + l));
+                let mut c30 = V::load(cp.add((r + 3) * n + j));
+                let mut c31 = V::load(cp.add((r + 3) * n + j + l));
                 for p in 0..k {
-                    s += *ap.add((r + i) * k + p) * *bp.add(p * n + j);
+                    let b0 = V::load(bp.add(p * n + j));
+                    let b1 = V::load(bp.add(p * n + j + l));
+                    let x0 = V::splat(*ap.add(r * k + p));
+                    c00 = c00.add(x0.mul(b0));
+                    c01 = c01.add(x0.mul(b1));
+                    let x1 = V::splat(*ap.add((r + 1) * k + p));
+                    c10 = c10.add(x1.mul(b0));
+                    c11 = c11.add(x1.mul(b1));
+                    let x2 = V::splat(*ap.add((r + 2) * k + p));
+                    c20 = c20.add(x2.mul(b0));
+                    c21 = c21.add(x2.mul(b1));
+                    let x3 = V::splat(*ap.add((r + 3) * k + p));
+                    c30 = c30.add(x3.mul(b0));
+                    c31 = c31.add(x3.mul(b1));
                 }
-                *cp.add((r + i) * n + j) = s;
+                c00.store(cp.add(r * n + j));
+                c01.store(cp.add(r * n + j + l));
+                c10.store(cp.add((r + 1) * n + j));
+                c11.store(cp.add((r + 1) * n + j + l));
+                c20.store(cp.add((r + 2) * n + j));
+                c21.store(cp.add((r + 2) * n + j + l));
+                c30.store(cp.add((r + 3) * n + j));
+                c31.store(cp.add((r + 3) * n + j + l));
+                j += 2 * l;
             }
-            j += 1;
-        }
-        r += 4;
-    }
-    while r < rows {
-        let mut j = 0;
-        while j + l <= n {
-            let mut cv = V::load(cp.add(r * n + j));
-            for p in 0..k {
-                cv = cv.add(V::splat(*ap.add(r * k + p)).mul(V::load(bp.add(p * n + j))));
+            while j + l <= n {
+                let mut c0 = V::load(cp.add(r * n + j));
+                let mut c1 = V::load(cp.add((r + 1) * n + j));
+                let mut c2 = V::load(cp.add((r + 2) * n + j));
+                let mut c3 = V::load(cp.add((r + 3) * n + j));
+                for p in 0..k {
+                    let bv = V::load(bp.add(p * n + j));
+                    c0 = c0.add(V::splat(*ap.add(r * k + p)).mul(bv));
+                    c1 = c1.add(V::splat(*ap.add((r + 1) * k + p)).mul(bv));
+                    c2 = c2.add(V::splat(*ap.add((r + 2) * k + p)).mul(bv));
+                    c3 = c3.add(V::splat(*ap.add((r + 3) * k + p)).mul(bv));
+                }
+                c0.store(cp.add(r * n + j));
+                c1.store(cp.add((r + 1) * n + j));
+                c2.store(cp.add((r + 2) * n + j));
+                c3.store(cp.add((r + 3) * n + j));
+                j += l;
             }
-            cv.store(cp.add(r * n + j));
-            j += l;
-        }
-        while j < n {
-            let mut s = *cp.add(r * n + j);
-            for p in 0..k {
-                s += *ap.add(r * k + p) * *bp.add(p * n + j);
+            while j < n {
+                for i in 0..4 {
+                    let mut s = *cp.add((r + i) * n + j);
+                    for p in 0..k {
+                        s += *ap.add((r + i) * k + p) * *bp.add(p * n + j);
+                    }
+                    *cp.add((r + i) * n + j) = s;
+                }
+                j += 1;
             }
-            *cp.add(r * n + j) = s;
-            j += 1;
+            r += 4;
         }
-        r += 1;
+        while r < rows {
+            let mut j = 0;
+            while j + l <= n {
+                let mut cv = V::load(cp.add(r * n + j));
+                for p in 0..k {
+                    cv = cv.add(V::splat(*ap.add(r * k + p)).mul(V::load(bp.add(p * n + j))));
+                }
+                cv.store(cp.add(r * n + j));
+                j += l;
+            }
+            while j < n {
+                let mut s = *cp.add(r * n + j);
+                for p in 0..k {
+                    s += *ap.add(r * k + p) * *bp.add(p * n + j);
+                }
+                *cp.add(r * n + j) = s;
+                j += 1;
+            }
+            r += 1;
+        }
     }
 }
 
@@ -158,31 +165,37 @@ unsafe fn at_b_micro<T: Scalar, V: SimdVec<T>, const JB: usize>(
     bstride: usize,
     rows: usize,
 ) {
-    let mut acc: [V; JB] = core::array::from_fn(|jj| V::load(accp.add(jj * d)));
-    let mut r = 0;
-    while r + 4 <= rows {
-        let a0 = V::load(ap.add(r * astride));
-        let a1 = V::load(ap.add((r + 1) * astride));
-        let a2 = V::load(ap.add((r + 2) * astride));
-        let a3 = V::load(ap.add((r + 3) * astride));
-        for (jj, accv) in acc.iter_mut().enumerate() {
-            let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
-            t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
-            t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
-            t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
-            *accv = accv.add(t);
+    // SAFETY: the caller's pointer contract (see `# Safety`) makes every
+    // offset valid: `jj < JB` columns of `b` and of the `accp` tile,
+    // `r < rows` rows of stride `astride`/`bstride`, `V::LANES` lanes per
+    // `ap`/`accp` access; the target feature backing `V` is held.
+    unsafe {
+        let mut acc: [V; JB] = core::array::from_fn(|jj| V::load(accp.add(jj * d)));
+        let mut r = 0;
+        while r + 4 <= rows {
+            let a0 = V::load(ap.add(r * astride));
+            let a1 = V::load(ap.add((r + 1) * astride));
+            let a2 = V::load(ap.add((r + 2) * astride));
+            let a3 = V::load(ap.add((r + 3) * astride));
+            for (jj, accv) in acc.iter_mut().enumerate() {
+                let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
+                t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
+                t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
+                t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
+                *accv = accv.add(t);
+            }
+            r += 4;
         }
-        r += 4;
-    }
-    while r < rows {
-        let a0 = V::load(ap.add(r * astride));
-        for (jj, accv) in acc.iter_mut().enumerate() {
-            *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+        while r < rows {
+            let a0 = V::load(ap.add(r * astride));
+            for (jj, accv) in acc.iter_mut().enumerate() {
+                *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+            }
+            r += 1;
         }
-        r += 1;
-    }
-    for (jj, accv) in acc.iter().enumerate() {
-        accv.store(accp.add(jj * d));
+        for (jj, accv) in acc.iter().enumerate() {
+            accv.store(accp.add(jj * d));
+        }
     }
 }
 
@@ -205,32 +218,38 @@ unsafe fn at_b_micro_any<T: Scalar, V: SimdVec<T>>(
     jl: usize,
 ) {
     debug_assert!(jl <= 8 && jl > 0);
-    let mut acc: [V; 8] =
-        core::array::from_fn(|jj| V::load(accp.add(if jj < jl { jj * d } else { 0 })));
-    let mut r = 0;
-    while r + 4 <= rows {
-        let a0 = V::load(ap.add(r * astride));
-        let a1 = V::load(ap.add((r + 1) * astride));
-        let a2 = V::load(ap.add((r + 2) * astride));
-        let a3 = V::load(ap.add((r + 3) * astride));
-        for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
-            let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
-            t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
-            t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
-            t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
-            *accv = accv.add(t);
+    // SAFETY: as `at_b_micro`, except only the first `jl` accumulator
+    // columns are live: every `b`/`accp` column index is capped by
+    // `.take(jl)`, and the dead lanes of the spill array load from the
+    // (valid) column 0. The target feature backing `V` is held.
+    unsafe {
+        let mut acc: [V; 8] =
+            core::array::from_fn(|jj| V::load(accp.add(if jj < jl { jj * d } else { 0 })));
+        let mut r = 0;
+        while r + 4 <= rows {
+            let a0 = V::load(ap.add(r * astride));
+            let a1 = V::load(ap.add((r + 1) * astride));
+            let a2 = V::load(ap.add((r + 2) * astride));
+            let a3 = V::load(ap.add((r + 3) * astride));
+            for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
+                let mut t = a0.mul(V::splat(*b.add(r * bstride + jj)));
+                t = t.add(a1.mul(V::splat(*b.add((r + 1) * bstride + jj))));
+                t = t.add(a2.mul(V::splat(*b.add((r + 2) * bstride + jj))));
+                t = t.add(a3.mul(V::splat(*b.add((r + 3) * bstride + jj))));
+                *accv = accv.add(t);
+            }
+            r += 4;
         }
-        r += 4;
-    }
-    while r < rows {
-        let a0 = V::load(ap.add(r * astride));
-        for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
-            *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+        while r < rows {
+            let a0 = V::load(ap.add(r * astride));
+            for (jj, accv) in acc.iter_mut().enumerate().take(jl) {
+                *accv = accv.add(a0.mul(V::splat(*b.add(r * bstride + jj))));
+            }
+            r += 1;
         }
-        r += 1;
-    }
-    for (jj, accv) in acc.iter().enumerate().take(jl) {
-        accv.store(accp.add(jj * d));
+        for (jj, accv) in acc.iter().enumerate().take(jl) {
+            accv.store(accp.add(jj * d));
+        }
     }
 }
 
@@ -264,53 +283,61 @@ pub(crate) unsafe fn at_b_chunk<T: Scalar, V: SimdVec<T>>(
     let l = V::LANES;
     let rows = a.len() / d;
     let vd = d - d % l;
-    let mut ib = 0;
-    while ib < vd {
-        let (ap, astride) = if pack {
-            packbuf.clear();
-            packbuf.reserve(rows * l);
-            for r in 0..rows {
-                packbuf.extend_from_slice(&a[r * d + ib..r * d + ib + l]);
+    // SAFETY: the caller's shape contract (see `# Safety`) gives the
+    // microkernels their pointer contract: `ib + l ≤ vd ≤ d` keeps every
+    // `A`-strip and `acc`-tile access in bounds (the packed panel is
+    // `rows · l` by construction), `j0 + jl ≤ m` caps the `b`/`acc`
+    // columns, and the scalar tail indexes `i < d`, `j < m`, `r < rows`
+    // directly. The target feature backing `V` is held by the caller.
+    unsafe {
+        let mut ib = 0;
+        while ib < vd {
+            let (ap, astride) = if pack {
+                packbuf.clear();
+                packbuf.reserve(rows * l);
+                for r in 0..rows {
+                    packbuf.extend_from_slice(&a[r * d + ib..r * d + ib + l]);
+                }
+                (packbuf.as_ptr(), l)
+            } else {
+                (a.as_ptr().add(ib), d)
+            };
+            let mut j0 = 0;
+            while j0 < m {
+                let jl = (m - j0).min(jb);
+                let accp = acc.as_mut_ptr().add(j0 * d + ib);
+                let bp = b.as_ptr().add(j0);
+                match jl {
+                    8 => at_b_micro::<T, V, 8>(accp, d, ap, astride, bp, m, rows),
+                    4 => at_b_micro::<T, V, 4>(accp, d, ap, astride, bp, m, rows),
+                    _ => at_b_micro_any::<T, V>(accp, d, ap, astride, bp, m, rows, jl),
+                }
+                j0 += jl;
             }
-            (packbuf.as_ptr(), l)
-        } else {
-            (a.as_ptr().add(ib), d)
-        };
-        let mut j0 = 0;
-        while j0 < m {
-            let jl = (m - j0).min(jb);
-            let accp = acc.as_mut_ptr().add(j0 * d + ib);
-            let bp = b.as_ptr().add(j0);
-            match jl {
-                8 => at_b_micro::<T, V, 8>(accp, d, ap, astride, bp, m, rows),
-                4 => at_b_micro::<T, V, 4>(accp, d, ap, astride, bp, m, rows),
-                _ => at_b_micro_any::<T, V>(accp, d, ap, astride, bp, m, rows, jl),
-            }
-            j0 += jl;
+            ib += l;
         }
-        ib += l;
-    }
-    // Scalar tail for the last `d % LANES` output rows, in the identical
-    // canonical row grouping.
-    let apab = a.as_ptr();
-    let bpab = b.as_ptr();
-    for i in vd..d {
-        for j in 0..m {
-            let dst = acc.as_mut_ptr().add(j * d + i);
-            let mut s = *dst;
-            let mut r = 0;
-            while r + 4 <= rows {
-                s += *apab.add(r * d + i) * *bpab.add(r * m + j)
-                    + *apab.add((r + 1) * d + i) * *bpab.add((r + 1) * m + j)
-                    + *apab.add((r + 2) * d + i) * *bpab.add((r + 2) * m + j)
-                    + *apab.add((r + 3) * d + i) * *bpab.add((r + 3) * m + j);
-                r += 4;
+        // Scalar tail for the last `d % LANES` output rows, in the identical
+        // canonical row grouping.
+        let apab = a.as_ptr();
+        let bpab = b.as_ptr();
+        for i in vd..d {
+            for j in 0..m {
+                let dst = acc.as_mut_ptr().add(j * d + i);
+                let mut s = *dst;
+                let mut r = 0;
+                while r + 4 <= rows {
+                    s += *apab.add(r * d + i) * *bpab.add(r * m + j)
+                        + *apab.add((r + 1) * d + i) * *bpab.add((r + 1) * m + j)
+                        + *apab.add((r + 2) * d + i) * *bpab.add((r + 2) * m + j)
+                        + *apab.add((r + 3) * d + i) * *bpab.add((r + 3) * m + j);
+                    r += 4;
+                }
+                while r < rows {
+                    s += *apab.add(r * d + i) * *bpab.add(r * m + j);
+                    r += 1;
+                }
+                *dst = s;
             }
-            while r < rows {
-                s += *apab.add(r * d + i) * *bpab.add(r * m + j);
-                r += 1;
-            }
-            *dst = s;
         }
     }
 }
@@ -337,28 +364,35 @@ pub(crate) unsafe fn gram_rows<T: Scalar, V: SimdVec<T>>(
 ) {
     let l = V::LANES;
     let rows = x.len() / d;
-    for i in 0..rows {
-        let xi = x.as_ptr().add(i * d);
-        for k in k0..k1 {
-            let wik = *w.get_unchecked(i * wstride + k);
-            if wik == T::ZERO {
-                continue;
-            }
-            let blk = acc.as_mut_ptr().add((k - k0) * d * d);
-            for p in 0..d {
-                let s = wik * *xi.add(p);
-                let sv = V::splat(s);
-                let dst = blk.add(p * d);
-                let mut q = p;
-                while q + l <= d {
-                    V::load(dst.add(q))
-                        .add(sv.mul(V::load(xi.add(q))))
-                        .store(dst.add(q));
-                    q += l;
+    // SAFETY: the caller's shape contract (see `# Safety`) bounds every
+    // access: `i < rows` rows of `x` and `w` (row stride `wstride ≥ k1 > k`),
+    // block `k - k0 < k1 - k0` of `acc`, and in-block offsets
+    // `p·d + q < d·d` with `q + l ≤ d` on the vector steps. The target
+    // feature backing `V` is held by the caller.
+    unsafe {
+        for i in 0..rows {
+            let xi = x.as_ptr().add(i * d);
+            for k in k0..k1 {
+                let wik = *w.get_unchecked(i * wstride + k);
+                if wik == T::ZERO {
+                    continue;
                 }
-                while q < d {
-                    *dst.add(q) += s * *xi.add(q);
-                    q += 1;
+                let blk = acc.as_mut_ptr().add((k - k0) * d * d);
+                for p in 0..d {
+                    let s = wik * *xi.add(p);
+                    let sv = V::splat(s);
+                    let dst = blk.add(p * d);
+                    let mut q = p;
+                    while q + l <= d {
+                        V::load(dst.add(q))
+                            .add(sv.mul(V::load(xi.add(q))))
+                            .store(dst.add(q));
+                        q += l;
+                    }
+                    while q < d {
+                        *dst.add(q) += s * *xi.add(q);
+                        q += 1;
+                    }
                 }
             }
         }

@@ -270,10 +270,18 @@ pub trait Dispatch: Sized {
 /// and codegens under the wrapper's feature set.
 macro_rules! tier_wrappers {
     ($feat:literal, $t:ty, $v:ty, $gemm:ident, $atb:ident, $gram:ident) => {
+        // SAFETY (this wrapper and the two below): `#[target_feature]`
+        // makes the fn unsafe with the contract "caller verified $feat";
+        // that is exactly the feature backing `$v`, the kernel entry
+        // points validate the slice shapes before dispatching here, and
+        // the body is `#[inline(always)]` so its intrinsics codegen under
+        // this wrapper's feature set.
         #[target_feature(enable = $feat)]
         pub(super) unsafe fn $gemm(c: &mut [$t], a: &[$t], b: &[$t], k: usize, n: usize) {
-            super::body::gemm_panel::<$t, $v>(c, a, b, k, n)
+            // SAFETY: feature and shape contract forwarded, see above.
+            unsafe { super::body::gemm_panel::<$t, $v>(c, a, b, k, n) }
         }
+        // SAFETY: same wrapper contract as the first kernel above.
         #[target_feature(enable = $feat)]
         #[allow(clippy::too_many_arguments)]
         pub(super) unsafe fn $atb(
@@ -286,8 +294,10 @@ macro_rules! tier_wrappers {
             pack: bool,
             packbuf: &mut Vec<$t>,
         ) {
-            super::body::at_b_chunk::<$t, $v>(acc, a, b, d, m, jb, pack, packbuf)
+            // SAFETY: feature and shape contract forwarded, see above.
+            unsafe { super::body::at_b_chunk::<$t, $v>(acc, a, b, d, m, jb, pack, packbuf) }
         }
+        // SAFETY: same wrapper contract as the first kernel above.
         #[target_feature(enable = $feat)]
         #[allow(clippy::too_many_arguments)]
         pub(super) unsafe fn $gram(
@@ -299,7 +309,8 @@ macro_rules! tier_wrappers {
             k1: usize,
             d: usize,
         ) {
-            super::body::gram_rows::<$t, $v>(acc, x, w, wstride, k0, k1, d)
+            // SAFETY: feature and shape contract forwarded, see above.
+            unsafe { super::body::gram_rows::<$t, $v>(acc, x, w, wstride, k0, k1, d) }
         }
     };
 }
@@ -382,16 +393,20 @@ macro_rules! dispatch_impl {
                 n: usize,
             ) -> bool {
                 match tier {
+                    // SAFETY: the matched tier proves the wrapper's
+                    // feature is available (see macro doc above).
                     #[cfg(target_arch = "x86_64")]
                     Tier::Avx2 => unsafe {
                         wrap::$avx2_gemm(c, a, b, k, n);
                         true
                     },
+                    // SAFETY: SSE2 is the x86-64 compile-time baseline.
                     #[cfg(target_arch = "x86_64")]
                     Tier::Sse2 => unsafe {
                         wrap::$sse2_gemm(c, a, b, k, n);
                         true
                     },
+                    // SAFETY: NEON is the AArch64 compile-time baseline.
                     #[cfg(target_arch = "aarch64")]
                     Tier::Neon => unsafe {
                         wrap::$neon_gemm(c, a, b, k, n);
@@ -413,16 +428,20 @@ macro_rules! dispatch_impl {
                 packbuf: &mut Vec<Self>,
             ) -> bool {
                 match tier {
+                    // SAFETY: the matched tier proves the wrapper's
+                    // feature is available (see macro doc above).
                     #[cfg(target_arch = "x86_64")]
                     Tier::Avx2 => unsafe {
                         wrap::$avx2_atb(acc, a, b, d, m, jb, pack, packbuf);
                         true
                     },
+                    // SAFETY: SSE2 is the x86-64 compile-time baseline.
                     #[cfg(target_arch = "x86_64")]
                     Tier::Sse2 => unsafe {
                         wrap::$sse2_atb(acc, a, b, d, m, jb, pack, packbuf);
                         true
                     },
+                    // SAFETY: NEON is the AArch64 compile-time baseline.
                     #[cfg(target_arch = "aarch64")]
                     Tier::Neon => unsafe {
                         wrap::$neon_atb(acc, a, b, d, m, jb, pack, packbuf);
@@ -443,16 +462,20 @@ macro_rules! dispatch_impl {
                 d: usize,
             ) -> bool {
                 match tier {
+                    // SAFETY: the matched tier proves the wrapper's
+                    // feature is available (see macro doc above).
                     #[cfg(target_arch = "x86_64")]
                     Tier::Avx2 => unsafe {
                         wrap::$avx2_gram(acc, x, w, wstride, k0, k1, d);
                         true
                     },
+                    // SAFETY: SSE2 is the x86-64 compile-time baseline.
                     #[cfg(target_arch = "x86_64")]
                     Tier::Sse2 => unsafe {
                         wrap::$sse2_gram(acc, x, w, wstride, k0, k1, d);
                         true
                     },
+                    // SAFETY: NEON is the AArch64 compile-time baseline.
                     #[cfg(target_arch = "aarch64")]
                     Tier::Neon => unsafe {
                         wrap::$neon_gram(acc, x, w, wstride, k0, k1, d);

@@ -23,15 +23,77 @@ pub(crate) trait SimdVec<T: Copy>: Copy {
     const LANES: usize;
 
     /// Unaligned load of `LANES` elements starting at `p`.
+    ///
+    /// # Safety
+    /// The backing CPU feature must be held and `p` must be valid for
+    /// `LANES` reads of `T`.
     unsafe fn load(p: *const T) -> Self;
     /// Unaligned store of `LANES` elements starting at `p`.
+    ///
+    /// # Safety
+    /// The backing CPU feature must be held and `p` must be valid for
+    /// `LANES` writes of `T`.
     unsafe fn store(self, p: *mut T);
     /// Broadcast one scalar to all lanes.
+    ///
+    /// # Safety
+    /// The backing CPU feature must be held.
     unsafe fn splat(x: T) -> Self;
     /// Lane-wise product (single rounding per lane, not fused with any add).
+    ///
+    /// # Safety
+    /// The backing CPU feature must be held.
     unsafe fn mul(self, o: Self) -> Self;
     /// Lane-wise sum.
+    ///
+    /// # Safety
+    /// The backing CPU feature must be held.
     unsafe fn add(self, o: Self) -> Self;
+}
+
+/// Implements the five [`SimdVec`] methods for one register newtype by
+/// routing each to its intrinsic. Factored as a macro so the per-intrinsic
+/// `SAFETY` reasoning is stated once, next to the only `unsafe` blocks.
+macro_rules! simd_vec_impl {
+    ($ty:ty, $t:ty, $lanes:literal, $feat:literal,
+        $load:ident, $store:ident, $splat:ident, $mul:ident, $add:ident) => {
+        impl SimdVec<$t> for $ty {
+            const LANES: usize = $lanes;
+            #[inline(always)]
+            unsafe fn load(p: *const $t) -> Self {
+                // SAFETY: the caller holds the backing feature and `p` is
+                // valid for `LANES` reads (SimdVec trait contract); the
+                // intrinsic performs an unaligned load, so no alignment
+                // requirement beyond validity.
+                Self(unsafe { $load(p) })
+            }
+            #[inline(always)]
+            unsafe fn store(self, p: *mut $t) {
+                // SAFETY: the caller holds the backing feature and `p` is
+                // valid for `LANES` writes (SimdVec trait contract);
+                // unaligned store intrinsic.
+                unsafe { $store(p, self.0) }
+            }
+            #[inline(always)]
+            unsafe fn splat(x: $t) -> Self {
+                // SAFETY: register-only broadcast; the caller holds the
+                // backing feature (SimdVec trait contract).
+                Self(unsafe { $splat(x) })
+            }
+            #[inline(always)]
+            unsafe fn mul(self, o: Self) -> Self {
+                // SAFETY: register-only lane-wise multiply; the caller
+                // holds the backing feature (SimdVec trait contract).
+                Self(unsafe { $mul(self.0, o.0) })
+            }
+            #[inline(always)]
+            unsafe fn add(self, o: Self) -> Self {
+                // SAFETY: register-only lane-wise add; the caller holds
+                // the backing feature (SimdVec trait contract).
+                Self(unsafe { $add(self.0, o.0) })
+            }
+        }
+    };
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -43,113 +105,65 @@ pub(crate) mod x86 {
     #[derive(Clone, Copy)]
     pub(crate) struct Avx2F32(__m256);
 
-    impl SimdVec<f32> for Avx2F32 {
-        const LANES: usize = 8;
-        #[inline(always)]
-        unsafe fn load(p: *const f32) -> Self {
-            Self(_mm256_loadu_ps(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f32) {
-            _mm256_storeu_ps(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f32) -> Self {
-            Self(_mm256_set1_ps(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(_mm256_mul_ps(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(_mm256_add_ps(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        Avx2F32,
+        f32,
+        8,
+        "avx2",
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps
+    );
 
     /// 4 × f64 in one AVX ymm register.
     #[derive(Clone, Copy)]
     pub(crate) struct Avx2F64(__m256d);
 
-    impl SimdVec<f64> for Avx2F64 {
-        const LANES: usize = 4;
-        #[inline(always)]
-        unsafe fn load(p: *const f64) -> Self {
-            Self(_mm256_loadu_pd(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f64) {
-            _mm256_storeu_pd(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f64) -> Self {
-            Self(_mm256_set1_pd(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(_mm256_mul_pd(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(_mm256_add_pd(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        Avx2F64,
+        f64,
+        4,
+        "avx2",
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        _mm256_set1_pd,
+        _mm256_mul_pd,
+        _mm256_add_pd
+    );
 
     /// 4 × f32 in one SSE xmm register (x86-64 baseline).
     #[derive(Clone, Copy)]
     pub(crate) struct Sse2F32(__m128);
 
-    impl SimdVec<f32> for Sse2F32 {
-        const LANES: usize = 4;
-        #[inline(always)]
-        unsafe fn load(p: *const f32) -> Self {
-            Self(_mm_loadu_ps(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f32) {
-            _mm_storeu_ps(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f32) -> Self {
-            Self(_mm_set1_ps(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(_mm_mul_ps(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(_mm_add_ps(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        Sse2F32,
+        f32,
+        4,
+        "sse2",
+        _mm_loadu_ps,
+        _mm_storeu_ps,
+        _mm_set1_ps,
+        _mm_mul_ps,
+        _mm_add_ps
+    );
 
     /// 2 × f64 in one SSE xmm register (x86-64 baseline).
     #[derive(Clone, Copy)]
     pub(crate) struct Sse2F64(__m128d);
 
-    impl SimdVec<f64> for Sse2F64 {
-        const LANES: usize = 2;
-        #[inline(always)]
-        unsafe fn load(p: *const f64) -> Self {
-            Self(_mm_loadu_pd(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f64) {
-            _mm_storeu_pd(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f64) -> Self {
-            Self(_mm_set1_pd(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(_mm_mul_pd(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(_mm_add_pd(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        Sse2F64,
+        f64,
+        2,
+        "sse2",
+        _mm_loadu_pd,
+        _mm_storeu_pd,
+        _mm_set1_pd,
+        _mm_mul_pd,
+        _mm_add_pd
+    );
 }
 
 #[cfg(target_arch = "aarch64")]
@@ -161,55 +175,31 @@ pub(crate) mod arm {
     #[derive(Clone, Copy)]
     pub(crate) struct NeonF32(float32x4_t);
 
-    impl SimdVec<f32> for NeonF32 {
-        const LANES: usize = 4;
-        #[inline(always)]
-        unsafe fn load(p: *const f32) -> Self {
-            Self(vld1q_f32(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f32) {
-            vst1q_f32(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f32) -> Self {
-            Self(vdupq_n_f32(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(vmulq_f32(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(vaddq_f32(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        NeonF32,
+        f32,
+        4,
+        "neon",
+        vld1q_f32,
+        vst1q_f32,
+        vdupq_n_f32,
+        vmulq_f32,
+        vaddq_f32
+    );
 
     /// 2 × f64 in one NEON q register (AArch64 baseline).
     #[derive(Clone, Copy)]
     pub(crate) struct NeonF64(float64x2_t);
 
-    impl SimdVec<f64> for NeonF64 {
-        const LANES: usize = 2;
-        #[inline(always)]
-        unsafe fn load(p: *const f64) -> Self {
-            Self(vld1q_f64(p))
-        }
-        #[inline(always)]
-        unsafe fn store(self, p: *mut f64) {
-            vst1q_f64(p, self.0)
-        }
-        #[inline(always)]
-        unsafe fn splat(x: f64) -> Self {
-            Self(vdupq_n_f64(x))
-        }
-        #[inline(always)]
-        unsafe fn mul(self, o: Self) -> Self {
-            Self(vmulq_f64(self.0, o.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, o: Self) -> Self {
-            Self(vaddq_f64(self.0, o.0))
-        }
-    }
+    simd_vec_impl!(
+        NeonF64,
+        f64,
+        2,
+        "neon",
+        vld1q_f64,
+        vst1q_f64,
+        vdupq_n_f64,
+        vmulq_f64,
+        vaddq_f64
+    );
 }

@@ -1,0 +1,173 @@
+//! `firal-lint` CLI: run the workspace contract rules and report findings.
+//!
+//! ```text
+//! cargo run -p firal-lint                  # lint the workspace, text report
+//! cargo run -p firal-lint -- --format=json # machine-readable report
+//! cargo run -p firal-lint -- --fix         # insert allow-pragma stubs
+//! cargo run -p firal-lint -- --list-rules  # what is enforced, one line each
+//! ```
+//!
+//! Exit status: `0` clean, `1` findings (or stubs inserted), `2` usage or
+//! I/O error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use firal_lint::{
+    apply_fix_stubs, find_workspace_root, findings_to_json, lint_workspace, Finding, Rule,
+};
+
+const USAGE: &str = "\
+firal-lint: contract-enforcing static analysis for the firal workspace
+
+USAGE:
+    firal-lint [--root DIR] [--format text|json] [--fix] [--list-rules]
+
+OPTIONS:
+    --root DIR        workspace root (default: walk up from the current
+                      directory to the [workspace] Cargo.toml)
+    --format FMT      `text` (default): file:line: rule-id: message
+                      `json`: {\"count\":N,\"findings\":[...]}
+    --fix             insert `// lint: allow(rule) TODO: ...` stubs above
+                      each finding; the stubs still fail the `pragma` rule
+                      until a real reason is written
+    --list-rules      print every rule id and what it enforces
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    json: bool,
+    fix: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        json: false,
+        fix: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--format=text" => opts.json = false,
+            "--format=json" => opts.json = true,
+            "--fix" => opts.fix = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("firal-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in Rule::ALL {
+            println!("{:16} {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("firal-lint: no [workspace] Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("firal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.fix {
+        return fix(&root, &findings);
+    }
+
+    if opts.json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("firal-lint: clean ({} rules)", Rule::ALL.len());
+        } else {
+            eprintln!("firal-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fix(root: &std::path::Path, findings: &[Finding]) -> ExitCode {
+    let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        by_file.entry(f.file.as_str()).or_default().push(f);
+    }
+    let mut total = 0;
+    for (rel, file_findings) in by_file {
+        let path = root.join(rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("firal-lint: {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let owned: Vec<Finding> = file_findings.iter().map(|f| (*f).clone()).collect();
+        let (fixed, n) = apply_fix_stubs(&src, &owned);
+        if n > 0 {
+            if let Err(e) = std::fs::write(&path, fixed) {
+                eprintln!("firal-lint: {rel}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("{rel}: inserted {n} allow-pragma stub(s)");
+            total += n;
+        }
+    }
+    if total == 0 {
+        eprintln!("firal-lint: nothing to fix");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "firal-lint: inserted {total} stub(s); replace each TODO reason \
+             with the real justification"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,30 @@
+//! A file full of near-misses: every rule must stay quiet here.
+
+/// Mentions of `unsafe`, HashMap, mul_add and current_num_threads in prose
+/// or string literals are not code.
+pub fn strings_and_comments() -> Vec<&'static str> {
+    let tokens = vec![
+        "unsafe { launder() }",
+        "HashMap<K, V>",
+        "x.mul_add(y, z)",
+        "rayon::current_num_threads()",
+        "#[target_feature(enable = \"avx2\")]",
+    ];
+    // unsafe, HashSet, fmadd, ThreadPool::threads — comment lane only.
+    tokens
+}
+
+/// Lifetimes are not char literals; raw strings mask their contents.
+pub fn lifetimes<'a>(x: &'a str) -> (&'a str, char, &'static str) {
+    let c = '\'';
+    let raw = r#"unsafe fn inside_raw_string() { mul_add }"#;
+    (x, c, raw)
+}
+
+/* Block comments can mention unsafe
+   across lines, and /* nest */ too. */
+pub fn deny_attr_is_not_the_unsafe_token() {
+    // The identifier below contains the letters but not the word.
+    let unsafe_op_in_unsafe_fn_is_denied = true;
+    assert!(unsafe_op_in_unsafe_fn_is_denied);
+}

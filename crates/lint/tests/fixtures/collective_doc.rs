@@ -1,0 +1,22 @@
+/// Fixture trait mirroring the real collective interface.
+pub trait Communicator: Send {
+    /// Ranks in this group.
+    fn size(&self) -> usize;
+
+    /// Element-wise reduction.
+    ///
+    /// Determinism: rank-ordered reduction, bitwise identical on every
+    /// backend.
+    fn allreduce_f64(&self, buf: &mut [f64], op: u8);
+
+    /// Broadcast from `root` — determinism paragraph missing on purpose.
+    fn bcast_f64(&self, buf: &mut [f64], root: usize);
+}
+
+/// Non-trait `fn bcast_f64` below must not confuse the rule.
+pub struct Local;
+
+impl Local {
+    /// Not a collective.
+    pub fn bcast_f64(&self) {}
+}

@@ -1,0 +1,12 @@
+pub fn fused_scalar(x: f64, y: f64, z: f64) -> f64 {
+    x.mul_add(y, z)
+}
+
+pub unsafe fn fused_vector(a: __m256, b: __m256, c: __m256) -> __m256 {
+    // SAFETY: fixture only; never executed.
+    unsafe { _mm256_fmadd_ps(a, b, c) }
+}
+
+pub fn unfused_is_fine(x: f64, y: f64, z: f64) -> f64 {
+    x * y + z
+}

@@ -1,0 +1,17 @@
+use std::collections::HashMap;
+
+pub fn order_could_leak() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.keys().copied().collect()
+}
+
+pub fn keyed_only_cache() -> usize {
+    // lint: allow(hash-order) memo table is only ever get/insert by exact key, never iterated, so no order can reach results
+    let cache: HashMap<u64, u64> = HashMap::new();
+    cache.len()
+}
+
+pub fn prose_is_fine() -> &'static str {
+    // A HashSet would be wrong here; this comment alone must not fire.
+    "HashMap"
+}

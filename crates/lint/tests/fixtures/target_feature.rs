@@ -1,0 +1,11 @@
+#[target_feature(enable = "avx2")]
+pub fn safe_feature_fn(x: &mut [f32]) {
+    x[0] = 1.0;
+}
+
+/// # Safety
+/// Caller must have verified avx2 at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn proper_wrapper(x: &mut [f32]) {
+    x[0] = 1.0;
+}

@@ -1,0 +1,14 @@
+pub fn chunk_by_worker_count(n: usize) -> usize {
+    let workers = rayon::current_num_threads();
+    n / workers.max(1)
+}
+
+pub fn banner() -> usize {
+    // lint: allow(thread-count) log banner only; the measured results are thread-count-invariant by contract
+    rayon::current_num_threads()
+}
+
+pub fn pool_probe(pool: &rayon::ThreadPool) -> usize {
+    let f = rayon::ThreadPool::threads;
+    f(pool)
+}

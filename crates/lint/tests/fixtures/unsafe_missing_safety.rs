@@ -1,0 +1,12 @@
+pub unsafe fn no_note(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for one read.
+pub unsafe fn with_doc(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is readable (fn contract above).
+    unsafe { *p }
+}

@@ -20,6 +20,13 @@
 //!   a rank-local operator shard with the §III-C partial-sum Allreduce (and
 //!   an optional replicated term) behind the ordinary [`LinearOperator`]
 //!   trait, so CG is written once for serial and SPMD execution.
+//!
+//! Determinism contracts relevant to this crate (rank-ordered reductions
+//! behind [`AllreduceOperator`], shape-only CG panel chunking) are
+//! catalogued in the repo-root `ARCHITECTURE.md` ("Determinism contracts
+//! and how they are enforced") and mechanically checked by `firal-lint`.
+
+#![deny(missing_docs)]
 
 pub mod bisection;
 pub mod cg;
