@@ -98,7 +98,16 @@ fn main() {
 
     // Child mode: the launcher's env coordinates are set.
     if let Some(comm) = SocketComm::from_env() {
-        let comm = comm.expect("SPMD rendezvous failed");
+        let comm = match comm {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("spmd rendezvous failed: {e}");
+                std::process::exit(3);
+            }
+        };
+        // A panicking rank (e.g. a verifier mismatch abort) broadcasts its
+        // diagnostic so peers fail with RemoteAbort instead of hanging.
+        comm.install_panic_abort();
         let name = workload_name();
         let code = match name.as_str() {
             "firal" => workload_firal(&comm),
@@ -146,11 +155,21 @@ fn workload_firal(comm: &SocketComm) -> i32 {
         ..Default::default()
     };
 
-    // This rank's share of the distributed run.
+    // This rank's share of the distributed run, over the fallible path: a
+    // peer failure is reported as a structured error and a clean exit, not
+    // a hung mesh or an opaque panic.
     let shard = ShardedProblem::shard(&problem, comm.rank(), comm.size());
     let exec = Executor::new(comm, &shard);
-    let relax = exec.relax(budget, &cfg);
-    let round = exec.round(&relax.z_local, budget, eta, EigSolver::Exact);
+    let (relax, round) = match exec.try_relax(budget, &cfg).and_then(|relax| {
+        let round = exec.try_round(&relax.z_local, budget, eta, EigSolver::Exact)?;
+        Ok((relax, round))
+    }) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("rank {}: {e}", comm.rank());
+            return 4;
+        }
+    };
     let mut stats = relax.comm_stats;
     stats.merge(&round.comm_stats);
 

@@ -3,6 +3,7 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
+use crate::error::{raise, CommError};
 use crate::verify::{CollectiveKind, Dtype, Verifier};
 
 /// Reduction operators supported by [`Communicator::allreduce_f64`].
@@ -113,46 +114,121 @@ impl CommStats {
 ///   deterministic rank-ordered reduction contract as their parent, so a
 ///   sub-group run of `p'` ranks is bitwise identical to a root run of the
 ///   same `p'` ranks.
+///
+/// The fallible `try_`-collectives are the canonical surface a backend
+/// implements; the infallible methods are provided wrappers that
+/// [`raise`] a [`CommError`] as a diagnosed abort, so legacy call sites
+/// keep working while outer layers migrate to the fallible path (see
+/// [`crate::comm_catch`] and the "Failure model" section of the repo-root
+/// `ARCHITECTURE.md`).
 pub trait Communicator {
     /// This rank's id in `0..size()`.
     fn rank(&self) -> usize;
     /// Number of ranks in the group.
     fn size(&self) -> usize;
-    /// Synchronization barrier.
+    /// Fallible synchronization barrier.
     ///
     /// Determinism: no data moves, so nothing can perturb reproducibility —
     /// but a barrier is still a schedule point every rank must reach, and
     /// the debug-mode verifier ([`crate::verify`]) cross-checks it like any
-    /// other collective.
-    fn barrier(&self);
-    /// In-place allreduce: every rank's `buf` is overwritten with the
-    /// reduction of all contributions (same length on every rank).
+    /// other collective. On `Err` the endpoint is poisoned: this rank's
+    /// result bits never depend on *how far* a failed collective got.
+    fn try_barrier(&self) -> Result<(), CommError>;
+    /// Fallible in-place allreduce: every rank's `buf` is overwritten with
+    /// the reduction of all contributions (same length on every rank).
     ///
     /// Determinism: the reduction is evaluated **in rank order** on every
     /// backend, so the result is bitwise identical on every rank and across
     /// backends — floating-point non-associativity never leaks schedule or
-    /// transport details into the bits.
-    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp);
-    /// Broadcast from `root`: `root`'s buffer overwrites everyone's (same
-    /// length on every rank).
+    /// transport details into the bits. On `Err`, `buf` may hold partial
+    /// garbage and must not be consumed.
+    fn try_allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) -> Result<(), CommError>;
+    /// Fallible broadcast from `root`: `root`'s buffer overwrites
+    /// everyone's (same length on every rank).
     ///
     /// Determinism: a pure byte copy of the root's buffer — receivers end
-    /// with exactly the root's bits, no arithmetic involved.
-    fn bcast_f64(&self, buf: &mut [f64], root: usize);
-    /// Variable-length allgather; returns all contributions concatenated in
-    /// rank order.
+    /// with exactly the root's bits, no arithmetic involved. On `Err`,
+    /// `buf` may hold partial garbage and must not be consumed.
+    fn try_bcast_f64(&self, buf: &mut [f64], root: usize) -> Result<(), CommError>;
+    /// Fallible variable-length allgather; returns all contributions
+    /// concatenated in rank order.
     ///
     /// Determinism: the concatenation order is the group's rank order on
     /// every backend, and each contribution is copied bit-exactly, so every
     /// rank receives the identical vector.
-    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64>;
-    /// Global max with payload (ties broken towards the lower rank).
+    fn try_allgatherv_f64(&self, local: &[f64]) -> Result<Vec<f64>, CommError>;
+    /// Fallible global max with payload (ties broken towards the lower
+    /// rank).
     ///
     /// Determinism: implemented everywhere via the single rank-ordered
     /// scan [`crate::wire::MaxLoc::reduce_rank_ordered`] — ties always
     /// resolve to the lowest rank and the all-`-inf` sentinel case always
     /// propagates rank 0's payload, identically on every backend.
-    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64);
+    fn try_allreduce_maxloc(&self, value: f64, payload: u64) -> Result<(f64, u64), CommError>;
+    /// Fallible collective partition of this group into disjoint
+    /// sub-groups (see [`Communicator::split`] for the full semantics).
+    ///
+    /// Determinism: membership and new-rank order are computed from the
+    /// deterministic membership exchange, and every sub-communicator
+    /// satisfies the same rank-ordered reduction contract as its parent —
+    /// a sub-group of `p'` ranks reduces bitwise identically to a root
+    /// group of the same `p'` ranks.
+    fn try_split(&self, color: usize, key: usize) -> Result<Box<dyn Communicator>, CommError>;
+    /// Synchronization barrier.
+    ///
+    /// Determinism: identical to [`Communicator::try_barrier`]; on failure
+    /// this wrapper aborts with the full [`CommError`] diagnosis instead of
+    /// returning it.
+    fn barrier(&self) {
+        if let Err(e) = self.try_barrier() {
+            raise(e)
+        }
+    }
+    /// In-place allreduce: every rank's `buf` is overwritten with the
+    /// reduction of all contributions (same length on every rank).
+    ///
+    /// Determinism: identical to [`Communicator::try_allreduce_f64`] —
+    /// rank-ordered reduction, bitwise reproducible; on failure this
+    /// wrapper aborts with the full [`CommError`] diagnosis.
+    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+        if let Err(e) = self.try_allreduce_f64(buf, op) {
+            raise(e)
+        }
+    }
+    /// Broadcast from `root`: `root`'s buffer overwrites everyone's (same
+    /// length on every rank).
+    ///
+    /// Determinism: identical to [`Communicator::try_bcast_f64`] — a pure
+    /// byte copy of the root's buffer; on failure this wrapper aborts with
+    /// the full [`CommError`] diagnosis.
+    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+        if let Err(e) = self.try_bcast_f64(buf, root) {
+            raise(e)
+        }
+    }
+    /// Variable-length allgather; returns all contributions concatenated in
+    /// rank order.
+    ///
+    /// Determinism: identical to [`Communicator::try_allgatherv_f64`] —
+    /// rank-ordered concatenation, bit-exact; on failure this wrapper
+    /// aborts with the full [`CommError`] diagnosis.
+    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+        match self.try_allgatherv_f64(local) {
+            Ok(v) => v,
+            Err(e) => raise(e),
+        }
+    }
+    /// Global max with payload (ties broken towards the lower rank).
+    ///
+    /// Determinism: identical to [`Communicator::try_allreduce_maxloc`] —
+    /// the single rank-ordered MAXLOC scan; on failure this wrapper aborts
+    /// with the full [`CommError`] diagnosis.
+    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+        match self.try_allreduce_maxloc(value, payload) {
+            Ok(v) => v,
+            Err(e) => raise(e),
+        }
+    }
     /// Collectively partition this group into disjoint sub-groups: ranks
     /// passing the same `color` land in the same sub-communicator, with new
     /// ranks assigned by ascending `(key, parent rank)` (MPI's
@@ -164,12 +240,16 @@ pub trait Communicator {
     /// [`CommStats`] record, so per-sub-group communication can be
     /// attributed independently of the parent's counters.
     ///
-    /// Determinism: membership and new-rank order are computed from the
-    /// deterministic membership exchange, and every sub-communicator
-    /// satisfies the same rank-ordered reduction contract as its parent —
-    /// a sub-group of `p'` ranks reduces bitwise identically to a root
-    /// group of the same `p'` ranks.
-    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator>;
+    /// Determinism: identical to [`Communicator::try_split`] — membership
+    /// and new-rank order come from the deterministic membership exchange;
+    /// on failure this wrapper aborts with the full [`CommError`]
+    /// diagnosis.
+    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+        match self.try_split(color, key) {
+            Ok(c) => c,
+            Err(e) => raise(e),
+        }
+    }
     /// Snapshot of this rank's communication statistics.
     fn stats(&self) -> CommStats;
     /// Reset this rank's statistics.
@@ -222,6 +302,13 @@ impl SelfComm {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Consult the process-wide fault plan at this endpoint's next schedule
+    /// point. `kill`/`stall` execute inside the plan; a connection drop is
+    /// meaningless with no transport and is ignored.
+    fn fault_hook(&self) {
+        let _ = crate::fault::FaultPlan::from_env().at_collective(0, self.verify.next_seq());
+    }
 }
 
 impl Communicator for SelfComm {
@@ -231,11 +318,14 @@ impl Communicator for SelfComm {
     fn size(&self) -> usize {
         1
     }
-    fn barrier(&self) {
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.fault_hook();
         self.verify
             .stamp(CollectiveKind::Barrier, Dtype::None, 0, 0);
+        Ok(())
     }
-    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
+    fn try_allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        self.fault_hook();
         self.verify.stamp(
             CollectiveKind::allreduce(op),
             Dtype::F64,
@@ -245,16 +335,20 @@ impl Communicator for SelfComm {
         let mut s = self.stats.borrow_mut();
         s.allreduce_calls += 1;
         s.allreduce_bytes += (buf.len() * 8) as u64;
+        Ok(())
     }
-    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+    fn try_bcast_f64(&self, buf: &mut [f64], root: usize) -> Result<(), CommError> {
         assert_eq!(root, 0, "SelfComm only has rank 0");
+        self.fault_hook();
         self.verify
             .stamp(CollectiveKind::Bcast, Dtype::F64, 0, buf.len() as u64);
         let mut s = self.stats.borrow_mut();
         s.bcast_calls += 1;
         s.bcast_bytes += (buf.len() * 8) as u64;
+        Ok(())
     }
-    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
+    fn try_allgatherv_f64(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.fault_hook();
         self.verify.stamp(
             CollectiveKind::Allgatherv,
             Dtype::F64,
@@ -264,24 +358,26 @@ impl Communicator for SelfComm {
         let mut s = self.stats.borrow_mut();
         s.allgather_calls += 1;
         s.allgather_bytes += (local.len() * 8) as u64;
-        local.to_vec()
+        Ok(local.to_vec())
     }
-    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
+    fn try_allreduce_maxloc(&self, value: f64, payload: u64) -> Result<(f64, u64), CommError> {
+        self.fault_hook();
         self.verify
             .stamp(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
         let mut s = self.stats.borrow_mut();
         s.allreduce_calls += 1;
         s.allreduce_bytes += 16;
-        (value, payload)
+        Ok((value, payload))
     }
-    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
+    fn try_split(&self, color: usize, key: usize) -> Result<Box<dyn Communicator>, CommError> {
         // A single rank always splits into the singleton group containing
         // itself; the shared membership exchange degenerates but still
         // counts as a collective on this endpoint.
+        self.fault_hook();
         self.verify.stamp(CollectiveKind::Split, Dtype::None, 0, 0);
         let (members, my_pos) = split_membership(self, color, key);
         debug_assert_eq!((members, my_pos), (vec![0], 0));
-        Box::new(SelfComm::new())
+        Ok(Box::new(SelfComm::new()))
     }
     fn stats(&self) -> CommStats {
         *self.stats.borrow()
@@ -303,6 +399,16 @@ pub trait CommScalar: firal_linalg::Scalar {
     fn bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize);
     /// Variable-length allgather of a typed buffer.
     fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self>;
+    /// Fallible in-place allreduce of a typed buffer.
+    fn try_allreduce(
+        comm: &dyn Communicator,
+        buf: &mut [Self],
+        op: ReduceOp,
+    ) -> Result<(), CommError>;
+    /// Fallible broadcast of a typed buffer.
+    fn try_bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) -> Result<(), CommError>;
+    /// Fallible variable-length allgather of a typed buffer.
+    fn try_allgatherv(comm: &dyn Communicator, local: &[Self]) -> Result<Vec<Self>, CommError>;
 }
 
 /// `f32` widens through a temporary `f64` staging buffer.
@@ -328,6 +434,34 @@ impl CommScalar for f32 {
             .map(|v| v as f32)
             .collect()
     }
+    fn try_allreduce(
+        comm: &dyn Communicator,
+        buf: &mut [Self],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
+        let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+        comm.try_allreduce_f64(&mut wide, op)?;
+        for (b, w) in buf.iter_mut().zip(wide.iter()) {
+            *b = *w as f32;
+        }
+        Ok(())
+    }
+    fn try_bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) -> Result<(), CommError> {
+        let mut wide: Vec<f64> = buf.iter().map(|&v| v as f64).collect();
+        comm.try_bcast_f64(&mut wide, root)?;
+        for (b, w) in buf.iter_mut().zip(wide.iter()) {
+            *b = *w as f32;
+        }
+        Ok(())
+    }
+    fn try_allgatherv(comm: &dyn Communicator, local: &[Self]) -> Result<Vec<Self>, CommError> {
+        let wide: Vec<f64> = local.iter().map(|&v| v as f64).collect();
+        Ok(comm
+            .try_allgatherv_f64(&wide)?
+            .into_iter()
+            .map(|v| v as f32)
+            .collect())
+    }
 }
 
 /// `f64` already is the wire type: call straight through, no staging
@@ -341,6 +475,19 @@ impl CommScalar for f64 {
     }
     fn allgatherv(comm: &dyn Communicator, local: &[Self]) -> Vec<Self> {
         comm.allgatherv_f64(local)
+    }
+    fn try_allreduce(
+        comm: &dyn Communicator,
+        buf: &mut [Self],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
+        comm.try_allreduce_f64(buf, op)
+    }
+    fn try_bcast(comm: &dyn Communicator, buf: &mut [Self], root: usize) -> Result<(), CommError> {
+        comm.try_bcast_f64(buf, root)
+    }
+    fn try_allgatherv(comm: &dyn Communicator, local: &[Self]) -> Result<Vec<Self>, CommError> {
+        comm.try_allgatherv_f64(local)
     }
 }
 
@@ -392,6 +539,26 @@ mod tests {
         assert_eq!(
             (s.allreduce_calls, s.bcast_calls, s.allgather_calls),
             (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn selfcomm_try_surface_is_infallible() {
+        let c = SelfComm::new();
+        assert!(c.try_barrier().is_ok());
+        let mut buf = vec![1.0];
+        assert!(c.try_allreduce_f64(&mut buf, ReduceOp::Sum).is_ok());
+        assert!(c.try_bcast_f64(&mut buf, 0).is_ok());
+        assert_eq!(c.try_allgatherv_f64(&buf).unwrap(), vec![1.0]);
+        assert_eq!(c.try_allreduce_maxloc(1.0, 7).unwrap(), (1.0, 7));
+        let sub = c.try_split(0, 0).expect("singleton split");
+        assert_eq!((sub.rank(), sub.size()), (0, 1));
+        let mut f32buf = vec![1.5f32];
+        <f32 as CommScalar>::try_allreduce(&c, &mut f32buf, ReduceOp::Sum).unwrap();
+        assert_eq!(f32buf, vec![1.5]);
+        assert_eq!(
+            <f64 as CommScalar>::try_allgatherv(&c, &buf).unwrap(),
+            vec![1.0]
         );
     }
 

@@ -1,0 +1,304 @@
+//! Structured failure surface for the collective layer.
+//!
+//! Every `try_`-collective on [`crate::Communicator`] returns
+//! `Result<_, CommError>`; the infallible methods are thin wrappers that
+//! [`raise`] the error as a diagnosed panic. Callers that want to survive a
+//! peer failure wrap the calling code in [`comm_catch`], which converts the
+//! raised panic back into the original [`CommError`] at the boundary — so
+//! the interior of the execution layer keeps its infallible shape while the
+//! outermost entry points observe structured errors.
+//!
+//! The error taxonomy, the abort-frame protocol that propagates failures
+//! across a mesh, and the fault-injection grammar used to test all of it
+//! are documented in the repo-root `ARCHITECTURE.md` ("Failure model").
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable holding the per-frame communication deadline in
+/// milliseconds. Unset or `0` means no deadline (reads block forever, the
+/// pre-fault-tolerance behavior). When set, every socket frame read/write
+/// must make progress within the deadline or the collective fails with
+/// [`CommError::DeadlineExceeded`].
+pub const COMM_TIMEOUT_ENV: &str = "FIRAL_COMM_TIMEOUT";
+
+/// The process-wide communication deadline parsed from
+/// [`COMM_TIMEOUT_ENV`], cached on first use.
+pub fn comm_timeout() -> Option<Duration> {
+    static TIMEOUT: OnceLock<Option<Duration>> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        let raw = std::env::var(COMM_TIMEOUT_ENV).ok()?;
+        let ms: u64 = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{COMM_TIMEOUT_ENV} must be an integer (ms), got {raw:?}"));
+        (ms > 0).then(|| Duration::from_millis(ms))
+    })
+}
+
+/// A structured collective failure, carrying enough context (rank, world
+/// size, operation, per-rank collective sequence number) to place the
+/// failure in the schedule without a debugger.
+///
+/// All variants are `Clone + Eq` so errors can be stashed, compared in
+/// tests, and replayed to every subsequent collective on a poisoned
+/// endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer's connection died (EOF, reset, refused mid-collective).
+    PeerDeath {
+        /// Group rank of the endpoint observing the failure.
+        rank: usize,
+        /// Group size.
+        size: usize,
+        /// The collective that was in flight.
+        op: &'static str,
+        /// Per-rank collective sequence number at the failure point.
+        seq: u64,
+        /// Underlying I/O diagnosis (and the recent-collective trace when
+        /// the schedule verifier is enabled).
+        detail: String,
+    },
+    /// A frame read or write exceeded the configured deadline
+    /// ([`COMM_TIMEOUT_ENV`]).
+    DeadlineExceeded {
+        /// Group rank of the endpoint observing the failure.
+        rank: usize,
+        /// Group size.
+        size: usize,
+        /// The collective that was in flight.
+        op: &'static str,
+        /// Per-rank collective sequence number at the failure point.
+        seq: u64,
+        /// The deadline that was exceeded.
+        after: Duration,
+    },
+    /// The bytes on the wire were not the expected protocol (bad scope tag,
+    /// oversized count, garbage frame).
+    Protocol {
+        /// Group rank of the endpoint observing the failure.
+        rank: usize,
+        /// Group size.
+        size: usize,
+        /// The collective that was in flight.
+        op: &'static str,
+        /// Per-rank collective sequence number at the failure point.
+        seq: u64,
+        /// What was malformed.
+        detail: String,
+    },
+    /// Another rank failed first and broadcast an abort frame; this
+    /// endpoint is structurally fine but the collective cannot complete.
+    RemoteAbort {
+        /// Group rank of the endpoint observing the failure.
+        rank: usize,
+        /// Group size.
+        size: usize,
+        /// The collective that was in flight.
+        op: &'static str,
+        /// Per-rank collective sequence number at the failure point.
+        seq: u64,
+        /// World rank of the rank that originated the abort.
+        origin: usize,
+        /// The originating rank's diagnostic.
+        reason: String,
+    },
+}
+
+impl CommError {
+    /// The collective that was in flight when the failure was observed.
+    pub fn op(&self) -> &'static str {
+        match self {
+            CommError::PeerDeath { op, .. }
+            | CommError::DeadlineExceeded { op, .. }
+            | CommError::Protocol { op, .. }
+            | CommError::RemoteAbort { op, .. } => op,
+        }
+    }
+
+    /// Per-rank collective sequence number at the failure point.
+    pub fn seq(&self) -> u64 {
+        match self {
+            CommError::PeerDeath { seq, .. }
+            | CommError::DeadlineExceeded { seq, .. }
+            | CommError::Protocol { seq, .. }
+            | CommError::RemoteAbort { seq, .. } => *seq,
+        }
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerDeath {
+                rank,
+                size,
+                op,
+                seq,
+                detail,
+            } => write!(
+                f,
+                "comm failure on rank {rank}/{size}: {op} (collective #{seq}) failed: {detail}"
+            ),
+            CommError::DeadlineExceeded {
+                rank,
+                size,
+                op,
+                seq,
+                after,
+            } => write!(
+                f,
+                "comm deadline exceeded on rank {rank}/{size}: {op} (collective #{seq}) \
+                 made no progress within {after:?}"
+            ),
+            CommError::Protocol {
+                rank,
+                size,
+                op,
+                seq,
+                detail,
+            } => write!(
+                f,
+                "comm protocol error on rank {rank}/{size}: {op} (collective #{seq}): {detail}"
+            ),
+            CommError::RemoteAbort {
+                rank,
+                size,
+                op,
+                seq,
+                origin,
+                reason,
+            } => write!(
+                f,
+                "comm collective aborted on rank {rank}/{size}: {op} (collective #{seq}) \
+                 aborted by rank {origin}: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+thread_local! {
+    /// The [`CommError`] behind an in-flight [`raise`] unwind, recovered by
+    /// [`comm_catch`] at the fallible boundary.
+    static RAISED: RefCell<Option<CommError>> = const { RefCell::new(None) };
+}
+
+/// Abort the current collective with `err` as a diagnosed panic.
+///
+/// This is how the infallible [`crate::Communicator`] wrappers surface a
+/// [`CommError`]: the panic message is the error's `Display` text (so bare
+/// call sites die with a full diagnosis instead of deadlocking), and the
+/// structured error is stashed thread-locally so an enclosing
+/// [`comm_catch`] can recover it losslessly.
+pub fn raise(err: CommError) -> ! {
+    let msg = err.to_string();
+    RAISED.with(|r| *r.borrow_mut() = Some(err));
+    panic!("{msg}");
+}
+
+/// Run `f`, converting a [`raise`]d [`CommError`] back into `Err`.
+///
+/// Panics that did not originate from [`raise`] are propagated unchanged
+/// (the schedule verifier's mismatch abort, assertion failures, and
+/// arbitrary bugs still unwind). This is the boundary the execution layer
+/// uses to expose `try_`-variants without threading `Result` through every
+/// reduction loop.
+pub fn comm_catch<R>(f: impl FnOnce() -> R) -> Result<R, CommError> {
+    RAISED.with(|r| *r.borrow_mut() = None);
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => match RAISED.with(|r| r.borrow_mut().take()) {
+            Some(err) => Err(err),
+            None => resume_unwind(payload),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_rank_op_and_sequence_context() {
+        let e = CommError::PeerDeath {
+            rank: 2,
+            size: 4,
+            op: "allreduce_f64",
+            seq: 17,
+            detail: "connection reset by peer".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2/4"), "{msg}");
+        assert!(msg.contains("allreduce_f64"), "{msg}");
+        assert!(msg.contains("#17"), "{msg}");
+        assert!(msg.contains("connection reset"), "{msg}");
+
+        let e = CommError::RemoteAbort {
+            rank: 0,
+            size: 4,
+            op: "barrier",
+            seq: 3,
+            origin: 2,
+            reason: "rank 2 panicked: boom".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("aborted by rank 2"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert_eq!(e.op(), "barrier");
+        assert_eq!(e.seq(), 3);
+    }
+
+    #[test]
+    fn comm_catch_recovers_raised_errors_structurally() {
+        let err = CommError::DeadlineExceeded {
+            rank: 1,
+            size: 2,
+            op: "bcast_f64",
+            seq: 9,
+            after: Duration::from_millis(250),
+        };
+        let want = err.clone();
+        let got = comm_catch(|| -> usize { raise(err) });
+        assert_eq!(got, Err(want));
+    }
+
+    #[test]
+    fn comm_catch_passes_values_and_foreign_panics_through() {
+        assert_eq!(comm_catch(|| 41 + 1), Ok(42));
+        let foreign = catch_unwind(AssertUnwindSafe(|| {
+            let _ = comm_catch(|| -> usize { panic!("not a comm error") });
+        }));
+        let payload = foreign.expect_err("foreign panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("not a comm error"), "{msg}");
+    }
+
+    #[test]
+    fn nested_comm_catch_does_not_leak_across_boundaries() {
+        // An inner recovered error must not make an outer catch misreport a
+        // later foreign panic as that stale error.
+        let outer = comm_catch(|| {
+            let inner = comm_catch(|| -> usize {
+                raise(CommError::Protocol {
+                    rank: 0,
+                    size: 1,
+                    op: "split",
+                    seq: 0,
+                    detail: "x".into(),
+                })
+            });
+            assert!(inner.is_err());
+            7usize
+        });
+        assert_eq!(outer, Ok(7));
+    }
+}

@@ -49,6 +49,21 @@
 //! ([`wire::derive_scope`]) so collectives of different groups sharing mesh
 //! links cannot cross-talk.
 //!
+//! # Failure model
+//!
+//! The collectives are *fallible*: every operation has a `try_`-variant
+//! returning [`CommError`] (peer death, deadline exceeded, protocol error,
+//! remote abort — each carrying rank/op/sequence context), with the
+//! infallible methods as thin wrappers that abort with the diagnosis (see
+//! [`error`]). [`SocketComm`] applies the `FIRAL_COMM_TIMEOUT` deadline to
+//! every frame, broadcasts an **abort frame** ([`wire::ABORT_TAG`]) when a
+//! rank fails so survivors return [`CommError::RemoteAbort`] within one
+//! deadline instead of deadlocking, and [`fault`] injects deterministic
+//! failures (`FIRAL_FAULT`) keyed off the per-rank collective sequence
+//! number for reproducible chaos tests. The full taxonomy — what is and
+//! isn't survivable, the abort-frame protocol, and the fault grammar — is
+//! documented in the repo-root `ARCHITECTURE.md` ("Failure model").
+//!
 //! The repo-root `ARCHITECTURE.md` maps this crate's pieces to §III-C of
 //! the paper and spells out the determinism contracts in one place.
 
@@ -56,6 +71,8 @@
 
 pub mod communicator;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod socket_comm;
 pub mod thread_comm;
 pub mod verify;
@@ -63,7 +80,12 @@ pub mod wire;
 
 pub use communicator::{CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
 pub use cost::CostModel;
-pub use socket_comm::{fork_self, free_rendezvous_addr, socket_launch, SocketComm};
+pub use error::{comm_catch, comm_timeout, CommError, COMM_TIMEOUT_ENV};
+pub use fault::FAULT_ENV;
+pub use socket_comm::{
+    fork_self, fork_self_report, free_rendezvous_addr, socket_launch, RankExit, SocketComm,
+    RENDEZVOUS_TIMEOUT_ENV,
+};
 pub use thread_comm::{launch, ThreadComm};
 pub use verify::{verify_enabled, CollectiveKind, Dtype, Fingerprint, VERIFY_ENV};
 

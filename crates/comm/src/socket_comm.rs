@@ -25,6 +25,13 @@
 //!    through rank 0 makes construction a synchronization point, like
 //!    `MPI_Init`.
 //!
+//! Every step is bounded by the rendezvous deadline
+//! ([`RENDEZVOUS_TIMEOUT_ENV`], default 30 s): connect and bind retries
+//! back off exponentially against it, accept loops poll nonblockingly
+//! against it, and check-in reads inherit the remaining budget. A stray
+//! connection that fails its check-in (bad magic, invalid or duplicate
+//! rank, or silence) is dropped without consuming a rendezvous slot.
+//!
 //! # Collectives
 //!
 //! Data collectives run hub-style through rank 0, which performs the
@@ -35,26 +42,52 @@
 //! integer lane of [`wire::MaxLoc`] and reduces via the shared
 //! [`wire::MaxLoc::reduce_rank_ordered`] semantics.
 //!
+//! # Failure behaviour
+//!
+//! The collectives are fallible ([`Communicator::try_barrier`] and
+//! friends). Once the mesh is wired, every frame read and write honours
+//! the `FIRAL_COMM_TIMEOUT` deadline ([`crate::comm_timeout`]); EOF,
+//! resets, and garbage frames are diagnosed as [`CommError`]s carrying
+//! rank/op/sequence context. A rank that observes an *original* failure
+//! (not a received abort) broadcasts a [`wire::ABORT_TAG`] frame on the
+//! raw, unbuffered clone of every mesh link, so each survivor fails its
+//! next frame read with [`CommError::RemoteAbort`] within one deadline
+//! instead of hanging; received aborts are not re-broadcast, so abort
+//! storms terminate. A failed endpoint stays poisoned — every later
+//! collective replays the first error. [`SocketComm::install_panic_abort`]
+//! extends the same courtesy to panics (e.g. the schedule verifier's
+//! mismatch abort): SPMD launchers install it once per rank so a panic
+//! broadcasts its diagnostic before the process dies. Deterministic fault
+//! injection ([`crate::fault`], `FIRAL_FAULT`) hooks the rendezvous and
+//! the top of every collective, keyed off the verifier's per-rank
+//! collective sequence number ([`SocketComm::collective_seq`]).
+//!
 //! # Launching
 //!
 //! * Multi-process: the `spmd_launch` binary (`crates/bench`) re-executes
 //!   itself `p` times via [`fork_self`], with [`ENV_RANK`]/[`ENV_SIZE`]/
 //!   [`ENV_ADDR`] telling each child who it is; children join the group
-//!   with [`SocketComm::from_env`].
+//!   with [`SocketComm::from_env`]. The parent supervises: after a first
+//!   failure the surviving ranks get a grace period to exit with their own
+//!   diagnosis, then stragglers are killed and reaped ([`fork_self_report`]
+//!   returns the per-rank exit table), so no orphans outlive the launcher.
 //! * In-process: [`socket_launch`]`(p, f)` runs the closure on `p` OS
 //!   threads whose endpoints still talk over real localhost TCP — the
 //!   test/bench harness for the socket path.
 
 use std::cell::{Cell, RefCell, RefMut};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::process::Command;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::{Child, Command};
 use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
+use crate::error::{comm_catch, comm_timeout, CommError};
+use crate::fault::{FaultPlan, Injected, KILL_EXIT_CODE};
 use crate::verify::{CollectiveKind, Dtype, Fingerprint, Verifier};
-use crate::wire::{self, MaxLoc, MAGIC};
+use crate::wire::{self, AbortMsg, MaxLoc, MAGIC};
 
 /// Env var carrying this process's rank (set by the launcher).
 pub const ENV_RANK: &str = "FIRAL_SPMD_RANK";
@@ -63,24 +96,71 @@ pub const ENV_SIZE: &str = "FIRAL_SPMD_SIZE";
 /// Env var carrying the rank-0 rendezvous address (`host:port`).
 pub const ENV_ADDR: &str = "FIRAL_SPMD_ADDR";
 
-/// How long ranks keep retrying the rendezvous (rank 0 may still be
-/// starting, or its port may be briefly unavailable).
-const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
-const RETRY_PAUSE: Duration = Duration::from_millis(20);
+/// Env var overriding the total rendezvous deadline in milliseconds
+/// (default 30 000). Every connect retry, bind retry, accept loop, and
+/// check-in read during mesh construction is bounded by this budget, so a
+/// rank that dies before the mesh is wired cannot hang the survivors.
+pub const RENDEZVOUS_TIMEOUT_ENV: &str = "FIRAL_RENDEZVOUS_TIMEOUT";
 
-/// Buffered duplex view of one mesh link.
+/// Default rendezvous deadline when [`RENDEZVOUS_TIMEOUT_ENV`] is unset.
+const DEFAULT_RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+/// Initial retry pause; doubles per attempt up to [`RETRY_PAUSE_CAP`].
+const RETRY_PAUSE: Duration = Duration::from_millis(20);
+const RETRY_PAUSE_CAP: Duration = Duration::from_millis(500);
+
+/// The process-wide rendezvous deadline from [`RENDEZVOUS_TIMEOUT_ENV`],
+/// cached on first use.
+fn rendezvous_timeout() -> Duration {
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| match std::env::var(RENDEZVOUS_TIMEOUT_ENV) {
+        Ok(raw) => {
+            let ms: u64 = raw.trim().parse().unwrap_or_else(|_| {
+                panic!("{RENDEZVOUS_TIMEOUT_ENV} must be an integer (ms), got {raw:?}")
+            });
+            if ms == 0 {
+                DEFAULT_RENDEZVOUS_TIMEOUT
+            } else {
+                Duration::from_millis(ms)
+            }
+        }
+        Err(_) => DEFAULT_RENDEZVOUS_TIMEOUT,
+    })
+}
+
+/// Time left until `deadline`, floored so it is always a valid socket
+/// timeout (`set_read_timeout(Some(0))` is an error).
+fn remaining(deadline: Instant) -> Duration {
+    deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(10))
+}
+
+/// Buffered duplex view of one mesh link, plus a raw (unbuffered) clone of
+/// the stream for out-of-band abort frames and deadline flips.
 struct Peer {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    raw: TcpStream,
 }
 
 impl Peer {
-    fn new(stream: TcpStream) -> io::Result<Self> {
+    fn new(stream: TcpStream, timeout: Option<Duration>) -> io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let raw = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            raw,
         })
+    }
+
+    /// Flip the socket deadlines (shared by every clone of the stream)
+    /// from the rendezvous budget to the steady-state comm deadline.
+    fn set_deadline(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.raw.set_read_timeout(timeout)?;
+        self.raw.set_write_timeout(timeout)
     }
 }
 
@@ -94,40 +174,86 @@ fn expect_magic(r: &mut impl Read) -> io::Result<()> {
     Ok(())
 }
 
+/// Retry `TcpStream::connect` with exponential backoff until the
+/// rendezvous deadline expires (rank 0 may still be starting, or its port
+/// may be briefly unavailable).
 fn connect_retry(addr: &str) -> io::Result<TcpStream> {
-    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    let deadline = Instant::now() + rendezvous_timeout();
+    let mut pause = RETRY_PAUSE;
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
-                std::thread::sleep(RETRY_PAUSE);
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(RETRY_PAUSE_CAP);
             }
             Err(e) => {
                 return Err(io::Error::new(
                     e.kind(),
-                    format!("rendezvous with rank 0 at {addr} timed out: {e}"),
+                    format!(
+                        "rendezvous with rank 0 at {addr} timed out after {:?}: {e}",
+                        rendezvous_timeout()
+                    ),
                 ))
             }
         }
     }
 }
 
+/// Retry `TcpListener::bind` with exponential backoff until the rendezvous
+/// deadline expires (the previous owner of a reused port may still be
+/// releasing it).
 fn bind_retry(addr: &str) -> io::Result<TcpListener> {
-    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    let deadline = Instant::now() + rendezvous_timeout();
+    let mut pause = RETRY_PAUSE;
     loop {
         match TcpListener::bind(addr) {
             Ok(l) => return Ok(l),
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
-                std::thread::sleep(RETRY_PAUSE);
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(RETRY_PAUSE_CAP);
             }
             Err(e) => {
                 return Err(io::Error::new(
                     e.kind(),
-                    format!("rank 0 could not bind the rendezvous address {addr}: {e}"),
+                    format!(
+                        "could not bind the rendezvous address {addr} within {:?}: {e}",
+                        rendezvous_timeout()
+                    ),
                 ))
             }
+        }
+    }
+}
+
+/// Accept one connection, polling nonblockingly against `deadline` so a
+/// rank that dies before checking in cannot hang the acceptor forever.
+fn accept_within(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                listener.set_nonblocking(false)?;
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "rendezvous deadline ({:?}) expired while waiting for peers \
+                             to check in (a rank likely died before connecting)",
+                            rendezvous_timeout()
+                        ),
+                    ));
+                }
+                std::thread::sleep(RETRY_PAUSE);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
     }
 }
@@ -149,6 +275,10 @@ pub struct SocketComm {
     /// Mesh links indexed by **world rank**; `None` at our own slot (and at
     /// every slot when the root group has a single rank).
     peers: Rc<Vec<Option<RefCell<Peer>>>>,
+    /// Raw (unbuffered) clones of the mesh streams, indexed like `peers`.
+    /// Abort frames are written here so a failure diagnosis never contends
+    /// with the `RefCell` borrows of an in-flight collective.
+    abort_streams: Rc<Vec<Option<TcpStream>>>,
     /// World ranks of this group's members, in group-rank order.
     members: Vec<usize>,
     /// My position in `members` (= my rank in this group).
@@ -158,17 +288,28 @@ pub struct SocketComm {
     /// Split generations issued from this endpoint (names sub-group scopes).
     split_seq: Cell<u64>,
     stats: RefCell<CommStats>,
+    /// First [`CommError`] observed on this endpoint; replayed to every
+    /// subsequent collective so a failed group cannot half-proceed.
+    failed: RefCell<Option<CommError>>,
     /// Collective-order verifier state ([`crate::verify`]): when enabled,
     /// every collective is preceded by a hub-style fingerprint exchange on
     /// the same scope-tagged links, so a skewed schedule aborts with a
-    /// diagnostic before the data phase can deadlock.
+    /// diagnostic before the data phase can deadlock. Its sequence counter
+    /// advances even when verification is off — it is the schedule
+    /// coordinate fault injection keys on.
     verify: Verifier,
 }
+
+/// Registry behind [`SocketComm::install_panic_abort`]: (origin world
+/// rank, raw mesh stream) pairs the process-wide panic hook writes abort
+/// frames to. Kept outside the endpoint so the hook never touches a
+/// `RefCell` that may be borrowed at panic time.
+static PANIC_ABORT_LINKS: Mutex<Vec<(usize, TcpStream)>> = Mutex::new(Vec::new());
 
 impl SocketComm {
     /// Join a `size`-rank group as `rank`, rendezvousing at `rendezvous`
     /// (rank 0 binds it; everyone else connects). Blocks until the whole
-    /// mesh is wired.
+    /// mesh is wired or the rendezvous deadline expires.
     pub fn connect(rank: usize, size: usize, rendezvous: &str) -> io::Result<Self> {
         Self::connect_inner(rank, size, rendezvous, None)
     }
@@ -201,20 +342,27 @@ impl SocketComm {
     ) -> io::Result<Self> {
         assert!(size > 0, "SPMD group needs at least one rank");
         assert!(rank < size, "rank {rank} out of {size}");
-        let root = |peers: Vec<Option<RefCell<Peer>>>| Self {
+        // Rendezvous-phase fault hook: op-less `FIRAL_FAULT` specs fire
+        // here, before this rank has checked in anywhere.
+        let _ = FaultPlan::from_env().at_rendezvous(rank);
+        let root = |peers: Vec<Option<RefCell<Peer>>>, aborts: Vec<Option<TcpStream>>| Self {
             world_rank: rank,
             peers: Rc::new(peers),
+            abort_streams: Rc::new(aborts),
             members: (0..size).collect(),
             my_pos: rank,
             scope: wire::ROOT_SCOPE,
             split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
+            failed: RefCell::new(None),
             verify: Verifier::new(wire::ROOT_SCOPE),
         };
         let mut peers: Vec<Option<RefCell<Peer>>> = (0..size).map(|_| None).collect();
         if size == 1 {
-            return Ok(root(peers));
+            let aborts = (0..size).map(|_| None).collect();
+            return Ok(root(peers, aborts));
         }
+        let deadline = Instant::now() + rendezvous_timeout();
 
         if rank == 0 {
             let listener = match pre_bound {
@@ -222,19 +370,39 @@ impl SocketComm {
                 None => bind_retry(rendezvous)?,
             };
             let mut addrs: Vec<Option<String>> = vec![None; size];
-            for _ in 1..size {
-                let (stream, _) = listener.accept()?;
-                let mut peer = Peer::new(stream)?;
-                expect_magic(&mut peer.reader)?;
-                let r = wire::read_u64(&mut peer.reader)? as usize;
-                if r == 0 || r >= size || peers[r].is_some() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("rendezvous received invalid or duplicate rank {r}"),
-                    ));
+            let mut checked_in = 0;
+            while checked_in < size - 1 {
+                let stream = accept_within(&listener, deadline)?;
+                // Bound the check-in read by the remaining budget so a
+                // silent stray connection cannot stall the rendezvous.
+                let mut peer = match Peer::new(stream, Some(remaining(deadline))) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let checkin = (|| -> io::Result<(usize, String)> {
+                    expect_magic(&mut peer.reader)?;
+                    let r = wire::read_u64(&mut peer.reader)? as usize;
+                    let addr = wire::read_str(&mut peer.reader)?;
+                    Ok((r, addr))
+                })();
+                match checkin {
+                    Ok((r, addr)) if r >= 1 && r < size && peers[r].is_none() => {
+                        addrs[r] = Some(addr);
+                        peers[r] = Some(RefCell::new(peer));
+                        checked_in += 1;
+                    }
+                    Ok((r, _)) => {
+                        // Dropping `peer` closes the socket; the slot stays
+                        // open for the legitimate rank.
+                        eprintln!(
+                            "SocketComm rendezvous: dropped a connection claiming \
+                             invalid or duplicate rank {r}"
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("SocketComm rendezvous: dropped a stray connection ({e})");
+                    }
                 }
-                addrs[r] = Some(wire::read_str(&mut peer.reader)?);
-                peers[r] = Some(RefCell::new(peer));
             }
             for r in 1..size {
                 let cell = peers[r].as_ref().expect("all ranks checked in");
@@ -242,7 +410,8 @@ impl SocketComm {
                 wire::write_u64(&mut p.writer, MAGIC)?;
                 wire::write_u64(&mut p.writer, size as u64)?;
                 for a in addrs.iter().skip(1) {
-                    wire::write_str(&mut p.writer, a.as_ref().expect("table complete"))?;
+                    let a = a.as_ref().expect("table complete");
+                    wire::write_str(&mut p.writer, a)?;
                 }
                 p.writer.flush()?;
             }
@@ -251,7 +420,9 @@ impl SocketComm {
             let mesh_listener = TcpListener::bind("127.0.0.1:0")?;
             let my_addr = mesh_listener.local_addr()?.to_string();
 
-            let mut p0 = Peer::new(connect_retry(rendezvous)?)?;
+            // The table read below waits for *all* ranks to check in, so
+            // it is bounded by the full rendezvous budget, not a remainder.
+            let mut p0 = Peer::new(connect_retry(rendezvous)?, Some(rendezvous_timeout()))?;
             wire::write_u64(&mut p0.writer, MAGIC)?;
             wire::write_u64(&mut p0.writer, rank as u64)?;
             wire::write_str(&mut p0.writer, &my_addr)?;
@@ -273,34 +444,100 @@ impl SocketComm {
 
             // Connect towards lower ranks, accept from higher ones.
             for i in 1..rank {
-                let mut p = Peer::new(connect_retry(&table[i - 1])?)?;
+                let mut p = Peer::new(connect_retry(&table[i - 1])?, Some(rendezvous_timeout()))?;
                 wire::write_u64(&mut p.writer, MAGIC)?;
                 wire::write_u64(&mut p.writer, rank as u64)?;
                 p.writer.flush()?;
                 peers[i] = Some(RefCell::new(p));
             }
-            for _ in rank + 1..size {
-                let (stream, _) = mesh_listener.accept()?;
-                let mut p = Peer::new(stream)?;
-                expect_magic(&mut p.reader)?;
-                let j = wire::read_u64(&mut p.reader)? as usize;
-                if j <= rank || j >= size || peers[j].is_some() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("mesh link from invalid or duplicate rank {j}"),
-                    ));
+            let mut accepted = 0;
+            while accepted < size - rank - 1 {
+                let stream = accept_within(&mesh_listener, deadline)?;
+                let mut p = match Peer::new(stream, Some(remaining(deadline))) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let announce = (|| -> io::Result<usize> {
+                    expect_magic(&mut p.reader)?;
+                    Ok(wire::read_u64(&mut p.reader)? as usize)
+                })();
+                match announce {
+                    Ok(j) if j > rank && j < size && peers[j].is_none() => {
+                        peers[j] = Some(RefCell::new(p));
+                        accepted += 1;
+                    }
+                    Ok(j) => {
+                        eprintln!(
+                            "SocketComm mesh: dropped a link announcing invalid or \
+                             duplicate rank {j}"
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("SocketComm mesh: dropped a stray connection ({e})");
+                    }
                 }
-                peers[j] = Some(RefCell::new(p));
             }
         }
 
-        let comm = root(peers);
+        let mut aborts: Vec<Option<TcpStream>> = Vec::with_capacity(size);
+        for slot in &peers {
+            aborts.push(match slot {
+                Some(cell) => Some(cell.borrow().raw.try_clone()?),
+                None => None,
+            });
+        }
+        let comm = root(peers, aborts);
         // Construction is a sync point (like MPI_Init): nobody proceeds
-        // until the whole mesh is wired.
+        // until the whole mesh is wired. Still under the rendezvous budget.
         comm.hub_barrier().map_err(|e| {
             io::Error::new(e.kind(), format!("post-rendezvous barrier failed: {e}"))
         })?;
+        // Steady state: flip every link to the communication deadline.
+        for cell in comm.peers.iter().flatten() {
+            cell.borrow().set_deadline(comm_timeout())?;
+        }
         Ok(comm)
+    }
+
+    /// The per-rank collective sequence number the *next* collective on
+    /// this endpoint will run at — the schedule coordinate that
+    /// `FIRAL_FAULT` specs address with `op=` (see [`crate::fault`]).
+    pub fn collective_seq(&self) -> u64 {
+        self.verify.next_seq()
+    }
+
+    /// Install a process-wide panic hook that broadcasts an abort frame on
+    /// every mesh link of this endpoint before the panic unwinds, so peers
+    /// observe [`CommError::RemoteAbort`] (with the panic text as the
+    /// reason) within one deadline instead of hanging until a socket
+    /// closes. SPMD launchers call this once per rank right after joining
+    /// the mesh; calling it again replaces the registered links.
+    pub fn install_panic_abort(&self) {
+        let mut links = PANIC_ABORT_LINKS.lock().unwrap_or_else(|p| p.into_inner());
+        links.clear();
+        for s in self.abort_streams.iter().flatten() {
+            if let Ok(clone) = s.try_clone() {
+                links.push((self.world_rank, clone));
+            }
+        }
+        drop(links);
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let text = crate::thread_comm::panic_text(info.payload());
+                let reason = match info.location() {
+                    Some(loc) => format!("panic at {loc}: {text}"),
+                    None => format!("panic: {text}"),
+                };
+                if let Ok(links) = PANIC_ABORT_LINKS.lock() {
+                    for (origin, s) in links.iter() {
+                        let _ = wire::write_abort(&mut &*s, *origin, &reason);
+                    }
+                }
+                prev(info);
+            }));
+        });
     }
 
     /// The mesh link to a peer, addressed by **world rank**.
@@ -316,26 +553,109 @@ impl SocketComm {
         self.members[0]
     }
 
-    fn die(&self, what: &str, e: &io::Error) -> ! {
-        // With verification on, append this rank's recent collective trace:
-        // when a peer aborts on a schedule mismatch, the surviving ranks'
-        // broken-pipe panics still tell the whole per-rank story.
-        let trace = if self.verify.enabled() {
+    /// Replay the first failure to every subsequent collective: a poisoned
+    /// endpoint must not half-participate in a broken group.
+    fn check_failed(&self) -> Result<(), CommError> {
+        match &*self.failed.borrow() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Stash the first error so [`Self::check_failed`] replays it.
+    fn seal<T>(&self, result: Result<T, CommError>) -> Result<T, CommError> {
+        if let Err(e) = &result {
+            let mut failed = self.failed.borrow_mut();
+            if failed.is_none() {
+                *failed = Some(e.clone());
+            }
+        }
+        result
+    }
+
+    /// Consult the fault plan at a collective hook point. An injected
+    /// connection drop severs every mesh link (both directions), then lets
+    /// the collective proceed so the damage is observed as a structured
+    /// error on all ranks.
+    fn fault_hook(&self, seq: u64) {
+        if FaultPlan::from_env().at_collective(self.world_rank, seq) == Some(Injected::DropConn) {
+            self.sever_all_links();
+        }
+    }
+
+    /// Shut down every mesh stream in both directions (the `drop-conn`
+    /// injection, also used directly by chaos tests).
+    fn sever_all_links(&self) {
+        for s in self.abort_streams.iter().flatten() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// This rank's recent-collective trace, when the verifier is on — so a
+    /// failure diagnosis tells the whole per-rank story.
+    fn trace(&self) -> String {
+        if self.verify.enabled() {
             format!(
                 "\n  last collectives on this rank (oldest first):\n{}",
                 self.verify.trace_dump()
             )
         } else {
             String::new()
+        }
+    }
+
+    /// Diagnose a wire failure as a [`CommError`], broadcasting an abort
+    /// frame for *original* failures (a received abort is not re-broadcast,
+    /// so abort storms terminate).
+    fn fail(&self, op: &'static str, seq: u64, e: io::Error) -> CommError {
+        let rank = self.my_pos;
+        let size = self.members.len();
+        if let Some(abort) = e.get_ref().and_then(|i| i.downcast_ref::<AbortMsg>()) {
+            return CommError::RemoteAbort {
+                rank,
+                size,
+                op,
+                seq,
+                origin: abort.origin,
+                reason: format!("{}{}", abort.reason, self.trace()),
+            };
+        }
+        let err = match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => CommError::DeadlineExceeded {
+                rank,
+                size,
+                op,
+                seq,
+                after: comm_timeout().unwrap_or_else(rendezvous_timeout),
+            },
+            io::ErrorKind::InvalidData => CommError::Protocol {
+                rank,
+                size,
+                op,
+                seq,
+                detail: format!("{e}{}", self.trace()),
+            },
+            _ => CommError::PeerDeath {
+                rank,
+                size,
+                op,
+                seq,
+                detail: format!("{e} (a peer rank likely died){}", self.trace()),
+            },
         };
-        panic!(
-            "SocketComm rank {}/{} (world rank {}, scope {:#x}): {what} failed: {e} \
-             (a peer rank likely died){trace}",
-            self.my_pos,
-            self.members.len(),
-            self.world_rank,
-            self.scope
-        );
+        self.broadcast_abort(&err);
+        err
+    }
+
+    /// Best-effort abort broadcast on the raw clone of every mesh link, so
+    /// survivors fail their next frame read with
+    /// [`CommError::RemoteAbort`] instead of waiting out the deadline.
+    /// Write failures are ignored — the link may be the thing that broke.
+    fn broadcast_abort(&self, err: &CommError) {
+        let reason = err.to_string();
+        for s in self.abort_streams.iter().flatten() {
+            let _ = wire::write_abort(&mut &*s, self.world_rank, &reason);
+        }
     }
 
     /// Debug-mode schedule check run at the top of every collective: stamp
@@ -344,17 +664,25 @@ impl SocketComm {
     /// regardless of the collective's own data flow, so even kind
     /// mismatches whose data phases would deadlock (one rank in `bcast`,
     /// its peer in `allreduce`) abort with a diagnostic instead. No-op
-    /// unless verification is enabled ([`crate::verify::verify_enabled`]).
-    fn verify_collective(&self, kind: CollectiveKind, dtype: Dtype, param: u32, count: u64) {
+    /// unless verification is enabled ([`crate::verify::verify_enabled`]),
+    /// though the sequence number advances regardless.
+    fn verify_collective(
+        &self,
+        kind: CollectiveKind,
+        dtype: Dtype,
+        param: u32,
+        count: u64,
+        op: &'static str,
+        seq: u64,
+    ) -> Result<(), CommError> {
         let Some(own) = self.verify.stamp(kind, dtype, param, count) else {
-            return;
+            return Ok(());
         };
         if self.members.len() == 1 {
-            return;
+            return Ok(());
         }
-        if let Err(e) = self.verify_exchange(&own) {
-            self.die("collective fingerprint exchange", &e);
-        }
+        self.verify_exchange(&own)
+            .map_err(|e| self.fail(op, seq, e))
     }
 
     fn verify_exchange(&self, own: &Fingerprint) -> io::Result<()> {
@@ -543,114 +871,167 @@ impl Communicator for SocketComm {
         self.members.len()
     }
 
-    fn barrier(&self) {
-        self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0);
-        self.hub_barrier()
-            .unwrap_or_else(|e| self.die("barrier", &e));
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0, "barrier", seq)?;
+            self.hub_barrier().map_err(|e| self.fail("barrier", seq, e))
+        })();
+        self.seal(result)
     }
 
-    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
-        self.verify_collective(
-            CollectiveKind::allreduce(op),
-            Dtype::F64,
-            0,
-            buf.len() as u64,
-        );
-        let t0 = Instant::now();
-        if self.size() > 1 {
-            self.hub_allreduce(buf, op)
-                .unwrap_or_else(|e| self.die("allreduce", &e));
-        }
-        let mut st = self.stats.borrow_mut();
-        st.allreduce_calls += 1;
-        st.allreduce_bytes += (buf.len() * 8) as u64;
-        st.time += t0.elapsed();
+    fn try_allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::allreduce(op),
+                Dtype::F64,
+                0,
+                buf.len() as u64,
+                "allreduce_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            if self.size() > 1 {
+                self.hub_allreduce(buf, op)
+                    .map_err(|e| self.fail("allreduce_f64", seq, e))?;
+            }
+            let mut st = self.stats.borrow_mut();
+            st.allreduce_calls += 1;
+            st.allreduce_bytes += (buf.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(())
+        })();
+        self.seal(result)
     }
 
-    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
+    fn try_bcast_f64(&self, buf: &mut [f64], root: usize) -> Result<(), CommError> {
         assert!(root < self.size(), "bcast root out of range");
-        self.verify_collective(
-            CollectiveKind::Bcast,
-            Dtype::F64,
-            root as u32,
-            buf.len() as u64,
-        );
-        let t0 = Instant::now();
-        if self.size() > 1 {
-            self.hub_bcast(buf, root)
-                .unwrap_or_else(|e| self.die("bcast", &e));
-        }
-        let mut st = self.stats.borrow_mut();
-        st.bcast_calls += 1;
-        st.bcast_bytes += (buf.len() * 8) as u64;
-        st.time += t0.elapsed();
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Bcast,
+                Dtype::F64,
+                root as u32,
+                buf.len() as u64,
+                "bcast_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            if self.size() > 1 {
+                self.hub_bcast(buf, root)
+                    .map_err(|e| self.fail("bcast_f64", seq, e))?;
+            }
+            let mut st = self.stats.borrow_mut();
+            st.bcast_calls += 1;
+            st.bcast_bytes += (buf.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(())
+        })();
+        self.seal(result)
     }
 
-    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
-        self.verify_collective(
-            CollectiveKind::Allgatherv,
-            Dtype::F64,
-            0,
-            local.len() as u64,
-        );
-        let t0 = Instant::now();
-        let out = if self.size() > 1 {
-            self.hub_allgatherv(local)
-                .unwrap_or_else(|e| self.die("allgatherv", &e))
-        } else {
-            local.to_vec()
-        };
-        let mut st = self.stats.borrow_mut();
-        st.allgather_calls += 1;
-        st.allgather_bytes += (local.len() * 8) as u64;
-        st.time += t0.elapsed();
-        out
+    fn try_allgatherv_f64(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Allgatherv,
+                Dtype::F64,
+                0,
+                local.len() as u64,
+                "allgatherv_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            let out = if self.size() > 1 {
+                self.hub_allgatherv(local)
+                    .map_err(|e| self.fail("allgatherv_f64", seq, e))?
+            } else {
+                local.to_vec()
+            };
+            let mut st = self.stats.borrow_mut();
+            st.allgather_calls += 1;
+            st.allgather_bytes += (local.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(out)
+        })();
+        self.seal(result)
     }
 
-    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
-        self.verify_collective(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
-        let t0 = Instant::now();
-        let own = MaxLoc { value, payload };
-        let best = if self.size() > 1 {
-            self.hub_maxloc(own)
-                .unwrap_or_else(|e| self.die("allreduce_maxloc", &e))
-        } else {
-            own
-        };
-        let mut st = self.stats.borrow_mut();
-        st.allreduce_calls += 1;
-        st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
-        st.time += t0.elapsed();
-        (best.value, best.payload)
+    fn try_allreduce_maxloc(&self, value: f64, payload: u64) -> Result<(f64, u64), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Maxloc,
+                Dtype::MaxLocRec,
+                0,
+                1,
+                "allreduce_maxloc",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            let own = MaxLoc { value, payload };
+            let best = if self.size() > 1 {
+                self.hub_maxloc(own)
+                    .map_err(|e| self.fail("allreduce_maxloc", seq, e))?
+            } else {
+                own
+            };
+            let mut st = self.stats.borrow_mut();
+            st.allreduce_calls += 1;
+            st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
+            st.time += t0.elapsed();
+            Ok((best.value, best.payload))
+        })();
+        self.seal(result)
     }
 
-    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
-        // Fingerprint the split itself before the membership exchange:
-        // color/key are legitimately rank-dependent, but *that* every rank
-        // is splitting here is part of the schedule contract.
-        self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0);
-        // Membership over the parent collectives (scope-tagged with the
-        // *parent's* scope — split traffic belongs to the parent group).
-        let (positions, my_pos) = split_membership(self, color, key);
-        let members: Vec<usize> = positions.iter().map(|&p| self.members[p]).collect();
-        let seq = self.split_seq.get();
-        self.split_seq.set(seq + 1);
-        let scope = wire::derive_scope(self.scope, seq, color as u64);
-        let sub = SocketComm {
-            world_rank: self.world_rank,
-            peers: Rc::clone(&self.peers),
-            members,
-            my_pos,
-            scope,
-            split_seq: Cell::new(0),
-            stats: RefCell::new(CommStats::default()),
-            verify: Verifier::new(scope),
-        };
-        // First use of the new scope is a barrier: a wiring or ordering
-        // mistake fails loudly at split time, not at the first collective.
-        sub.hub_barrier()
-            .unwrap_or_else(|e| sub.die("post-split barrier", &e));
-        Box::new(sub)
+    fn try_split(&self, color: usize, key: usize) -> Result<Box<dyn Communicator>, CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            // Fingerprint the split itself before the membership exchange:
+            // color/key are legitimately rank-dependent, but *that* every
+            // rank is splitting here is part of the schedule contract.
+            self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0, "split", seq)?;
+            // Membership over the parent collectives (scope-tagged with the
+            // *parent's* scope — split traffic belongs to the parent group).
+            let (positions, my_pos) = comm_catch(|| split_membership(self, color, key))?;
+            let members: Vec<usize> = positions.iter().map(|&p| self.members[p]).collect();
+            let sseq = self.split_seq.get();
+            self.split_seq.set(sseq + 1);
+            let scope = wire::derive_scope(self.scope, sseq, color as u64);
+            let sub = SocketComm {
+                world_rank: self.world_rank,
+                peers: Rc::clone(&self.peers),
+                abort_streams: Rc::clone(&self.abort_streams),
+                members,
+                my_pos,
+                scope,
+                split_seq: Cell::new(0),
+                stats: RefCell::new(CommStats::default()),
+                failed: RefCell::new(None),
+                verify: Verifier::new(scope),
+            };
+            // First use of the new scope is a barrier: a wiring or ordering
+            // mistake fails loudly at split time, not at the first
+            // collective.
+            sub.hub_barrier()
+                .map_err(|e| sub.fail("split", sub.verify.next_seq(), e))?;
+            Ok(Box::new(sub) as Box<dyn Communicator>)
+        })();
+        self.seal(result)
     }
 
     fn stats(&self) -> CommStats {
@@ -671,15 +1052,67 @@ pub fn free_rendezvous_addr() -> io::Result<String> {
     Ok(listener.local_addr()?.to_string())
 }
 
+/// One rank's exit in a [`fork_self_report`] launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankExit {
+    /// The rank (= child index).
+    pub rank: usize,
+    /// Raw exit code; signal deaths surface as `-1`.
+    pub code: i32,
+    /// Whether the supervisor killed this rank after the failure grace
+    /// period expired (the code then reflects the kill, not its own work).
+    pub reaped: bool,
+}
+
+/// Grace period survivors get to exit with their own diagnosis after the
+/// first rank fails, before the supervisor kills the stragglers. Scaled
+/// from the communication deadline when one is configured, so a
+/// cooperative abort has time to propagate; generous otherwise.
+fn failure_grace() -> Duration {
+    comm_timeout()
+        .map(|t| t * 4)
+        .unwrap_or(Duration::from_secs(10))
+        .max(Duration::from_secs(1))
+}
+
 /// Parent side of an SPMD process launch: re-execute the current binary
 /// `size` times with identical arguments and the [`ENV_RANK`]/[`ENV_SIZE`]/
 /// [`ENV_ADDR`] coordinates set, inheriting stdio, and wait for all ranks.
 ///
 /// Returns the first non-zero child exit code (0 when every rank
-/// succeeded). When any rank fails, the remaining ranks are killed — a
-/// dead peer would otherwise leave the survivors blocked in a collective
-/// forever.
+/// succeeded), printing a per-rank exit report to stderr on failure. See
+/// [`fork_self_report`] for the supervision contract.
 pub fn fork_self(size: usize) -> io::Result<i32> {
+    let report = fork_self_report(size)?;
+    let first = report.iter().map(|r| r.code).find(|&c| c != 0).unwrap_or(0);
+    if first != 0 {
+        eprintln!("spmd: per-rank exit report:");
+        for r in &report {
+            let what = match r.code {
+                0 => "ok".to_string(),
+                KILL_EXIT_CODE => format!("exit {KILL_EXIT_CODE} (injected kill)"),
+                c => format!("exit {c}"),
+            };
+            let how = if r.reaped {
+                " (killed by supervisor after the grace period)"
+            } else {
+                ""
+            };
+            eprintln!("spmd:   rank {}: {what}{how}", r.rank);
+        }
+    }
+    Ok(first)
+}
+
+/// Supervised SPMD launch returning the full per-rank exit table.
+///
+/// When a rank fails, the survivors get a grace period to observe the
+/// failure cooperatively — via an abort frame or the communication
+/// deadline — and exit with their own structured diagnosis. Only ranks
+/// still running after the grace period are killed, and every child is
+/// reaped before this returns, so no orphan outlives the launcher either
+/// way.
+pub fn fork_self_report(size: usize) -> io::Result<Vec<RankExit>> {
     assert!(size > 0, "SPMD launch needs at least one rank");
     let exe = std::env::current_exe()?;
     let args: Vec<std::ffi::OsString> = std::env::args_os().skip(1).collect();
@@ -695,38 +1128,60 @@ pub fn fork_self(size: usize) -> io::Result<i32> {
                 .spawn()?,
         );
     }
+    supervise(&mut children)
+}
 
-    let mut codes: Vec<Option<i32>> = vec![None; size];
+fn supervise(children: &mut [Child]) -> io::Result<Vec<RankExit>> {
+    let size = children.len();
+    let mut exits: Vec<Option<RankExit>> = vec![None; size];
+    let mut first_failure: Option<Instant> = None;
     loop {
         let mut all_done = true;
-        let mut failed = false;
-        for (r, child) in children.iter_mut().enumerate() {
-            if codes[r].is_some() {
+        for (rank, child) in children.iter_mut().enumerate() {
+            if exits[rank].is_some() {
                 continue;
             }
             match child.try_wait()? {
                 Some(status) => {
                     // Signal deaths surface as a generic failure code.
                     let code = status.code().unwrap_or(-1);
-                    codes[r] = Some(code);
-                    failed |= code != 0;
+                    exits[rank] = Some(RankExit {
+                        rank,
+                        code,
+                        reaped: false,
+                    });
+                    if code != 0 && first_failure.is_none() {
+                        first_failure = Some(Instant::now());
+                    }
                 }
                 None => all_done = false,
-            }
-        }
-        if failed {
-            for (r, child) in children.iter_mut().enumerate() {
-                if codes[r].is_none() {
-                    let _ = child.kill();
-                }
             }
         }
         if all_done {
             break;
         }
+        if let Some(t0) = first_failure {
+            if t0.elapsed() > failure_grace() {
+                for (rank, child) in children.iter_mut().enumerate() {
+                    if exits[rank].is_none() {
+                        let _ = child.kill();
+                        let code = child.wait().map(|s| s.code().unwrap_or(-1)).unwrap_or(-1);
+                        exits[rank] = Some(RankExit {
+                            rank,
+                            code,
+                            reaped: true,
+                        });
+                    }
+                }
+                break;
+            }
+        }
         std::thread::sleep(Duration::from_millis(25));
     }
-    Ok(codes.into_iter().flatten().find(|&c| c != 0).unwrap_or(0))
+    Ok(exits
+        .into_iter()
+        .map(|e| e.expect("every rank reported"))
+        .collect())
 }
 
 /// Run an SPMD closure on `p` ranks held by OS threads whose endpoints
@@ -751,7 +1206,9 @@ where
     assert!(p > 0, "socket_launch needs at least one rank");
     // Bind the rendezvous listener up front (no release/re-bind race) and
     // hand it to rank 0 directly.
+    // lint: allow(comm-unwrap) bootstrap path: no mesh exists yet, so a bind failure is a launcher error, not a survivable collective failure
     let listener = TcpListener::bind("127.0.0.1:0").expect("no free localhost port");
+    // lint: allow(comm-unwrap) bootstrap path: the listener was just bound, so a missing local address is a platform bug worth dying on
     let addr = listener
         .local_addr()
         .expect("rendezvous address unavailable")
@@ -769,6 +1226,7 @@ where
                 };
                 let f = &f;
                 scope.spawn(move || {
+                    // lint: allow(comm-unwrap) bootstrap path: rendezvous failure in the in-process harness is a test-setup error with nobody left to report to
                     let comm = SocketComm::connect_inner(rank, p, &addr, pre_bound)
                         .expect("socket rendezvous failed");
                     f(&comm)
@@ -1104,5 +1562,101 @@ mod tests {
         // The test harness never sets the rank var globally.
         assert!(std::env::var(ENV_RANK).is_err());
         assert!(SocketComm::from_env().is_none());
+    }
+
+    #[test]
+    fn collective_seq_advances_per_schedule_point() {
+        let comm = SocketComm::connect(0, 1, "127.0.0.1:1").expect("p=1 must not dial");
+        assert_eq!(comm.collective_seq(), 0);
+        let mut buf = vec![1.0];
+        comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+        assert_eq!(comm.collective_seq(), 1);
+        comm.barrier();
+        assert_eq!(comm.collective_seq(), 2);
+    }
+
+    #[test]
+    fn stray_connection_with_bad_magic_is_dropped() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("port");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::scope(|s| {
+            let a0 = addr.clone();
+            let h0 = s.spawn(move || {
+                let comm = SocketComm::connect_inner(0, 2, &a0, Some(listener))
+                    .expect("rank 0 rendezvous must survive the stray");
+                let mut buf = vec![1.0];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                buf[0]
+            });
+            // A stray client checks in with a bad magic word and hangs up;
+            // rank 0 must drop it and still admit the real rank 1.
+            let stray = TcpStream::connect(&addr).expect("stray connect");
+            (&stray)
+                .write_all(&0xDEAD_BEEF_DEAD_BEEFu64.to_le_bytes())
+                .expect("stray write");
+            drop(stray);
+            let a1 = addr.clone();
+            let h1 = s.spawn(move || {
+                let comm = SocketComm::connect(1, 2, &a1).expect("rank 1 rendezvous");
+                let mut buf = vec![2.0];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+                buf[0]
+            });
+            assert_eq!(h0.join().expect("rank 0"), 3.0);
+            assert_eq!(h1.join().expect("rank 1"), 3.0);
+        });
+    }
+
+    #[test]
+    fn dead_peer_mid_collective_yields_structured_errors_not_deadlock() {
+        let results = socket_launch(3, |comm| {
+            if comm.rank() == 1 {
+                // Die silently: drop the endpoint without participating.
+                return None;
+            }
+            let mut buf = vec![1.0];
+            let err = comm
+                .try_allreduce_f64(&mut buf, ReduceOp::Sum)
+                .expect_err("a peer died — the collective cannot complete");
+            let replay = comm
+                .try_barrier()
+                .expect_err("a failed endpoint stays poisoned");
+            Some((err, replay))
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            let (err, replay) = r.expect("survivor result");
+            assert_eq!(err, replay, "poisoned endpoint replays the first failure");
+            match &err {
+                CommError::PeerDeath { .. } | CommError::RemoteAbort { .. } => {}
+                other => panic!("unexpected error class: {other}"),
+            }
+            assert_eq!(err.op(), "allreduce_f64");
+        }
+    }
+
+    #[test]
+    fn severed_links_surface_as_structured_errors_on_all_ranks() {
+        // Rank 1 severs every one of its links before the collective (the
+        // `drop-conn` injection path, exercised directly). Rank 0 observes
+        // the dead link and broadcasts an abort; rank 2's own link to the
+        // hub is healthy, so only the abort (or the hub failing in turn)
+        // can unblock it.
+        let results = socket_launch(3, |comm| {
+            if comm.rank() == 1 {
+                comm.sever_all_links();
+            }
+            let mut buf = vec![1.0];
+            comm.try_allreduce_f64(&mut buf, ReduceOp::Sum).err()
+        });
+        for (rank, err) in results.into_iter().enumerate() {
+            let err = err.unwrap_or_else(|| panic!("rank {rank} must observe the failure"));
+            match &err {
+                CommError::PeerDeath { .. } | CommError::RemoteAbort { .. } => {}
+                other => panic!("rank {rank}: unexpected error class: {other}"),
+            }
+        }
     }
 }

@@ -14,13 +14,29 @@
 //! This gives the exact synchronization and data semantics of the paper's
 //! `MPI_Allreduce`/`MPI_Bcast`/`MPI_Allgather` usage; transport cost is
 //! modelled analytically by [`crate::CostModel`].
+//!
+//! # Failure behaviour
+//!
+//! The group barrier is *abortable*: a rank that panics out of [`launch`]'s
+//! closure (or is killed by the fault plan, [`crate::fault`]) poisons the
+//! root group's barrier, so every surviving rank blocked in a collective
+//! returns [`CommError::RemoteAbort`] instead of deadlocking; with
+//! `FIRAL_COMM_TIMEOUT` set, a rank stuck at a barrier gives up after the
+//! deadline with [`CommError::DeadlineExceeded`] and poisons the barrier on
+//! the way out. Known limitation: poisoning covers the group whose barrier
+//! the panicking rank's endpoint was built on — sub-communicators created by
+//! `split` have their own barriers and are only poisoned if the failure
+//! happens while their members are inside a sub-group collective.
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Barrier, Mutex, RwLock, RwLockReadGuard};
-use std::time::Instant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
+use std::time::{Duration, Instant};
 
 use crate::communicator::{split_membership, CommStats, Communicator, ReduceOp};
+use crate::error::{comm_catch, comm_timeout, CommError};
+use crate::fault::{FaultPlan, Injected};
 use crate::verify::{CollectiveKind, Dtype, Fingerprint, Verifier};
 use crate::wire::{self, MaxLoc};
 
@@ -31,6 +47,108 @@ struct CachePadded<T>(T);
 impl<T> CachePadded<T> {
     fn new(value: T) -> Self {
         Self(value)
+    }
+}
+
+/// Why an [`AbortableBarrier::wait`] did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BarrierError {
+    /// A rank failed and poisoned the group: `(origin rank, its diagnostic)`.
+    Poisoned(usize, String),
+    /// This rank exceeded the configured deadline waiting for its peers.
+    Deadline(Duration),
+}
+
+/// A counting barrier (std's [`std::sync::Barrier`] semantics) that can be
+/// **poisoned**: once any rank marks the group failed, every current and
+/// future waiter returns [`BarrierError::Poisoned`] immediately instead of
+/// blocking for peers that will never arrive. An optional per-wait deadline
+/// turns an indefinite stall into [`BarrierError::Deadline`] — and poisons
+/// the barrier on the way out, so the *other* ranks stuck at the same
+/// barrier observe the failure within their own deadline.
+struct AbortableBarrier {
+    size: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poison: Option<(usize, String)>,
+}
+
+impl AbortableBarrier {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                poison: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `size` ranks arrive, the barrier is poisoned, or
+    /// `deadline` elapses. `rank` names this endpoint in the poison record
+    /// it leaves behind on a deadline.
+    fn wait(&self, rank: usize, deadline: Option<Duration>) -> Result<(), BarrierError> {
+        let mut s = self.state.lock().expect("barrier mutex poisoned");
+        if let Some((origin, reason)) = s.poison.clone() {
+            return Err(BarrierError::Poisoned(origin, reason));
+        }
+        let gen = s.generation;
+        s.count += 1;
+        if s.count == self.size {
+            s.count = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let until = deadline.map(|d| (Instant::now() + d, d));
+        loop {
+            s = match until {
+                None => self.cv.wait(s).expect("barrier mutex poisoned"),
+                Some((until, total)) => {
+                    let now = Instant::now();
+                    if now >= until {
+                        // Give up — and poison, so peers parked at this
+                        // same barrier unblock with a diagnosis instead of
+                        // timing out one by one.
+                        if s.poison.is_none() {
+                            s.poison = Some((
+                                rank,
+                                format!("rank {rank} exceeded the {total:?} barrier deadline"),
+                            ));
+                        }
+                        self.cv.notify_all();
+                        return Err(BarrierError::Deadline(total));
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(s, until - now)
+                        .expect("barrier mutex poisoned");
+                    guard
+                }
+            };
+            if let Some((origin, reason)) = s.poison.clone() {
+                return Err(BarrierError::Poisoned(origin, reason));
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Mark the group failed (first writer wins) and wake every waiter.
+    fn poison(&self, origin: usize, reason: String) {
+        let mut s = self.state.lock().expect("barrier mutex poisoned");
+        if s.poison.is_none() {
+            s.poison = Some((origin, reason));
+        }
+        self.cv.notify_all();
     }
 }
 
@@ -48,7 +166,7 @@ struct Slot {
 struct Shared {
     size: usize,
     slots: Vec<CachePadded<RwLock<Slot>>>,
-    barrier: Barrier,
+    barrier: AbortableBarrier,
     /// Rendezvous table for [`Communicator::split`]: each sub-group's
     /// leader (new rank 0) deposits the freshly built sub-[`Shared`] under
     /// `(split sequence number, color)`; the other members pick it up
@@ -76,7 +194,7 @@ impl Shared {
             slots: (0..size)
                 .map(|_| CachePadded::new(RwLock::new(Slot::default())))
                 .collect(),
-            barrier: Barrier::new(size),
+            barrier: AbortableBarrier::new(size),
             splits: Mutex::new(BTreeMap::new()),
             fps: (0..size)
                 .map(|_| CachePadded::new(RwLock::new(None)))
@@ -102,6 +220,9 @@ pub struct ThreadComm {
     /// derived exactly like [`crate::SocketComm`]'s frame scopes so the
     /// diagnostics name the same group identities across backends.
     verify: Verifier,
+    /// First [`CommError`] observed on this endpoint; replayed by every
+    /// subsequent collective so a failed group can never half-proceed.
+    failed: RefCell<Option<CommError>>,
 }
 
 impl ThreadComm {
@@ -112,6 +233,65 @@ impl ThreadComm {
             split_seq: Cell::new(0),
             stats: RefCell::new(CommStats::default()),
             verify: Verifier::new(scope),
+            failed: RefCell::new(None),
+        }
+    }
+
+    /// Replay the stashed error on a poisoned endpoint.
+    fn check_failed(&self) -> Result<(), CommError> {
+        match &*self.failed.borrow() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Stash `result`'s error (first failure wins) and pass it through.
+    fn seal<T>(&self, result: Result<T, CommError>) -> Result<T, CommError> {
+        if let Err(e) = &result {
+            let mut failed = self.failed.borrow_mut();
+            if failed.is_none() {
+                *failed = Some(e.clone());
+            }
+        }
+        result
+    }
+
+    /// Consult the process-wide fault plan at this endpoint's next schedule
+    /// point. An injected connection drop poisons the group barrier — the
+    /// closest shared-memory analogue to severing a socket mesh.
+    fn fault_hook(&self, seq: u64) {
+        if FaultPlan::from_env().at_collective(self.rank, seq) == Some(Injected::DropConn) {
+            self.shared.barrier.poison(
+                self.rank,
+                format!(
+                    "{}: injected connection drop on rank {}",
+                    crate::fault::FAULT_ENV,
+                    self.rank
+                ),
+            );
+        }
+    }
+
+    /// One abortable barrier round, with failures lifted to [`CommError`]
+    /// carrying this collective's identity.
+    fn bwait(&self, op: &'static str, seq: u64) -> Result<(), CommError> {
+        match self.shared.barrier.wait(self.rank, comm_timeout()) {
+            Ok(()) => Ok(()),
+            Err(BarrierError::Deadline(after)) => Err(CommError::DeadlineExceeded {
+                rank: self.rank,
+                size: self.shared.size,
+                op,
+                seq,
+                after,
+            }),
+            Err(BarrierError::Poisoned(origin, reason)) => Err(CommError::RemoteAbort {
+                rank: self.rank,
+                size: self.shared.size,
+                op,
+                seq,
+                origin,
+                reason,
+            }),
         }
     }
 
@@ -119,20 +299,30 @@ impl ThreadComm {
     /// the fingerprint, publish it to the shared table, and cross-check all
     /// ranks' entries between two barriers. A mismatch aborts with the
     /// per-rank diagnostic trace instead of letting the data phase deadlock
-    /// on skewed barrier counts or combine mismatched slots. No-op unless
-    /// verification is enabled ([`crate::verify::verify_enabled`]).
-    fn verify_collective(&self, kind: CollectiveKind, dtype: Dtype, param: u32, count: u64) {
+    /// on skewed barrier counts or combine mismatched slots. No-op (beyond
+    /// the schedule counter) unless verification is enabled
+    /// ([`crate::verify::verify_enabled`]); a poisoned or timed-out barrier
+    /// surfaces as `Err` like any data-phase failure.
+    fn verify_collective(
+        &self,
+        kind: CollectiveKind,
+        dtype: Dtype,
+        param: u32,
+        count: u64,
+        op: &'static str,
+        seq: u64,
+    ) -> Result<(), CommError> {
         let Some(own) = self.verify.stamp(kind, dtype, param, count) else {
-            return;
+            return Ok(());
         };
         if self.shared.size == 1 {
-            return;
+            return Ok(());
         }
         *self.shared.fps[self.rank]
             .0
             .write()
             .expect("fingerprint lock poisoned") = Some(own);
-        self.shared.barrier.wait();
+        self.bwait(op, seq)?;
         for r in 0..self.shared.size {
             let theirs = *self.shared.fps[r]
                 .0
@@ -145,7 +335,7 @@ impl ThreadComm {
                     .mismatch_panic(self.rank, self.shared.size, own, r, theirs),
             }
         }
-        self.shared.barrier.wait();
+        self.bwait(op, seq)
     }
 
     fn publish(&self, data: &[f64]) {
@@ -172,165 +362,218 @@ impl Communicator for ThreadComm {
         self.shared.size
     }
 
-    fn barrier(&self) {
-        self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0);
-        self.shared.barrier.wait();
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(CollectiveKind::Barrier, Dtype::None, 0, 0, "barrier", seq)?;
+            self.bwait("barrier", seq)
+        })();
+        self.seal(result)
     }
 
-    fn allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) {
-        self.verify_collective(
-            CollectiveKind::allreduce(op),
-            Dtype::F64,
-            0,
-            buf.len() as u64,
-        );
-        let t0 = Instant::now();
-        self.publish(buf);
-        self.shared.barrier.wait();
-        {
-            let s0 = self.shared.read_slot(0);
-            assert_eq!(
-                s0.data.len(),
-                buf.len(),
-                "allreduce length mismatch across ranks"
-            );
-            buf.copy_from_slice(&s0.data);
-        }
-        for r in 1..self.shared.size {
-            let s = self.shared.read_slot(r);
-            for (b, v) in buf.iter_mut().zip(s.data.iter()) {
-                *b = op.combine(*b, *v);
-            }
-        }
-        self.shared.barrier.wait();
-        let mut st = self.stats.borrow_mut();
-        st.allreduce_calls += 1;
-        st.allreduce_bytes += (buf.len() * 8) as u64;
-        st.time += t0.elapsed();
-    }
-
-    fn bcast_f64(&self, buf: &mut [f64], root: usize) {
-        assert!(root < self.shared.size, "bcast root out of range");
-        self.verify_collective(
-            CollectiveKind::Bcast,
-            Dtype::F64,
-            root as u32,
-            buf.len() as u64,
-        );
-        let t0 = Instant::now();
-        if self.rank == root {
+    fn try_allreduce_f64(&self, buf: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::allreduce(op),
+                Dtype::F64,
+                0,
+                buf.len() as u64,
+                "allreduce_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
             self.publish(buf);
-        }
-        self.shared.barrier.wait();
-        if self.rank != root {
-            let s = self.shared.read_slot(root);
-            assert_eq!(
-                s.data.len(),
-                buf.len(),
-                "bcast length mismatch across ranks"
-            );
-            buf.copy_from_slice(&s.data);
-        }
-        self.shared.barrier.wait();
-        let mut st = self.stats.borrow_mut();
-        st.bcast_calls += 1;
-        st.bcast_bytes += (buf.len() * 8) as u64;
-        st.time += t0.elapsed();
-    }
-
-    fn allgatherv_f64(&self, local: &[f64]) -> Vec<f64> {
-        self.verify_collective(
-            CollectiveKind::Allgatherv,
-            Dtype::F64,
-            0,
-            local.len() as u64,
-        );
-        let t0 = Instant::now();
-        self.publish(local);
-        self.shared.barrier.wait();
-        let mut out = Vec::new();
-        for r in 0..self.shared.size {
-            let s = self.shared.read_slot(r);
-            out.extend_from_slice(&s.data);
-        }
-        self.shared.barrier.wait();
-        let mut st = self.stats.borrow_mut();
-        st.allgather_calls += 1;
-        st.allgather_bytes += (local.len() * 8) as u64;
-        st.time += t0.elapsed();
-        out
-    }
-
-    fn split(&self, color: usize, key: usize) -> Box<dyn Communicator> {
-        // Fingerprint the split itself before the membership exchange:
-        // color/key are legitimately rank-dependent, but *that* every rank
-        // is splitting here is part of the schedule contract.
-        self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0);
-        // 1. Shared membership exchange over the parent collectives (every
-        //    member of one color group computes the identical roster).
-        let (members, my_pos) = split_membership(self, color, key);
-        let seq = self.split_seq.get();
-        self.split_seq.set(seq + 1);
-
-        // 2. The sub-group leader builds the group's Shared and deposits it
-        //    in the parent's rendezvous table; a parent barrier publishes
-        //    all leaders' deposits at once.
-        if my_pos == 0 {
-            let sub = Arc::new(Shared::new(members.len()));
-            self.shared
-                .splits
-                .lock()
-                .expect("split table poisoned")
-                .insert((seq, color as u64), sub);
-        }
-        self.shared.barrier.wait();
-
-        // 3. Every member claims its group's Shared; a second parent
-        //    barrier lets the leaders retire their entries afterwards.
-        let sub = Arc::clone(
-            self.shared
-                .splits
-                .lock()
-                .expect("split table poisoned")
-                .get(&(seq, color as u64))
-                .expect("sub-group leader never deposited its Shared"),
-        );
-        self.shared.barrier.wait();
-        if my_pos == 0 {
-            self.shared
-                .splits
-                .lock()
-                .expect("split table poisoned")
-                .remove(&(seq, color as u64));
-        }
-        // Same scope derivation as SocketComm sub-groups: every member of
-        // one color group computes the identical tag.
-        let scope = wire::derive_scope(self.verify.scope(), seq, color as u64);
-        Box::new(ThreadComm::new(my_pos, sub, scope))
-    }
-
-    fn allreduce_maxloc(&self, value: f64, payload: u64) -> (f64, u64) {
-        self.verify_collective(CollectiveKind::Maxloc, Dtype::MaxLocRec, 0, 1);
-        let t0 = Instant::now();
-        // The payload rides the slot's integer lane — never through the
-        // f64 buffer (see [`crate::wire::MaxLoc`]).
-        self.publish_with_payload(&[value], payload);
-        self.shared.barrier.wait();
-        // Rank-ordered MAXLOC semantics (tie → lowest rank, all-(-inf) →
-        // rank 0's sentinel) come from the single shared definition.
-        let best = MaxLoc::reduce_rank_ordered((0..self.shared.size).map(|r| {
-            let s = self.shared.read_slot(r);
-            MaxLoc {
-                value: s.data[0],
-                payload: s.payload,
+            self.bwait("allreduce_f64", seq)?;
+            {
+                let s0 = self.shared.read_slot(0);
+                assert_eq!(
+                    s0.data.len(),
+                    buf.len(),
+                    "allreduce length mismatch across ranks"
+                );
+                buf.copy_from_slice(&s0.data);
             }
-        }));
-        self.shared.barrier.wait();
-        let mut st = self.stats.borrow_mut();
-        st.allreduce_calls += 1;
-        st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
-        st.time += t0.elapsed();
-        (best.value, best.payload)
+            for r in 1..self.shared.size {
+                let s = self.shared.read_slot(r);
+                for (b, v) in buf.iter_mut().zip(s.data.iter()) {
+                    *b = op.combine(*b, *v);
+                }
+            }
+            self.bwait("allreduce_f64", seq)?;
+            let mut st = self.stats.borrow_mut();
+            st.allreduce_calls += 1;
+            st.allreduce_bytes += (buf.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(())
+        })();
+        self.seal(result)
+    }
+
+    fn try_bcast_f64(&self, buf: &mut [f64], root: usize) -> Result<(), CommError> {
+        assert!(root < self.shared.size, "bcast root out of range");
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Bcast,
+                Dtype::F64,
+                root as u32,
+                buf.len() as u64,
+                "bcast_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            if self.rank == root {
+                self.publish(buf);
+            }
+            self.bwait("bcast_f64", seq)?;
+            if self.rank != root {
+                let s = self.shared.read_slot(root);
+                assert_eq!(
+                    s.data.len(),
+                    buf.len(),
+                    "bcast length mismatch across ranks"
+                );
+                buf.copy_from_slice(&s.data);
+            }
+            self.bwait("bcast_f64", seq)?;
+            let mut st = self.stats.borrow_mut();
+            st.bcast_calls += 1;
+            st.bcast_bytes += (buf.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(())
+        })();
+        self.seal(result)
+    }
+
+    fn try_allgatherv_f64(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Allgatherv,
+                Dtype::F64,
+                0,
+                local.len() as u64,
+                "allgatherv_f64",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            self.publish(local);
+            self.bwait("allgatherv_f64", seq)?;
+            let mut out = Vec::new();
+            for r in 0..self.shared.size {
+                let s = self.shared.read_slot(r);
+                out.extend_from_slice(&s.data);
+            }
+            self.bwait("allgatherv_f64", seq)?;
+            let mut st = self.stats.borrow_mut();
+            st.allgather_calls += 1;
+            st.allgather_bytes += (local.len() * 8) as u64;
+            st.time += t0.elapsed();
+            Ok(out)
+        })();
+        self.seal(result)
+    }
+
+    fn try_split(&self, color: usize, key: usize) -> Result<Box<dyn Communicator>, CommError> {
+        self.check_failed()?;
+        let seq_pt = self.verify.next_seq();
+        self.fault_hook(seq_pt);
+        let result = (|| {
+            // Fingerprint the split itself before the membership exchange:
+            // color/key are legitimately rank-dependent, but *that* every
+            // rank is splitting here is part of the schedule contract.
+            self.verify_collective(CollectiveKind::Split, Dtype::None, 0, 0, "split", seq_pt)?;
+            // 1. Shared membership exchange over the parent collectives
+            //    (every member of one color group computes the identical
+            //    roster). The exchange runs on the infallible wrappers —
+            //    re-enter the fallible world at this boundary.
+            let (members, my_pos) = comm_catch(|| split_membership(self, color, key))?;
+            let seq = self.split_seq.get();
+            self.split_seq.set(seq + 1);
+
+            // 2. The sub-group leader builds the group's Shared and
+            //    deposits it in the parent's rendezvous table; a parent
+            //    barrier publishes all leaders' deposits at once.
+            if my_pos == 0 {
+                let sub = Arc::new(Shared::new(members.len()));
+                self.shared
+                    .splits
+                    .lock()
+                    .expect("split table poisoned")
+                    .insert((seq, color as u64), sub);
+            }
+            self.bwait("split", seq_pt)?;
+
+            // 3. Every member claims its group's Shared; a second parent
+            //    barrier lets the leaders retire their entries afterwards.
+            let sub = Arc::clone(
+                self.shared
+                    .splits
+                    .lock()
+                    .expect("split table poisoned")
+                    .get(&(seq, color as u64))
+                    .expect("sub-group leader never deposited its Shared"),
+            );
+            self.bwait("split", seq_pt)?;
+            if my_pos == 0 {
+                self.shared
+                    .splits
+                    .lock()
+                    .expect("split table poisoned")
+                    .remove(&(seq, color as u64));
+            }
+            // Same scope derivation as SocketComm sub-groups: every member
+            // of one color group computes the identical tag.
+            let scope = wire::derive_scope(self.verify.scope(), seq, color as u64);
+            Ok(Box::new(ThreadComm::new(my_pos, sub, scope)) as Box<dyn Communicator>)
+        })();
+        self.seal(result)
+    }
+
+    fn try_allreduce_maxloc(&self, value: f64, payload: u64) -> Result<(f64, u64), CommError> {
+        self.check_failed()?;
+        let seq = self.verify.next_seq();
+        self.fault_hook(seq);
+        let result = (|| {
+            self.verify_collective(
+                CollectiveKind::Maxloc,
+                Dtype::MaxLocRec,
+                0,
+                1,
+                "allreduce_maxloc",
+                seq,
+            )?;
+            let t0 = Instant::now();
+            // The payload rides the slot's integer lane — never through the
+            // f64 buffer (see [`crate::wire::MaxLoc`]).
+            self.publish_with_payload(&[value], payload);
+            self.bwait("allreduce_maxloc", seq)?;
+            // Rank-ordered MAXLOC semantics (tie → lowest rank, all-(-inf)
+            // → rank 0's sentinel) come from the single shared definition.
+            let best = MaxLoc::reduce_rank_ordered((0..self.shared.size).map(|r| {
+                let s = self.shared.read_slot(r);
+                MaxLoc {
+                    value: s.data[0],
+                    payload: s.payload,
+                }
+            }));
+            self.bwait("allreduce_maxloc", seq)?;
+            let mut st = self.stats.borrow_mut();
+            st.allreduce_calls += 1;
+            st.allreduce_bytes += MaxLoc::WIRE_BYTES as u64;
+            st.time += t0.elapsed();
+            Ok((best.value, best.payload))
+        })();
+        self.seal(result)
     }
 
     fn stats(&self) -> CommStats {
@@ -367,7 +610,23 @@ where
             .map(|rank| {
                 let shared = Arc::clone(&shared);
                 let f = &f;
-                scope.spawn(move || f(&ThreadComm::new(rank, shared, wire::ROOT_SCOPE)))
+                scope.spawn(move || {
+                    let comm = ThreadComm::new(rank, Arc::clone(&shared), wire::ROOT_SCOPE);
+                    match catch_unwind(AssertUnwindSafe(|| f(&comm))) {
+                        Ok(v) => v,
+                        Err(payload) => {
+                            // A rank that unwinds out of its closure will
+                            // never reach another barrier: poison the root
+                            // group so its peers fail fast instead of
+                            // deadlocking, then keep unwinding.
+                            shared.barrier.poison(
+                                rank,
+                                format!("rank {rank} panicked: {}", panic_text(&*payload)),
+                            );
+                            resume_unwind(payload)
+                        }
+                    }
+                })
             })
             .collect();
         handles
@@ -375,6 +634,15 @@ where
             .map(|h| h.join().expect("SPMD rank panicked"))
             .collect()
     })
+}
+
+/// Best-effort rendering of a panic payload for abort diagnostics.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "(non-string panic payload)".to_string())
 }
 
 #[cfg(test)]
@@ -655,6 +923,68 @@ mod tests {
             // allgather of split, but none of the sub-group's traffic.
             assert_eq!(parent.allreduce_calls, 1);
             assert_eq!(parent.allgather_calls, 1);
+        }
+    }
+
+    #[test]
+    fn abortable_barrier_deadline_poisons_the_group() {
+        let b = AbortableBarrier::new(2);
+        // Only one rank arrives; with a deadline it must give up and poison.
+        let err = b.wait(0, Some(Duration::from_millis(20))).unwrap_err();
+        assert!(matches!(err, BarrierError::Deadline(_)), "{err:?}");
+        // The other rank observes the poison instantly, even deadline-free.
+        match b.wait(1, None).unwrap_err() {
+            BarrierError::Poisoned(origin, reason) => {
+                assert_eq!(origin, 0);
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected poison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abortable_barrier_completes_many_rounds() {
+        let b = AbortableBarrier::new(3);
+        std::thread::scope(|s| {
+            for r in 0..3 {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        b.wait(r, Some(Duration::from_secs(10))).expect("round");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_rank_poisons_peers_with_remote_abort() {
+        // Rank 1 dies before its first collective; the survivors must get a
+        // structured RemoteAbort naming it (not deadlock, not a panic), and
+        // the poisoned endpoints must replay the same error forever after.
+        let seen: Mutex<Vec<CommError>> = Mutex::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            launch(3, |comm| {
+                if comm.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                let e = comm.try_barrier().expect_err("survivors must fail");
+                let replay = comm.try_barrier().expect_err("poisoned endpoint replays");
+                assert_eq!(e, replay);
+                seen.lock().expect("seen lock").push(e);
+            })
+        }));
+        assert!(result.is_err(), "the panicking rank propagates its panic");
+        let seen = seen.into_inner().expect("seen lock");
+        assert_eq!(seen.len(), 2, "both survivors observed the failure");
+        for e in &seen {
+            match e {
+                CommError::RemoteAbort { origin, reason, .. } => {
+                    assert_eq!(*origin, 1);
+                    assert!(reason.contains("boom on rank 1"), "{reason}");
+                }
+                other => panic!("expected RemoteAbort, got {other}"),
+            }
         }
     }
 

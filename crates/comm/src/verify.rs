@@ -310,9 +310,20 @@ impl Verifier {
         self.scope
     }
 
+    /// The sequence number the *next* collective on this endpoint will get
+    /// (equivalently: how many collectives have run). Advanced by every
+    /// [`Verifier::stamp`] regardless of the enable flag, so deterministic
+    /// fault injection ([`crate::fault`]) can key off schedule points even
+    /// with verification off.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.get()
+    }
+
     /// Record one collective call: advance the schedule counter, push the
     /// fingerprint onto the trace, and return it for the exchange. `None`
-    /// when verification is disabled (the collective proceeds untouched).
+    /// when verification is disabled (the collective proceeds untouched —
+    /// but the sequence counter still advances, so schedule points stay
+    /// addressable by the fault-injection plan).
     pub fn stamp(
         &self,
         kind: CollectiveKind,
@@ -320,18 +331,19 @@ impl Verifier {
         param: u32,
         count: u64,
     ) -> Option<Fingerprint> {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
         if !self.enabled {
             return None;
         }
         let fp = Fingerprint {
-            seq: self.seq.get(),
+            seq,
             kind,
             dtype,
             param,
             count,
             scope: self.scope,
         };
-        self.seq.set(fp.seq + 1);
         let mut trace = self.trace.borrow_mut();
         if trace.len() == TRACE_LEN {
             trace.pop_front();
@@ -454,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn disabled_verifier_stamps_nothing() {
+    fn disabled_verifier_still_counts_schedule_points() {
         let v = Verifier {
             enabled: false,
             scope: wire::ROOT_SCOPE,
@@ -462,7 +474,11 @@ mod tests {
             trace: RefCell::new(VecDeque::new()),
         };
         assert_eq!(v.stamp(CollectiveKind::Barrier, Dtype::None, 0, 0), None);
-        assert_eq!(v.seq.get(), 0);
+        // No fingerprint and no trace entry — but the sequence counter must
+        // advance so fault injection can address schedule points with the
+        // verifier off.
+        assert!(v.trace.borrow().is_empty());
+        assert_eq!(v.next_seq(), 1);
     }
 
     #[test]

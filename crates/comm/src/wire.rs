@@ -37,6 +37,50 @@ pub const MAGIC: u64 = 0xF1AA_1C0D_E550_0001;
 /// tags from this via [`derive_scope`].
 pub const ROOT_SCOPE: u64 = 0xF1AA_5C0B_E000_0000;
 
+/// Reserved frame prefix of an **abort frame**: a rank that fails (peer
+/// death, deadline, panic) writes this tag — followed by its world rank and
+/// a reason string — on every mesh link, so survivors blocked in
+/// [`expect_scope`] observe a structured [`AbortMsg`] within one deadline
+/// instead of deadlocking. `derive_scope` output colliding with this value
+/// is as likely as any other 64-bit collision; [`expect_scope`] treats the
+/// tag as reserved unconditionally.
+pub const ABORT_TAG: u64 = 0xF1AA_DEAD_AB0A_7000;
+
+/// The payload of an [`ABORT_TAG`] frame: which world rank failed first,
+/// and its diagnostic. Carried to callers inside an
+/// [`io::ErrorKind::ConnectionAborted`] error (downcast via
+/// [`io::Error::get_ref`]), so every existing `io::Result` path propagates
+/// it without new plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortMsg {
+    /// World rank of the endpoint that originated the abort.
+    pub origin: usize,
+    /// The originating rank's diagnostic.
+    pub reason: String,
+}
+
+impl std::fmt::Display for AbortMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "abort frame from rank {}: {}", self.origin, self.reason)
+    }
+}
+
+impl std::error::Error for AbortMsg {}
+
+/// Write an abort frame (tag, origin rank, reason). Reasons longer than the
+/// wire's string cap are truncated at a char boundary rather than rejected —
+/// an abort must never fail to encode.
+pub fn write_abort(w: &mut impl Write, origin: usize, reason: &str) -> io::Result<()> {
+    let mut end = reason.len().min(MAX_WIRE_STR);
+    while !reason.is_char_boundary(end) {
+        end -= 1;
+    }
+    write_u64(w, ABORT_TAG)?;
+    write_u64(w, origin as u64)?;
+    write_str(w, &reason[..end])?;
+    w.flush()
+}
+
 /// Derive a sub-communicator's scope tag from its parent's scope, the
 /// parent's running split counter, and the split `color`.
 ///
@@ -61,9 +105,19 @@ pub fn write_scope(w: &mut impl Write, scope: u64) -> io::Result<()> {
 /// Read and verify the scope tag ahead of a collective frame. A mismatch
 /// means the peer issued a collective on a *different* (sub-)communicator
 /// sharing the same link — the cross-talk hazard `Communicator::split`
-/// framing exists to catch.
+/// framing exists to catch. An [`ABORT_TAG`] in the scope position instead
+/// decodes the peer's abort frame and surfaces it as a
+/// [`io::ErrorKind::ConnectionAborted`] error wrapping the [`AbortMsg`].
 pub fn expect_scope(r: &mut impl Read, scope: u64) -> io::Result<()> {
     let got = read_u64(r)?;
+    if got == ABORT_TAG {
+        let origin = read_u64(r)? as usize;
+        let reason = read_str(r).unwrap_or_else(|e| format!("(unreadable abort reason: {e})"));
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            AbortMsg { origin, reason },
+        ));
+    }
     if got != scope {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -202,6 +256,11 @@ fn read_f64_payload(r: &mut impl Read, out: &mut [f64]) -> io::Result<()> {
     Ok(())
 }
 
+/// Ceiling on the byte length of a wire string (rendezvous addresses,
+/// abort reasons). A desynced stream yields a garbage length; rejecting it
+/// beats a giant allocation.
+pub const MAX_WIRE_STR: usize = 4096;
+
 /// Write a length-prefixed UTF-8 string (rendezvous addresses).
 pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
     write_u64(w, s.len() as u64)?;
@@ -211,7 +270,7 @@ pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
 /// Read a length-prefixed UTF-8 string.
 pub fn read_str(r: &mut impl Read) -> io::Result<String> {
     let n = read_u64(r)? as usize;
-    if n > 4096 {
+    if n > MAX_WIRE_STR {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "unreasonable string length on the wire",
@@ -351,6 +410,35 @@ mod tests {
                 assert_ne!(a, b, "scope collision between derivations");
             }
         }
+    }
+
+    #[test]
+    fn abort_frames_preempt_the_scope_check() {
+        let mut buf = Vec::new();
+        write_abort(&mut buf, 2, "rank 2 panicked: boom").unwrap();
+        let mut cursor = &buf[..];
+        let err = expect_scope(&mut cursor, ROOT_SCOPE).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        let abort = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<AbortMsg>())
+            .expect("abort frame must decode to AbortMsg");
+        assert_eq!(abort.origin, 2);
+        assert!(abort.reason.contains("boom"), "{abort:?}");
+    }
+
+    #[test]
+    fn abort_reasons_are_truncated_not_rejected() {
+        let long = "x".repeat(MAX_WIRE_STR + 100);
+        let mut buf = Vec::new();
+        write_abort(&mut buf, 0, &long).unwrap();
+        let mut cursor = &buf[..];
+        let err = expect_scope(&mut cursor, ROOT_SCOPE).unwrap_err();
+        let abort = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<AbortMsg>())
+            .expect("truncated abort must still decode");
+        assert_eq!(abort.reason.len(), MAX_WIRE_STR);
     }
 
     #[test]

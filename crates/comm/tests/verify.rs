@@ -10,7 +10,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use firal_comm::{launch, socket_launch, Communicator, ReduceOp};
+use firal_comm::{launch, socket_launch, CommError, Communicator, ReduceOp};
 
 fn force_verify_on() {
     firal_comm::verify::set_verify_override(Some(true));
@@ -158,6 +158,43 @@ fn socket_split_scope_skew_is_diagnosed() {
             || peer.contains("last collectives on this rank"),
         "peer: {peer}"
     );
+}
+
+#[test]
+fn verifier_abort_path_survives_real_peer_disconnect() {
+    force_verify_on();
+    // Rank 1 disconnects for real (endpoint dropped, sockets closed) after
+    // the first collective. The survivors' next schedule point — the
+    // verifier's own fingerprint exchange included — hits the dead link
+    // and must come back as a structured `CommError` carrying the per-rank
+    // trace: not a deadlock, and not a bare panic out of the verifier.
+    let results = socket_launch(3, |comm| {
+        let mut warm = vec![comm.rank() as f64];
+        comm.allreduce_f64(&mut warm, ReduceOp::Sum); // seed the trace
+        if comm.rank() == 1 {
+            return None;
+        }
+        let err = comm
+            .try_allreduce_f64(&mut warm, ReduceOp::Sum)
+            .expect_err("a peer died; the schedule cannot continue");
+        Some(err)
+    });
+    for (rank, r) in results.into_iter().enumerate() {
+        if rank == 1 {
+            continue;
+        }
+        let err = r.expect("survivor result");
+        assert_eq!(err.seq(), 1, "failure at the second schedule point");
+        match &err {
+            CommError::PeerDeath { detail, .. } => {
+                assert!(detail.contains("last collectives on this rank"), "{detail}");
+            }
+            CommError::RemoteAbort { reason, .. } => {
+                assert!(reason.contains("last collectives on this rank"), "{reason}");
+            }
+            other => panic!("rank {rank}: unexpected error class: {other}"),
+        }
+    }
 }
 
 #[test]

@@ -44,7 +44,9 @@
 //! layout (see `crate::parallel::parallel_approx_firal_grouped` for the
 //! full-pipeline entry point).
 
-use firal_comm::{shard_range, CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
+use firal_comm::{
+    comm_catch, shard_range, CommError, CommScalar, CommStats, Communicator, ReduceOp, SelfComm,
+};
 use firal_linalg::{eigvalsh, BlockDiag, Cholesky, Matrix, Scalar};
 use firal_solvers::{
     cg_solve_panel, lanczos_spectrum, rademacher_panel, AllreduceOperator, CgConfig, CgTelemetry,
@@ -1010,6 +1012,70 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             None => self.select_eta(&relax.z_local, budget, &config.round.eta_grid),
         };
         (relax, round)
+    }
+
+    // --- Fallible entry points -------------------------------------------
+    //
+    // The solver bodies call the infallible collectives: a communication
+    // failure inside (peer death, deadline, remote abort — see
+    // `firal_comm::error`) raises through the stack, and these wrappers
+    // recover it as a structured `CommError` at the phase boundary — the
+    // granularity at which a driver can actually react (rerun the phase on
+    // a reformed group, or report and exit). The fault-free path through a
+    // `try_` wrapper is the plain method; results are bitwise identical.
+
+    /// Fallible [`Executor::relax`]: a communication failure inside the
+    /// RELAX loop surfaces as the originating [`CommError`] instead of
+    /// aborting the process.
+    pub fn try_relax(
+        &self,
+        budget: usize,
+        config: &RelaxConfig<T>,
+    ) -> Result<RelaxRun<T>, CommError> {
+        comm_catch(|| self.relax(budget, config))
+    }
+
+    /// Fallible [`Executor::round`].
+    pub fn try_round(
+        &self,
+        z_local: &[T],
+        budget: usize,
+        eta: T,
+        eig: EigSolver,
+    ) -> Result<RoundRun<T>, CommError> {
+        comm_catch(|| self.round(z_local, budget, eta, eig))
+    }
+
+    /// Fallible [`Executor::select_eta`].
+    pub fn try_select_eta(
+        &self,
+        z_local: &[T],
+        budget: usize,
+        grid: &[T],
+    ) -> Result<RoundRun<T>, CommError> {
+        comm_catch(|| self.select_eta(z_local, budget, grid))
+    }
+
+    /// Fallible [`Executor::select_eta_grouped`].
+    pub fn try_select_eta_grouped(
+        &self,
+        z_local: &[T],
+        budget: usize,
+        grid: &[T],
+        cross: &dyn Communicator,
+    ) -> Result<RoundRun<T>, CommError> {
+        comm_catch(|| self.select_eta_grouped(z_local, budget, grid, cross))
+    }
+
+    /// Fallible [`Executor::approx_firal`]: the full pipeline with
+    /// communication failures recovered as [`CommError`] at the outermost
+    /// boundary.
+    pub fn try_approx_firal(
+        &self,
+        budget: usize,
+        config: &FiralConfig<T>,
+    ) -> Result<(RelaxRun<T>, RoundRun<T>), CommError> {
+        comm_catch(|| self.approx_firal(budget, config))
     }
 }
 

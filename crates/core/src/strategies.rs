@@ -43,7 +43,7 @@
 //! (`tests/parallel_consistency.rs`).
 
 use firal_cluster::{kmeans, nearest_to_centroids, KMeansConfig};
-use firal_comm::{CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
+use firal_comm::{comm_catch, CommError, CommScalar, CommStats, Communicator, ReduceOp, SelfComm};
 use firal_linalg::{gemm, gemm_at_b, Matrix, Scalar};
 use firal_logreg::LogisticRegression;
 use rand::rngs::StdRng;
@@ -73,6 +73,11 @@ pub enum SelectError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A collective failed underneath the selection (peer death, deadline,
+    /// remote abort — see [`firal_comm::CommError`]). Surfaced by
+    /// [`DistStrategy::try_select_dist`]; the infallible path aborts
+    /// instead.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for SelectError {
@@ -86,6 +91,7 @@ impl std::fmt::Display for SelectError {
             SelectError::UnknownStrategy { name } => {
                 write!(f, "unknown strategy {name:?} (known: {STRATEGY_NAMES:?})")
             }
+            SelectError::Comm(e) => write!(f, "selection failed on a collective: {e}"),
         }
     }
 }
@@ -156,6 +162,24 @@ pub trait DistStrategy<T: CommScalar>: Strategy<T> {
         budget: usize,
         seed: u64,
     ) -> Result<Vec<usize>, SelectError>;
+
+    /// [`DistStrategy::select_dist`] with communication failures recovered
+    /// as [`SelectError::Comm`] instead of aborting the rank: the whole
+    /// selection runs under a [`firal_comm::comm_catch`] boundary, so a
+    /// peer death, deadline, or remote abort inside any collective comes
+    /// back as a value a driver can react to. Fault-free selections are
+    /// bitwise identical to the plain path.
+    fn try_select_dist(
+        &self,
+        exec: &Executor<'_, T>,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, SelectError> {
+        match comm_catch(|| self.select_dist(exec, budget, seed)) {
+            Ok(inner) => inner,
+            Err(e) => Err(SelectError::Comm(e)),
+        }
+    }
 }
 
 /// Run a [`DistStrategy`] serially: the `p = 1` instantiation over a fresh

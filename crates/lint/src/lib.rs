@@ -55,19 +55,23 @@ pub enum Rule {
     TargetFeature,
     /// Every public collective documents its determinism guarantee.
     CollectiveDoc,
+    /// No `unwrap`/`expect` on wire I/O in the comm crate's survivable
+    /// paths: failures must become structured `CommError`s.
+    CommUnwrap,
     /// Allow-pragmas must name a known rule and carry a real reason.
     Pragma,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::UnsafeSafety,
         Rule::HashOrder,
         Rule::ThreadCount,
         Rule::Fma,
         Rule::TargetFeature,
         Rule::CollectiveDoc,
+        Rule::CommUnwrap,
         Rule::Pragma,
     ];
 
@@ -80,6 +84,7 @@ impl Rule {
             Rule::Fma => "fma",
             Rule::TargetFeature => "target-feature",
             Rule::CollectiveDoc => "collective-doc",
+            Rule::CommUnwrap => "comm-unwrap",
             Rule::Pragma => "pragma",
         }
     }
@@ -107,6 +112,10 @@ impl Rule {
             Rule::CollectiveDoc => {
                 "every public collective on Communicator documents its \
                  determinism guarantee"
+            }
+            Rule::CommUnwrap => {
+                "no unwrap/expect on wire I/O in crates/comm/src: survivable \
+                 failures must surface as structured CommErrors"
             }
             Rule::Pragma => "allow-pragmas must name a known rule and give a real reason",
         }
@@ -284,8 +293,17 @@ pub fn split_lanes(src: &str) -> Vec<Lanes> {
             ScanState::Str { raw_hashes } => match raw_hashes {
                 None => {
                     if c == '\\' {
-                        cur.code.push_str("  ");
-                        i += 2;
+                        // A string-continuation escape (`\` before the line
+                        // break) must leave the newline for the top-level
+                        // handler, or every later finding and pragma would
+                        // drift off the editor's line numbers.
+                        if chars.get(i + 1) == Some(&'\n') {
+                            cur.code.push(' ');
+                            i += 1;
+                        } else {
+                            cur.code.push_str("  ");
+                            i += 2;
+                        }
                     } else if c == '"' {
                         cur.code.push('"');
                         state = ScanState::Code;
@@ -438,13 +456,40 @@ const HASH_ORDER_SCOPE: [&str; 4] = [
 /// The collectives of `firal_comm::Communicator` that must document their
 /// determinism guarantee. Kept in sync by the rule itself: a missing name
 /// is reported as drift.
-const COLLECTIVES: [&str; 6] = [
+const COLLECTIVES: [&str; 12] = [
+    "try_barrier",
+    "try_allreduce_f64",
+    "try_bcast_f64",
+    "try_allgatherv_f64",
+    "try_allreduce_maxloc",
+    "try_split",
     "barrier",
     "allreduce_f64",
     "bcast_f64",
     "allgatherv_f64",
     "allreduce_maxloc",
     "split",
+];
+
+/// Substrings marking a code lane as wire/socket I/O for the comm-unwrap
+/// rule. Prefix tokens (`read_`, `write_`, `hub_`) deliberately match any
+/// method in that family; `writeln!`-style formatting macros do not match.
+const COMM_IO_TOKENS: [&str; 15] = [
+    "read_",
+    "write_",
+    "flush",
+    "connect",
+    "bind",
+    "accept",
+    "shutdown",
+    "try_clone",
+    "local_addr",
+    "set_nodelay",
+    "set_read_timeout",
+    "set_write_timeout",
+    "expect_scope",
+    "expect_magic",
+    "hub_",
 ];
 
 /// Lint one file's source text. `rel` is the repo-relative path with `/`
@@ -497,6 +542,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     rule_fma(rel, &lanes, &mut raw);
     rule_target_feature(rel, &lanes, &mut raw);
     rule_collective_doc(rel, &lanes, &mut raw);
+    rule_comm_unwrap(rel, &lanes, &mut raw);
 
     // A pragma covers its own line and the line below it.
     let allowed = |f: &Finding| {
@@ -705,6 +751,38 @@ fn rule_collective_doc(rel: &str, lanes: &[Lanes], out: &mut Vec<Finding>) {
                      Communicator`; update firal-lint's collective list if it \
                      was renamed"
                 ),
+            );
+        }
+    }
+}
+
+/// In `crates/comm/src`, an `.unwrap()`/`.expect(` on the same code lane as
+/// a wire-I/O call is a contract violation: once the mesh exists, an I/O
+/// failure is *survivable* and must be diagnosed as a structured
+/// `CommError` (with an abort broadcast), never a local panic that leaves
+/// peers hanging until their deadline. Bootstrap sites (no mesh yet) and
+/// other genuinely-fatal paths take an allow-pragma with a reason. The scan
+/// stops at `#[cfg(test)]` — test code intentionally asserts on I/O.
+fn rule_comm_unwrap(rel: &str, lanes: &[Lanes], out: &mut Vec<Finding>) {
+    if !rel.starts_with("crates/comm/src/") {
+        return;
+    }
+    for (idx, lane) in lanes.iter().enumerate() {
+        if lane.code.contains("#[cfg(test)]") {
+            break;
+        }
+        let unwrapping = lane.code.contains(".unwrap()") || lane.code.contains(".expect(");
+        if unwrapping && COMM_IO_TOKENS.iter().any(|t| lane.code.contains(t)) {
+            push(
+                out,
+                rel,
+                idx + 1,
+                Rule::CommUnwrap,
+                "unwrap/expect on wire I/O in the comm crate: a post-rendezvous \
+                 failure is survivable and must surface as a structured \
+                 CommError (see the Failure model in ARCHITECTURE.md); \
+                 bootstrap-only sites take an allow-pragma with a reason"
+                    .to_string(),
             );
         }
     }

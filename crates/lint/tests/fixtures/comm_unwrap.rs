@@ -1,0 +1,39 @@
+//! Fixture for the comm-unwrap rule: unwrap/expect on wire I/O in the
+//! comm crate's survivable paths must be flagged; pragma'd bootstrap
+//! sites, non-I/O unwraps, and test code stay quiet.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+pub fn collective_path(stream: &mut TcpStream, buf: &[u8]) {
+    stream.write_all(buf).unwrap();
+    stream.flush().expect("flush failed");
+    let clone = stream.try_clone().unwrap();
+    drop(clone);
+}
+
+pub fn bootstrap_path() -> TcpListener {
+    // lint: allow(comm-unwrap) bootstrap path: no mesh exists yet, a bind failure is fatal by design
+    TcpListener::bind("127.0.0.1:0").expect("no free port")
+}
+
+pub fn not_wire_io(v: Option<usize>) -> usize {
+    // unwrap on a plain Option: no I/O token on the lane, not a finding.
+    v.unwrap()
+}
+
+pub fn prose_only() {
+    // Mentioning connect().unwrap() in a comment must not fire.
+    let _ = "connect unwrap in a string literal";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_assert_on_io() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _ = TcpStream::connect(l.local_addr().unwrap()).expect("connect");
+    }
+}

@@ -88,20 +88,52 @@ fn collectives_must_document_determinism() {
     let src = include_str!("fixtures/collective_doc.rs");
     let findings = lint_source("crates/comm/src/communicator.rs", src);
     let doc = lines_of(&findings, Rule::CollectiveDoc);
-    // bcast_f64 (line 13) lacks the paragraph; four collectives are missing
-    // from the fixture trait entirely and are reported at the trait line.
-    assert_eq!(doc, vec![2, 2, 2, 2, 13], "{findings:?}");
+    // bcast_f64 (line 13) lacks the paragraph; the six try_ collectives and
+    // four of the infallible ones are missing from the fixture trait
+    // entirely and are reported at the trait line.
+    let mut expected = vec![2; 10];
+    expected.push(13);
+    assert_eq!(doc, expected, "{findings:?}");
     let missing: Vec<&str> = findings
         .iter()
         .filter(|f| f.line == 2)
         .map(|f| f.message.as_str())
         .collect();
-    for name in ["barrier", "allgatherv_f64", "allreduce_maxloc", "`split`"] {
+    for name in [
+        "`try_barrier`",
+        "`try_allreduce_f64`",
+        "`try_bcast_f64`",
+        "`try_allgatherv_f64`",
+        "`try_allreduce_maxloc`",
+        "`try_split`",
+        "`barrier`",
+        "`allgatherv_f64`",
+        "`allreduce_maxloc`",
+        "`split`",
+    ] {
         assert!(missing.iter().any(|m| m.contains(name)), "{missing:?}");
     }
     // The rule only applies to the real communicator.rs path.
     let elsewhere = lint_source("crates/comm/src/other.rs", src);
     assert!(lines_of(&elsewhere, Rule::CollectiveDoc).is_empty());
+}
+
+#[test]
+fn comm_unwrap_flags_wire_io_outside_bootstrap_and_tests() {
+    let src = include_str!("fixtures/comm_unwrap.rs");
+    let findings = lint_source("crates/comm/src/fixture.rs", src);
+    // write_all / flush / try_clone unwraps are findings; the pragma'd
+    // bootstrap bind, the Option unwrap, comment/string mentions, and
+    // everything after `#[cfg(test)]` are not.
+    assert_eq!(
+        lines_of(&findings, Rule::CommUnwrap),
+        vec![9, 10, 11],
+        "{findings:?}"
+    );
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    // Outside crates/comm/src the rule is silent.
+    let outside = lint_source("crates/bench/src/fixture.rs", src);
+    assert!(lines_of(&outside, Rule::CommUnwrap).is_empty());
 }
 
 #[test]
