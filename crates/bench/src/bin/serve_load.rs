@@ -1,0 +1,195 @@
+//! Load generator for the `spmd_launch serve` selection server.
+//!
+//! Connects `--clients` concurrent clients, each issuing `--requests`
+//! selection requests over a mix of strategies and budgets against one
+//! uploaded pool, and verifies **every** response bitwise against the
+//! serial `select_serial` reference computed in-process — the serving
+//! path's end-to-end correctness check. Prints one table row per client
+//! plus the server's cumulative accounting.
+//!
+//! Usage:
+//! ```text
+//! # terminal 1: hold a 4-rank mesh open as a server
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 4 serve --addr 127.0.0.1:7700 --min-batch 2
+//! # terminal 2: drive it, then shut it down
+//! cargo run --release -p firal-bench --bin serve_load -- --addr 127.0.0.1:7700 --clients 3 --requests 4 --shutdown
+//! ```
+//!
+//! Options: `--addr` (default `127.0.0.1:7700`), `--clients` (3),
+//! `--requests` (4), `--n` pool size (120), `--max-ranks` per-request rank
+//! cap (2; 0 = whole mesh), `--shutdown` (send a shutdown request after
+//! the load so the server mesh exits). Exits non-zero on any transport
+//! error, server-side error, or reference mismatch.
+
+use std::time::Duration;
+
+use firal_bench::report::{arg_value, has_flag, Table};
+use firal_bench::workloads::selection_problem_from_dataset;
+use firal_core::{select_serial, strategy_by_name, SelectionProblem};
+use firal_data::SyntheticConfig;
+use firal_serve::{SelectSpec, ServeClient};
+
+const MIX: [&str; 3] = ["random", "entropy", "approx-firal"];
+const BUDGETS: [usize; 3] = [4, 6, 8];
+
+struct ClientReport {
+    ok: usize,
+    mismatched: usize,
+    failed: usize,
+    seconds: f64,
+    rounds: Vec<u64>,
+}
+
+fn drive_client(
+    t: usize,
+    addr: &str,
+    pool: u64,
+    requests: usize,
+    max_ranks: usize,
+    problem: &SelectionProblem<f64>,
+) -> ClientReport {
+    let mut report = ClientReport {
+        ok: 0,
+        mismatched: 0,
+        failed: 0,
+        seconds: 0.0,
+        rounds: Vec::new(),
+    };
+    let mut client = match ServeClient::connect(addr, Duration::from_secs(5))
+        .and_then(|c| c.with_patience(Some(Duration::from_secs(120))))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client {t}: connect failed: {e}");
+            report.failed = requests;
+            return report;
+        }
+    };
+    for i in 0..requests {
+        let strategy = MIX[(t + i) % MIX.len()];
+        let budget = BUDGETS[(t * requests + i) % BUDGETS.len()];
+        let seed = 100 + (t * 131 + i) as u64;
+        let spec = SelectSpec {
+            pool,
+            strategy: strategy.to_string(),
+            budget,
+            seed,
+            threads: 0,
+            max_ranks,
+        };
+        match client.select(&spec) {
+            Ok(outcome) => {
+                let reference = select_serial(
+                    strategy_by_name::<f64>(strategy)
+                        .expect("registry name")
+                        .as_ref(),
+                    problem,
+                    budget,
+                    seed,
+                )
+                .expect("serial reference")
+                .selected;
+                if outcome.selected == reference {
+                    report.ok += 1;
+                } else {
+                    eprintln!(
+                        "client {t}: {strategy} b={budget} seed={seed} diverged: \
+                         served {:?} vs serial {:?}",
+                        outcome.selected, reference
+                    );
+                    report.mismatched += 1;
+                }
+                report.seconds += outcome.seconds;
+                report.rounds.push(outcome.round);
+            }
+            Err(e) => {
+                eprintln!("client {t}: {strategy} b={budget}: {e}");
+                report.failed += 1;
+            }
+        }
+    }
+    report
+}
+
+fn main() {
+    let addr: String = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let clients: usize = arg_value("--clients").unwrap_or(3);
+    let requests: usize = arg_value("--requests").unwrap_or(4);
+    let n: usize = arg_value("--n").unwrap_or(120);
+    let max_ranks: usize = arg_value("--max-ranks").unwrap_or(2);
+
+    let ds = SyntheticConfig::new(3, 4)
+        .with_pool_size(n)
+        .with_initial_per_class(2)
+        .with_seed(7)
+        .generate::<f64>();
+    let problem = selection_problem_from_dataset(&ds);
+
+    // One control connection uploads the shared pool (and later shuts the
+    // server down); the load clients reference the handle it got back.
+    let mut control = ServeClient::connect(addr.as_str(), Duration::from_secs(10))
+        .and_then(|c| c.with_patience(Some(Duration::from_secs(30))))
+        .unwrap_or_else(|e| panic!("cannot reach the server at {addr}: {e}"));
+    let pool = control
+        .upload_pool(&problem)
+        .unwrap_or_else(|e| panic!("pool upload failed: {e}"));
+
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let addr = addr.as_str();
+                let problem = &problem;
+                scope.spawn(move || drive_client(t, addr, pool, requests, max_ranks, problem))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let mut table = Table::new(
+        format!("serve_load against {addr} (pool n={n}, {requests} requests/client)"),
+        &["client", "ok", "mismatch", "failed", "select s", "rounds"],
+    );
+    let mut all_ok = true;
+    for (t, r) in reports.iter().enumerate() {
+        all_ok &= r.mismatched == 0 && r.failed == 0;
+        table.row(&[
+            t.to_string(),
+            r.ok.to_string(),
+            r.mismatched.to_string(),
+            r.failed.to_string(),
+            format!("{:.4}", r.seconds),
+            format!("{:?}", r.rounds),
+        ]);
+    }
+    println!("{}", table.render());
+
+    match control.stats() {
+        Ok(stats) => println!(
+            "server totals: {} rounds, {} ok / {} err, {} collective calls / {:.2} MB billed",
+            stats.rounds,
+            stats.requests_ok,
+            stats.requests_err,
+            stats.comm.total_calls(),
+            stats.comm.total_bytes() as f64 / 1e6,
+        ),
+        Err(e) => {
+            eprintln!("stats query failed: {e}");
+            all_ok = false;
+        }
+    }
+
+    if has_flag("--shutdown") {
+        match control.shutdown() {
+            Ok(()) => println!("server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                all_ok = false;
+            }
+        }
+    }
+
+    std::process::exit(i32::from(!all_ok));
+}

@@ -35,6 +35,13 @@
 //!   row per strategy (`strategy` column + per-rank `CommStats`). Options:
 //!   `--strategy`, `--n`, `--budget`, `--seed`, `--threads`. Non-zero exit
 //!   on any divergence — CI runs this at `-p 2`.
+//! * `serve` — **active-learning-as-a-service**: hold the warm rank mesh
+//!   open as a persistent selection server (`firal-serve`). Rank 0 binds
+//!   `--addr` (default `127.0.0.1:7700`) and accepts selection clients
+//!   (see the `serve_load` binary); batches of requests run concurrently
+//!   on disjoint sub-communicators. Options: `--addr`, `--min-batch N`
+//!   (hold rounds until N requests are queued). Runs until a client sends
+//!   a shutdown request; exits 45 if the mesh degraded instead.
 //!
 //! Examples:
 //! ```text
@@ -42,6 +49,7 @@
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 4 fig6 --n 8000
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 2 scaling
 //! cargo run --release -p firal-bench --bin spmd_launch -- -p 2 strat --strategy upal,bayes-batch,approx-firal
+//! cargo run --release -p firal-bench --bin spmd_launch -- -p 4 serve --addr 127.0.0.1:7700
 //! ```
 
 use std::time::Duration;
@@ -55,7 +63,7 @@ use firal_comm::{fork_self, CommStats, Communicator, SelfComm, SocketComm};
 use firal_core::{EigSolver, Executor, MirrorDescentConfig, RelaxConfig, ShardedProblem};
 use firal_data::SyntheticConfig;
 
-const WORKLOADS: [&str; 5] = ["firal", "fig6", "fig7", "scaling", "strat"];
+const WORKLOADS: [&str; 6] = ["firal", "fig6", "fig7", "scaling", "strat", "serve"];
 
 /// Rank count from `-p`/`--ranks` (default 2); a malformed value is fatal,
 /// not silently replaced by the default.
@@ -78,7 +86,7 @@ fn workload_name() -> String {
     while i < args.len() {
         match args[i].as_str() {
             "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" | "--threads" | "--eta-groups"
-            | "--strategy" | "--budget" | "--seed" => i += 2,
+            | "--strategy" | "--budget" | "--seed" | "--addr" | "--min-batch" => i += 2,
             a if a.starts_with('-') => i += 1,
             a => return a.to_string(),
         }
@@ -115,6 +123,7 @@ fn main() {
             "fig7" => workload_fig7(&comm),
             "scaling" => workload_scaling(&comm),
             "strat" => workload_strategies(&comm),
+            "serve" => workload_serve(&comm),
             other => {
                 eprintln!("unknown workload {other:?}; known: {WORKLOADS:?}");
                 2
@@ -536,6 +545,44 @@ fn workload_strategies(comm: &SocketComm) -> i32 {
         }
     }
     i32::from(!all_ok)
+}
+
+/// Active-learning-as-a-service: hold the warm mesh open as a persistent
+/// selection server until a client requests shutdown. Exit codes: 0 clean
+/// shutdown, 45 the mesh degraded mid-service (a request's sub-group
+/// failed and the server wound down reporting it), 4 the serve control
+/// plane itself failed.
+fn workload_serve(comm: &SocketComm) -> i32 {
+    let addr: String = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let min_batch: usize = arg_value("--min-batch").unwrap_or(1);
+    let config = firal_serve::ServeConfig::new(addr.clone()).with_min_batch(min_batch);
+    if comm.rank() == 0 {
+        eprintln!(
+            "serve: {}-rank mesh listening on {addr} (min batch {min_batch})",
+            comm.size()
+        );
+    }
+    match firal_serve::run(comm, &config) {
+        Ok(summary) => {
+            if comm.rank() == 0 {
+                println!(
+                    "serve: {} rounds, {} ok / {} err requests{}",
+                    summary.rounds,
+                    summary.requests_ok,
+                    summary.requests_err,
+                    match &summary.degraded {
+                        Some(why) => format!(", DEGRADED: {why}"),
+                        None => String::new(),
+                    }
+                );
+            }
+            i32::from(summary.degraded.is_some()) * 45
+        }
+        Err(e) => {
+            eprintln!("rank {}: serve failed: {e}", comm.rank());
+            4
+        }
+    }
 }
 
 /// The `distributed_scaling` example's measurement at the launched rank

@@ -8,8 +8,8 @@
 
 use firal_comm::{CommScalar, CommStats, Communicator};
 use firal_core::{
-    parallel_select_by_name, EigSolver, EtaGroupGeometry, Executor, MirrorDescentConfig,
-    PhaseTimer, RelaxConfig, RoundConfig, SelectionProblem, ShardedProblem,
+    dispatch_select, EigSolver, EtaGroupGeometry, Executor, MirrorDescentConfig, PhaseTimer,
+    RelaxConfig, RoundConfig, SelectRequest, SelectionProblem, ShardedProblem,
 };
 use firal_data::{extend_with_noise, Dataset, SyntheticConfig};
 use firal_linalg::{Matrix, Scalar};
@@ -211,9 +211,10 @@ pub struct StrategyReport {
 
 /// The strategy-scaling measurement body shared by `spmd_launch strat`
 /// (socket backend, one process per rank) and the in-process harnesses:
-/// resolve `name` from the strategy registry and run the distributed
-/// selection on this rank's shard of `problem`. Panics on unknown names or
-/// invalid budgets — harness misconfiguration, not a measurement.
+/// dispatch the request through the shared [`dispatch_select`] metering
+/// layer (the same entry point `firal-serve` bills client requests
+/// through). Panics on unknown names or invalid budgets — harness
+/// misconfiguration, not a measurement.
 pub fn strategy_rank_body<T: CommScalar>(
     problem: &SelectionProblem<T>,
     name: &str,
@@ -222,13 +223,16 @@ pub fn strategy_rank_body<T: CommScalar>(
     threads: usize,
     comm: &dyn Communicator,
 ) -> StrategyReport {
-    let run = parallel_select_by_name(comm, problem, name, budget, seed, threads)
-        .unwrap_or_else(|e| panic!("strategy {name:?}: {e}"));
+    let req = SelectRequest::new(name, budget)
+        .with_seed(seed)
+        .with_threads(threads);
+    let run =
+        dispatch_select(comm, problem, &req).unwrap_or_else(|e| panic!("strategy {name:?}: {e}"));
     StrategyReport {
         strategy: name.to_string(),
         selected: run.selected,
         seconds: run.seconds,
-        comm_stats: run.comm_stats,
+        comm_stats: run.comm,
     }
 }
 

@@ -83,8 +83,8 @@ pub use cost::CostModel;
 pub use error::{comm_catch, comm_timeout, CommError, COMM_TIMEOUT_ENV};
 pub use fault::FAULT_ENV;
 pub use socket_comm::{
-    fork_self, fork_self_report, free_rendezvous_addr, socket_launch, RankExit, SocketComm,
-    RENDEZVOUS_TIMEOUT_ENV,
+    fork_self, fork_self_report, free_rendezvous_addr, poll_accept, socket_launch, RankExit,
+    SocketComm, RENDEZVOUS_TIMEOUT_ENV,
 };
 pub use thread_comm::{launch, ThreadComm};
 pub use verify::{verify_enabled, CollectiveKind, Dtype, Fingerprint, VERIFY_ENV};

@@ -50,10 +50,15 @@
 //! resets, and garbage frames are diagnosed as [`CommError`]s carrying
 //! rank/op/sequence context. A rank that observes an *original* failure
 //! (not a received abort) broadcasts a [`wire::ABORT_TAG`] frame on the
-//! raw, unbuffered clone of every mesh link, so each survivor fails its
-//! next frame read with [`CommError::RemoteAbort`] within one deadline
-//! instead of hanging; received aborts are not re-broadcast, so abort
-//! storms terminate. A failed endpoint stays poisoned — every later
+//! raw, unbuffered clones of its **group's** mesh links, so each group
+//! survivor fails its next frame read with [`CommError::RemoteAbort`]
+//! within one deadline instead of hanging; received aborts are not
+//! re-broadcast, so abort storms terminate. The blast radius is the
+//! failing (sub-)group, not the whole mesh: disjoint sibling groups made
+//! by `split` (e.g. concurrent serving requests) keep running, and ranks
+//! outside the group observe the failure only at their next collective
+//! that includes a member of it. On a root communicator the group *is*
+//! the mesh, so pre-split behaviour is unchanged. A failed endpoint stays poisoned — every later
 //! collective replays the first error. [`SocketComm::install_panic_abort`]
 //! extends the same courtesy to panics (e.g. the schedule verifier's
 //! mismatch abort): SPMD launchers install it once per rank so a panic
@@ -76,7 +81,8 @@
 //!   test/bench harness for the socket path.
 
 use std::cell::{Cell, RefCell, RefMut};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::{Child, Command};
 use std::rc::Rc;
@@ -258,6 +264,31 @@ fn accept_within(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStr
     }
 }
 
+/// Poll `listener` for one pending connection without blocking — the
+/// serving-side accept primitive: a server that owns rank 0 of a warm mesh
+/// interleaves this with its scheduling loop, so accepting clients never
+/// stalls the SPMD control plane. Returns `Ok(None)` when no connection is
+/// pending. The listener is left in nonblocking mode between calls; an
+/// accepted stream is switched back to blocking before it is returned.
+pub fn poll_accept(listener: &TcpListener) -> io::Result<Option<TcpStream>> {
+    listener.set_nonblocking(true)?;
+    match listener.accept() {
+        Ok((stream, _)) => {
+            stream.set_nonblocking(false)?;
+            Ok(Some(stream))
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+            ) =>
+        {
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// One rank's endpoint of a TCP process group (see the module docs for the
 /// rendezvous protocol and collective algorithms).
 ///
@@ -298,7 +329,17 @@ pub struct SocketComm {
     /// advances even when verification is off — it is the schedule
     /// coordinate fault injection keys on.
     verify: Verifier,
+    /// Self-addressed point-to-point frames ([`SocketComm::try_send_bytes`]
+    /// to our own rank): queued here instead of touching a socket, so the
+    /// serving layer's control plane treats rank 0 → rank 0 traffic
+    /// uniformly with every other lane.
+    loopback: RefCell<VecDeque<Vec<u8>>>,
 }
+
+/// Seed salt distinguishing a group's point-to-point lane tag from every
+/// [`wire::derive_scope`] sub-group tag (those use small split counters as
+/// the `seq` input; this constant is far outside that range).
+const P2P_LANE_SALT: u64 = 0xF1AA_9292_0000_0001;
 
 /// Registry behind [`SocketComm::install_panic_abort`]: (origin world
 /// rank, raw mesh stream) pairs the process-wide panic hook writes abort
@@ -356,6 +397,7 @@ impl SocketComm {
             stats: RefCell::new(CommStats::default()),
             failed: RefCell::new(None),
             verify: Verifier::new(wire::ROOT_SCOPE),
+            loopback: RefCell::new(VecDeque::new()),
         };
         let mut peers: Vec<Option<RefCell<Peer>>> = (0..size).map(|_| None).collect();
         if size == 1 {
@@ -604,10 +646,12 @@ impl SocketComm {
         }
     }
 
-    /// Diagnose a wire failure as a [`CommError`], broadcasting an abort
-    /// frame for *original* failures (a received abort is not re-broadcast,
-    /// so abort storms terminate).
-    fn fail(&self, op: &'static str, seq: u64, e: io::Error) -> CommError {
+    /// Classify a wire failure as a [`CommError`] — diagnosis only, no
+    /// abort broadcast and no endpoint poisoning. The collective path wraps
+    /// this in [`Self::fail`]; the point-to-point lane uses it directly,
+    /// because a control-plane failure (one dead leader link, an expired
+    /// recv patience) must not tear down sub-groups that are still healthy.
+    fn diagnose(&self, op: &'static str, seq: u64, e: io::Error) -> CommError {
         let rank = self.my_pos;
         let size = self.members.len();
         if let Some(abort) = e.get_ref().and_then(|i| i.downcast_ref::<AbortMsg>()) {
@@ -620,7 +664,7 @@ impl SocketComm {
                 reason: format!("{}{}", abort.reason, self.trace()),
             };
         }
-        let err = match e.kind() {
+        match e.kind() {
             io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => CommError::DeadlineExceeded {
                 rank,
                 size,
@@ -642,19 +686,168 @@ impl SocketComm {
                 seq,
                 detail: format!("{e} (a peer rank likely died){}", self.trace()),
             },
-        };
-        self.broadcast_abort(&err);
+        }
+    }
+
+    /// Diagnose a wire failure as a [`CommError`], broadcasting an abort
+    /// frame for *original* failures (a received abort is not re-broadcast,
+    /// so abort storms terminate).
+    fn fail(&self, op: &'static str, seq: u64, e: io::Error) -> CommError {
+        let err = self.diagnose(op, seq, e);
+        if !matches!(err, CommError::RemoteAbort { .. }) {
+            self.broadcast_abort(&err);
+        }
         err
     }
 
-    /// Best-effort abort broadcast on the raw clone of every mesh link, so
-    /// survivors fail their next frame read with
+    /// Best-effort abort broadcast on the raw clones of this **group's**
+    /// mesh links, so the group's survivors fail their next frame read with
     /// [`CommError::RemoteAbort`] instead of waiting out the deadline.
-    /// Write failures are ignored — the link may be the thing that broke.
+    /// Confining the blast radius to `self.members` is what lets disjoint
+    /// sub-groups (e.g. concurrent serving requests after a `split`) keep
+    /// running when a sibling group dies: other groups only observe the
+    /// failure at their next collective that shares a rank with the failed
+    /// group, within one deadline. On a root communicator the members are
+    /// the whole mesh, so the behaviour there is unchanged. Write failures
+    /// are ignored — the link may be the thing that broke.
     fn broadcast_abort(&self, err: &CommError) {
         let reason = err.to_string();
-        for s in self.abort_streams.iter().flatten() {
-            let _ = wire::write_abort(&mut &*s, self.world_rank, &reason);
+        for &m in &self.members {
+            if let Some(s) = &self.abort_streams[m] {
+                let _ = wire::write_abort(&mut &*s, self.world_rank, &reason);
+            }
+        }
+    }
+
+    /// Scope tag of this group's point-to-point lane: derived from the
+    /// group scope with a reserved salt, so control frames interleaved with
+    /// collective traffic on a shared mesh link can never be consumed by a
+    /// collective (and vice versa) — a misordered control plane fails as a
+    /// scope mismatch, loudly.
+    fn p2p_scope(&self) -> u64 {
+        wire::derive_scope(self.scope, P2P_LANE_SALT, 0)
+    }
+
+    /// Send one opaque byte frame point-to-point to group rank `dest`.
+    ///
+    /// This is the serving layer's control lane (schedules, pool uploads,
+    /// per-request results), **not** a collective: the schedule verifier
+    /// does not stamp it, [`CommStats`] does not meter it, and the sender
+    /// and receiver must agree on frame order per link out-of-band (the
+    /// serving protocol's round structure provides that). A send to our own
+    /// rank queues the frame on an in-process loopback.
+    ///
+    /// Failures are diagnosed as [`CommError`] but — unlike collective
+    /// failures — neither broadcast an abort frame nor poison the endpoint:
+    /// one dead control link must not tear down healthy sub-groups. The
+    /// error's `seq` is the endpoint's current collective schedule
+    /// coordinate, for cross-referencing with verifier traces.
+    pub fn try_send_bytes(&self, dest: usize, payload: &[u8]) -> Result<(), CommError> {
+        assert!(dest < self.members.len(), "p2p dest {dest} out of range");
+        if dest == self.my_pos {
+            self.loopback.borrow_mut().push_back(payload.to_vec());
+            return Ok(());
+        }
+        let seq = self.verify.next_seq();
+        let world = self.members[dest];
+        let mut p = self.peer(world);
+        (|| -> io::Result<()> {
+            wire::write_scope(&mut p.writer, self.p2p_scope())?;
+            wire::write_bytes(&mut p.writer, payload)?;
+            p.writer.flush()
+        })()
+        .map_err(|e| self.diagnose("send_bytes", seq, e))
+    }
+
+    /// Receive one opaque byte frame sent point-to-point by group rank
+    /// `src` via [`SocketComm::try_send_bytes`].
+    ///
+    /// `patience` bounds the wait for the frame to *start* arriving —
+    /// independent of the steady-state `FIRAL_COMM_TIMEOUT` deadline, which
+    /// only governs reads once bytes flow. A server blocked on the next
+    /// request and a compute rank idling between rounds legitimately wait
+    /// far longer than any per-frame deadline; `None` waits indefinitely
+    /// (safe on a live mesh: a dying peer closes the link, which lands here
+    /// as EOF, or its abort frame arrives first). Abort frames written by a
+    /// failing peer surface as [`CommError::RemoteAbort`] carrying the
+    /// origin's diagnosis. Same non-collective, non-aborting contract as
+    /// the send side.
+    pub fn try_recv_bytes(
+        &self,
+        src: usize,
+        patience: Option<Duration>,
+    ) -> Result<Vec<u8>, CommError> {
+        assert!(src < self.members.len(), "p2p src {src} out of range");
+        let seq = self.verify.next_seq();
+        if src == self.my_pos {
+            return self.loopback.borrow_mut().pop_front().ok_or_else(|| {
+                self.diagnose(
+                    "recv_bytes",
+                    seq,
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "p2p receive from own rank with an empty loopback queue",
+                    ),
+                )
+            });
+        }
+        let world = self.members[src];
+        self.await_frame(world, patience)
+            .and_then(|()| {
+                let mut p = self.peer(world);
+                wire::expect_scope(&mut p.reader, self.p2p_scope())?;
+                wire::read_bytes(&mut p.reader)
+            })
+            .map_err(|e| self.diagnose("recv_bytes", seq, e))
+    }
+
+    /// Wait (bounded by `patience`) until at least one byte from `world` is
+    /// readable, polling in short slices so the shared socket deadline is
+    /// restored to [`comm_timeout`] before any frame payload is read. EOF
+    /// while waiting is reported immediately — a dead peer must not consume
+    /// the whole patience budget.
+    fn await_frame(&self, world: usize, patience: Option<Duration>) -> io::Result<()> {
+        const POLL_SLICE: Duration = Duration::from_millis(25);
+        let start = Instant::now();
+        loop {
+            let p = self.peer(world);
+            let slice = match patience {
+                Some(total) => {
+                    let left = total.saturating_sub(start.elapsed());
+                    if left.is_zero() {
+                        let _ = p.set_deadline(comm_timeout());
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("no p2p frame arrived within the {total:?} patience"),
+                        ));
+                    }
+                    left.min(POLL_SLICE)
+                }
+                None => POLL_SLICE,
+            };
+            p.set_deadline(Some(slice.max(Duration::from_millis(1))))?;
+            let mut p = p;
+            let waited = p.reader.fill_buf().map(|buf| !buf.is_empty());
+            let restore = p.set_deadline(comm_timeout());
+            match waited {
+                Ok(true) => return restore,
+                Ok(false) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed the link while a p2p frame was awaited",
+                    ))
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    // Keep polling until the patience budget expires.
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -1023,6 +1216,7 @@ impl Communicator for SocketComm {
                 stats: RefCell::new(CommStats::default()),
                 failed: RefCell::new(None),
                 verify: Verifier::new(scope),
+                loopback: RefCell::new(VecDeque::new()),
             };
             // First use of the new scope is a barrier: a wiring or ordering
             // mistake fails loudly at split time, not at the first
@@ -1634,6 +1828,133 @@ mod tests {
                 other => panic!("unexpected error class: {other}"),
             }
             assert_eq!(err.op(), "allreduce_f64");
+        }
+    }
+
+    #[test]
+    fn p2p_byte_frames_roundtrip_and_interleave_with_collectives() {
+        let results = socket_launch(3, |comm| {
+            // Rank 0 sends a distinct frame to everyone (itself included,
+            // via the loopback), a collective runs on the shared links, and
+            // rank 0 then collects a reply from each rank — the serving
+            // round shape.
+            if comm.rank() == 0 {
+                for dest in 0..3 {
+                    comm.try_send_bytes(dest, format!("task-{dest}").as_bytes())
+                        .expect("send");
+                }
+            }
+            let task = comm
+                .try_recv_bytes(0, Some(Duration::from_secs(5)))
+                .expect("recv task");
+            let mut buf = vec![1.0];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum);
+            comm.try_send_bytes(0, format!("done:{}", comm.rank()).as_bytes())
+                .expect("reply");
+            let replies = if comm.rank() == 0 {
+                (0..3)
+                    .map(|src| {
+                        let b = comm
+                            .try_recv_bytes(src, Some(Duration::from_secs(5)))
+                            .expect("collect");
+                        String::from_utf8(b).expect("utf8")
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (String::from_utf8(task).expect("utf8"), buf[0], replies)
+        });
+        for (rank, (task, sum, replies)) in results.into_iter().enumerate() {
+            assert_eq!(task, format!("task-{rank}"));
+            assert_eq!(sum, 3.0);
+            if rank == 0 {
+                assert_eq!(replies, vec!["done:0", "done:1", "done:2"]);
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_is_invisible_to_stats_and_the_collective_schedule() {
+        let results = socket_launch(2, |comm| {
+            let seq0 = comm.collective_seq();
+            if comm.rank() == 0 {
+                comm.try_send_bytes(1, b"ping").expect("send");
+            } else {
+                let got = comm
+                    .try_recv_bytes(0, Some(Duration::from_secs(5)))
+                    .expect("recv");
+                assert_eq!(got, b"ping");
+            }
+            (comm.collective_seq() - seq0, comm.stats())
+        });
+        for (dseq, stats) in results {
+            assert_eq!(dseq, 0, "p2p must not advance the collective schedule");
+            assert_eq!(stats.total_calls(), 0, "p2p must not be metered");
+        }
+    }
+
+    #[test]
+    fn p2p_recv_patience_expires_as_a_structured_deadline_error() {
+        let results = socket_launch(2, |comm| {
+            if comm.rank() == 0 {
+                // Never send: rank 1's patience must expire on its own.
+                comm.barrier();
+                return None;
+            }
+            let err = comm
+                .try_recv_bytes(0, Some(Duration::from_millis(120)))
+                .expect_err("nothing was sent");
+            // The endpoint is NOT poisoned: collectives still work after a
+            // control-plane timeout.
+            comm.barrier();
+            Some(err)
+        });
+        let err = results[1].clone().expect("rank 1 error");
+        assert!(
+            matches!(err, CommError::DeadlineExceeded { .. }),
+            "unexpected class: {err}"
+        );
+        assert_eq!(err.op(), "recv_bytes");
+    }
+
+    #[test]
+    fn p2p_recv_from_dead_peer_reports_eof_not_patience_exhaustion() {
+        let t0 = Instant::now();
+        let results = socket_launch(2, |comm| {
+            if comm.rank() == 0 {
+                return None; // Drop the endpoint: links close.
+            }
+            Some(comm.try_recv_bytes(0, Some(Duration::from_secs(30))))
+        });
+        let err = results[1].clone().expect("rank 1 ran").expect_err("EOF");
+        assert!(
+            matches!(err, CommError::PeerDeath { .. }),
+            "unexpected class: {err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "EOF must not burn the whole patience budget"
+        );
+    }
+
+    #[test]
+    fn poll_accept_is_nonblocking_and_accepts_when_a_client_arrives() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        assert!(poll_accept(&listener).expect("poll").is_none());
+        let _client = TcpStream::connect(addr).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(stream) = poll_accept(&listener).expect("poll") {
+                assert!(stream.peer_addr().is_ok());
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "accept never observed the client"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 

@@ -256,6 +256,36 @@ fn read_f64_payload(r: &mut impl Read, out: &mut [f64]) -> io::Result<()> {
     Ok(())
 }
 
+/// Ceiling on the byte length of a raw byte frame ([`write_bytes`]):
+/// 1 GiB. Byte frames carry serving-layer payloads (serialized requests,
+/// uploaded pools, responses); a desynchronized stream yields a garbage
+/// length prefix, and rejecting it beats aborting the process with an OOM.
+pub const MAX_WIRE_BYTES: usize = 1 << 30;
+
+/// Write a length-prefixed raw byte buffer. The byte-frame lane is the
+/// substrate of the serving layer's point-to-point control plane
+/// (schedules, pool uploads, per-request results) — opaque to the
+/// collective machinery, never fingerprinted by the schedule verifier.
+pub fn write_bytes(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    write_u64(w, data.len() as u64)?;
+    w.write_all(data)
+}
+
+/// Read a length-prefixed raw byte buffer written by [`write_bytes`],
+/// bounded by [`MAX_WIRE_BYTES`] so a desynced stream fails loudly.
+pub fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let n = read_u64(r)? as usize;
+    if n > MAX_WIRE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unreasonable byte-frame length {n} on the wire (stream desync?)"),
+        ));
+    }
+    let mut out = vec![0u8; n];
+    r.read_exact(&mut out)?;
+    Ok(out)
+}
+
 /// Ceiling on the byte length of a wire string (rendezvous addresses,
 /// abort reasons). A desynced stream yields a garbage length; rejecting it
 /// beats a giant allocation.
@@ -439,6 +469,34 @@ mod tests {
             .and_then(|e| e.downcast_ref::<AbortMsg>())
             .expect("truncated abort must still decode");
         assert_eq!(abort.reason.len(), MAX_WIRE_STR);
+    }
+
+    #[test]
+    fn byte_frames_roundtrip_including_empty() {
+        for data in [&b""[..], b"\x00\x01\xFF", b"serve request"] {
+            let mut buf = Vec::new();
+            write_bytes(&mut buf, data).unwrap();
+            let mut cursor = &buf[..];
+            assert_eq!(read_bytes(&mut cursor).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn oversized_byte_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, (MAX_WIRE_BYTES as u64) + 1).unwrap();
+        let mut cursor = &buf[..];
+        let err = read_bytes(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_byte_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100).unwrap();
+        buf.extend_from_slice(&[7u8; 10]);
+        let mut cursor = &buf[..];
+        assert!(read_bytes(&mut cursor).is_err());
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   each strategy is written once against [`exec::Executor`] and runs
 //!   unchanged on every comm backend ([`strategies::strategy_by_name`]
 //!   resolves registered names);
+//! * [`dispatch`] — request → strategy dispatch with per-request stats
+//!   accounting ([`dispatch::SelectRequest`] / [`dispatch::dispatch_select`]),
+//!   the metering entry point the serving layer (`firal-serve`) and the
+//!   bench workloads share;
 //! * [`driver`] — the §IV-A multi-round active-learning loop;
 //! * [`parallel`] — thin SPMD-flavoured wrappers over [`exec`] for callers
 //!   that hold a communicator directly;
@@ -40,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod dispatch;
 pub mod driver;
 pub mod exact;
 pub mod exec;
@@ -55,6 +60,7 @@ pub mod timing;
 pub use config::{
     BayesBatchConfig, FiralConfig, MirrorDescentConfig, RelaxConfig, RoundConfig, UpalConfig,
 };
+pub use dispatch::{dispatch_select, SelectReport, SelectRequest};
 pub use driver::{run_experiment, run_experiment_named, ExperimentResult, RoundRecord};
 pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
 pub use exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun, ShardedProblem};

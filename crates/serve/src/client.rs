@@ -1,0 +1,151 @@
+//! A blocking client for the selection server.
+//!
+//! [`ServeClient`] owns one TCP connection and speaks the request/response
+//! protocol of [`crate::proto`] synchronously: each method writes one
+//! request frame and blocks for the matching response. Concurrency is a
+//! *client-side* choice — open several `ServeClient`s (e.g. one per
+//! thread) and the server batches their requests into shared rounds on
+//! disjoint sub-groups.
+//!
+//! Reads are deadline-armed via [`ServeClient::with_patience`] (the soak
+//! and fault suites pin this so a dead server surfaces as a structured
+//! [`ClientError::Io`] timeout instead of a hung test), and a server-side
+//! request failure surfaces as [`ClientError::Server`] carrying the
+//! `ERR_*` taxonomy code — the connection stays usable afterwards.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use firal_core::SelectionProblem;
+
+use crate::proto::{
+    self, RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats,
+};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure: connect, write, read, or a response that is not
+    /// this protocol (includes read deadline expiry).
+    Io(io::Error),
+    /// The server answered with a structured per-request error; the
+    /// connection is still healthy.
+    Server(RemoteError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client transport failure: {e}"),
+            ClientError::Server(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> ClientError {
+    ClientError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected a {what} response, got {got:?}"),
+    ))
+}
+
+/// One blocking connection to a selection server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connect to a server, retrying briefly so a client racing the
+    /// server's bind (the common harness pattern) doesn't flake.
+    pub fn connect(addr: impl ToSocketAddrs, give_up_after: Duration) -> io::Result<Self> {
+        let start = std::time::Instant::now();
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) if start.elapsed() < give_up_after => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self { reader, writer })
+    }
+
+    /// Arm a read deadline on every subsequent response wait. `None`
+    /// blocks indefinitely (the default).
+    pub fn with_patience(self, patience: Option<Duration>) -> io::Result<Self> {
+        self.reader.get_ref().set_read_timeout(patience)?;
+        Ok(self)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_request(&mut self.writer, req)?;
+        self.writer.flush()?;
+        Ok(proto::read_response(&mut self.reader)?)
+    }
+
+    /// Upload a pool; returns the server-assigned handle for
+    /// [`SelectSpec::pool`].
+    pub fn upload_pool(&mut self, problem: &SelectionProblem<f64>) -> Result<u64, ClientError> {
+        match self.call(&Request::UploadPool(proto::encode_pool(problem)))? {
+            Response::Pool { handle } => Ok(handle),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("pool", &other)),
+        }
+    }
+
+    /// Run one selection; blocks until the server's round completes.
+    pub fn select(&mut self, spec: &SelectSpec) -> Result<SelectionOutcome, ClientError> {
+        match self.call(&Request::Select(spec.clone()))? {
+            Response::Select(outcome) => Ok(outcome),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("select", &other)),
+        }
+    }
+
+    /// Fetch the server's cumulative accounting.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the server to drain its queue and stop; returns once the
+    /// shutdown is acknowledged (the mesh is winding down).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Escape hatch for robustness tests: write raw bytes straight onto
+    /// the connection (e.g. a deliberately malformed frame) and flush.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Escape hatch for robustness tests: read the next response frame
+    /// without having issued a request through the typed surface.
+    pub fn read_raw_response(&mut self) -> io::Result<Response> {
+        proto::read_response(&mut self.reader)
+    }
+}

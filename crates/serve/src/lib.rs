@@ -1,0 +1,41 @@
+//! Active-learning-as-a-service: a persistent, multi-tenant selection
+//! server held open over a warm rank mesh.
+//!
+//! `spmd_launch serve` (in `firal-bench`) wires `p` [`SocketComm`] ranks
+//! into a mesh once and then keeps them hot: rank 0 listens for selection
+//! clients while the mesh idles, and every batch of client requests is
+//! carved onto **disjoint sub-communicators** (`Communicator::split`) so
+//! independent requests run concurrently without sharing collectives —
+//! the serving-layer payoff of the strategy determinism contract (selected
+//! indices are identical at any rank count) and of the fault-tolerant
+//! `try_`/[`CommError`] collectives: one bad request aborts its own
+//! sub-group, answers its own client with a structured error, and the
+//! server keeps serving.
+//!
+//! * [`proto`] — the length-framed client protocol (pool upload, select,
+//!   stats, shutdown) with a pure incremental parser and the `ERR_*`
+//!   error taxonomy;
+//! * [`sched`] — the pure round scheduler mapping a request queue onto
+//!   idle ranks (disjointness and determinism are property-tested);
+//! * [`server`] — the hub/worker round loops ([`run`]);
+//! * [`client`] — the blocking [`ServeClient`] used by the load generator
+//!   and the test suites.
+//!
+//! The repo-root `ARCHITECTURE.md` ("Serving layer") documents the round
+//! protocol, the scheduler policy, and the failure-model delta against
+//! the plain SPMD path.
+//!
+//! [`SocketComm`]: firal_comm::SocketComm
+//! [`CommError`]: firal_comm::CommError
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod sched;
+pub mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use proto::{RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats};
+pub use sched::{plan_round, Assignment, RankDemand, RoundPlan};
+pub use server::{run, ServeConfig, ServeError, ServeSummary};

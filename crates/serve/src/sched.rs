@@ -1,0 +1,144 @@
+//! The sub-group scheduler: which queued requests run this round, on
+//! which ranks.
+//!
+//! [`plan_round`] is a **pure function** of the idle-rank set and the
+//! request queue — no clocks, no randomness, no global state — so the same
+//! queue always produces the same plan regardless of arrival timing. That
+//! purity is what the property test (`crates/serve/tests/sched_prop.rs`)
+//! pins: disjointness, idle-only coverage, and determinism all follow from
+//! replaying the same inputs.
+//!
+//! The policy is greedy first-fit in queue (FIFO) order: each request asks
+//! for up to [`RankDemand::want_ranks`] ranks, is clamped to what exists,
+//! and takes the lowest idle ranks still unassigned. A request that does
+//! not fit in the ranks remaining this round is deferred — *and so is
+//! everything behind it*, preserving FIFO completion pressure (no
+//! starvation of a wide request by a stream of narrow ones).
+
+/// One queued request, as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDemand {
+    /// Caller-side request id (opaque to the scheduler, echoed in the
+    /// plan).
+    pub id: u64,
+    /// How many ranks the request wants: its `max_ranks` cap, where `0`
+    /// means "as many as are idle". Clamped to at least 1 and at most the
+    /// round's idle count.
+    pub want_ranks: usize,
+}
+
+/// One request placed onto a concrete rank set this round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Echo of [`RankDemand::id`].
+    pub id: u64,
+    /// World ranks carved for this request, strictly ascending. The lowest
+    /// is the sub-group leader (group rank 0 after a `split` keyed by
+    /// world rank).
+    pub ranks: Vec<usize>,
+}
+
+/// What one round will run and what stays queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPlan {
+    /// Requests to run concurrently this round, in queue order. Their rank
+    /// sets are pairwise disjoint subsets of the idle set.
+    pub assignments: Vec<Assignment>,
+    /// Ids deferred to a later round, in queue order.
+    pub deferred: Vec<u64>,
+}
+
+/// Plan one round: carve `idle` (ascending world ranks) among `queue`
+/// (FIFO). See the module docs for the policy and its invariants.
+///
+/// `idle` must be strictly ascending (the server always passes the full
+/// mesh); duplicate or unsorted inputs are a caller bug and panic in
+/// debug builds.
+pub fn plan_round(idle: &[usize], queue: &[RankDemand]) -> RoundPlan {
+    debug_assert!(
+        idle.windows(2).all(|w| w[0] < w[1]),
+        "idle ranks must be strictly ascending: {idle:?}"
+    );
+    let mut plan = RoundPlan {
+        assignments: Vec::new(),
+        deferred: Vec::new(),
+    };
+    let mut next = 0; // first idle slot not yet handed out
+    let mut fifo_blocked = false;
+    for req in queue {
+        let want = match req.want_ranks {
+            0 => idle.len(),
+            w => w.min(idle.len()),
+        }
+        .max(1);
+        let left = idle.len() - next;
+        if fifo_blocked || want > left {
+            fifo_blocked = true;
+            plan.deferred.push(req.id);
+            continue;
+        }
+        plan.assignments.push(Assignment {
+            id: req.id,
+            ranks: idle[next..next + want].to_vec(),
+        });
+        next += want;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(id: u64, want: usize) -> RankDemand {
+        RankDemand {
+            id,
+            want_ranks: want,
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_get_disjoint_ascending_groups() {
+        let plan = plan_round(&[0, 1, 2, 3], &[demand(1, 2), demand(2, 2)]);
+        assert_eq!(plan.deferred, Vec::<u64>::new());
+        assert_eq!(plan.assignments[0].ranks, vec![0, 1]);
+        assert_eq!(plan.assignments[1].ranks, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_means_every_idle_rank() {
+        let plan = plan_round(&[0, 1, 2, 3], &[demand(1, 0), demand(2, 1)]);
+        assert_eq!(plan.assignments[0].ranks, vec![0, 1, 2, 3]);
+        assert_eq!(plan.deferred, vec![2]);
+    }
+
+    #[test]
+    fn wants_are_clamped_to_the_mesh() {
+        let plan = plan_round(&[0, 1], &[demand(1, 64)]);
+        assert_eq!(plan.assignments[0].ranks, vec![0, 1]);
+    }
+
+    #[test]
+    fn a_blocked_wide_request_blocks_everything_behind_it() {
+        // 3 idle ranks: first takes 2, second wants 2 (doesn't fit in the
+        // remaining 1), third wants 1 and *would* fit — but FIFO order
+        // holds, so it waits behind the second.
+        let plan = plan_round(&[0, 1, 2], &[demand(1, 2), demand(2, 2), demand(3, 1)]);
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.deferred, vec![2, 3]);
+    }
+
+    #[test]
+    fn planning_is_a_pure_function_of_its_inputs() {
+        let queue = [demand(4, 1), demand(9, 0), demand(2, 3)];
+        let a = plan_round(&[1, 3, 5, 7], &queue);
+        let b = plan_round(&[1, 3, 5, 7], &queue);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_queue_plans_an_empty_round() {
+        let plan = plan_round(&[0, 1, 2], &[]);
+        assert!(plan.assignments.is_empty() && plan.deferred.is_empty());
+    }
+}

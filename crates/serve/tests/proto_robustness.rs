@@ -1,0 +1,241 @@
+//! Protocol robustness: hostile and broken clients against a live server.
+//!
+//! A single-rank server (the `p = 1` instantiation of the same hub code
+//! the 4-process soak runs) is held open on a background thread while the
+//! test plays a rogue's gallery at it: garbage bytes, bad magic, oversized
+//! frames, truncated requests, unknown ops, unknown strategy names, and
+//! mid-request disconnects. Every scenario must yield a **structured**
+//! per-client error (the `ERR_*` taxonomy riding a `RESP_ERROR` frame) or
+//! a clean connection drop — and, crucially, the server must keep serving:
+//! after each abuse a fresh well-behaved request must succeed bitwise.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use firal_comm::{free_rendezvous_addr, socket_launch, wire};
+use firal_core::{select_serial, strategy_by_name, SelectionProblem};
+use firal_data::SyntheticConfig;
+use firal_serve::proto::{
+    self, CLIENT_MAGIC, ERR_BUDGET_TOO_LARGE, ERR_PROTOCOL, ERR_UNKNOWN_POOL, ERR_UNKNOWN_STRATEGY,
+    ERR_ZERO_BUDGET, MAX_REQUEST_BYTES, OP_SELECT,
+};
+use firal_serve::{run, ClientError, Response, SelectSpec, ServeClient, ServeConfig, ServeSummary};
+
+const PATIENCE: Duration = Duration::from_secs(30);
+
+fn tiny_problem() -> SelectionProblem<f64> {
+    let ds = SyntheticConfig::new(3, 4)
+        .with_pool_size(50)
+        .with_initial_per_class(2)
+        .with_seed(13)
+        .generate::<f64>();
+    let model =
+        firal_logreg::LogisticRegression::fit_default(&ds.initial_features, &ds.initial_labels)
+            .unwrap();
+    SelectionProblem::new(
+        ds.pool_features.clone(),
+        model.class_probs_cm1(&ds.pool_features),
+        ds.initial_features.clone(),
+        model.class_probs_cm1(&ds.initial_features),
+        3,
+    )
+}
+
+fn connect(addr: &str) -> ServeClient {
+    ServeClient::connect(addr, Duration::from_secs(10))
+        .and_then(|c| c.with_patience(Some(PATIENCE)))
+        .expect("client connect")
+}
+
+fn spec(pool: u64, strategy: &str, budget: usize) -> SelectSpec {
+    SelectSpec {
+        pool,
+        strategy: strategy.to_string(),
+        budget,
+        seed: 5,
+        threads: 0,
+        max_ranks: 0,
+    }
+}
+
+/// Expect a structured server error with the given taxonomy code.
+fn expect_code(result: Result<impl std::fmt::Debug, ClientError>, code: u64, what: &str) {
+    match result {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, code, "{what}: wrong code, message {:?}", e.message);
+            assert!(!e.message.is_empty(), "{what}: empty diagnosis");
+        }
+        other => panic!("{what}: expected server error code {code}, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_rogues_gallery_of_clients_cannot_take_the_server_down() {
+    let addr = free_rendezvous_addr().expect("free port");
+    let config = ServeConfig::new(addr.clone()).with_batch_wait(Duration::from_millis(5));
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || socket_launch(1, move |comm| run(comm, &config))
+    });
+
+    let problem = tiny_problem();
+
+    // Scenario 0 — sanity: a well-behaved client round-trips bitwise.
+    let mut good = connect(&addr);
+    let pool = good.upload_pool(&problem).expect("upload");
+    let outcome = good.select(&spec(pool, "entropy", 4)).expect("select");
+    let reference = select_serial(
+        strategy_by_name::<f64>("entropy").unwrap().as_ref(),
+        &problem,
+        4,
+        5,
+    )
+    .unwrap()
+    .selected;
+    assert_eq!(outcome.selected, reference, "healthy path must be bitwise");
+
+    // Scenario 1 — garbage bytes (bad magic): a structured protocol error
+    // comes back, then the server drops the connection.
+    {
+        let mut rogue = connect(&addr);
+        rogue
+            .send_raw(b"this is definitely not the protocol")
+            .unwrap();
+        match rogue.read_raw_response() {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ERR_PROTOCOL, "{}", e.message),
+            other => panic!("bad magic: expected a structured error, got {other:?}"),
+        }
+        // The connection is now dead from the server side: the next read
+        // must observe EOF/reset, not a hang.
+        assert!(
+            rogue.read_raw_response().is_err(),
+            "connection must be closed after a framing violation"
+        );
+    }
+
+    // Scenario 2 — an oversized length field is equally fatal and equally
+    // structured.
+    {
+        let mut rogue = connect(&addr);
+        let mut frame = Vec::new();
+        wire::write_u64(&mut frame, CLIENT_MAGIC).unwrap();
+        wire::write_u64(&mut frame, OP_SELECT).unwrap();
+        wire::write_u64(&mut frame, (MAX_REQUEST_BYTES as u64) + 1).unwrap();
+        rogue.send_raw(&frame).unwrap();
+        match rogue.read_raw_response() {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ERR_PROTOCOL, "{}", e.message),
+            other => panic!("oversized frame: expected a structured error, got {other:?}"),
+        }
+    }
+
+    // Scenario 3 — a truncated request followed by disconnect: nobody to
+    // answer, the server just reaps the client.
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let mut whole = Vec::new();
+        proto::write_request(
+            &mut whole,
+            &proto::Request::Select(spec(pool, "entropy", 4)),
+        )
+        .unwrap();
+        stream.write_all(&whole[..whole.len() / 2]).unwrap();
+        stream.flush().unwrap();
+        drop(stream);
+    }
+
+    // Scenario 4 — unknown op in a well-formed frame: per-request error,
+    // connection stays usable.
+    {
+        let mut rogue = connect(&addr);
+        let mut frame = Vec::new();
+        wire::write_u64(&mut frame, CLIENT_MAGIC).unwrap();
+        wire::write_u64(&mut frame, 777).unwrap();
+        wire::write_bytes(&mut frame, &[]).unwrap();
+        rogue.send_raw(&frame).unwrap();
+        match rogue.read_raw_response() {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ERR_PROTOCOL, "{}", e.message),
+            other => panic!("unknown op: expected a structured error, got {other:?}"),
+        }
+        // Same connection, valid request: must still be served.
+        let outcome = rogue
+            .select(&spec(pool, "entropy", 4))
+            .expect("post-abuse select");
+        assert_eq!(outcome.selected, reference);
+    }
+
+    // Scenario 5 — the SelectError taxonomy over the wire, all on one
+    // connection, which survives every one of them.
+    {
+        let mut client = connect(&addr);
+        expect_code(
+            client.select(&spec(pool, "gradient-descent", 4)),
+            ERR_UNKNOWN_STRATEGY,
+            "unknown strategy",
+        );
+        expect_code(
+            client.select(&spec(999, "entropy", 4)),
+            ERR_UNKNOWN_POOL,
+            "unknown pool",
+        );
+        expect_code(
+            client.select(&spec(pool, "entropy", 0)),
+            ERR_ZERO_BUDGET,
+            "zero budget",
+        );
+        expect_code(
+            client.select(&spec(pool, "entropy", 10_000)),
+            ERR_BUDGET_TOO_LARGE,
+            "budget beyond pool",
+        );
+        let outcome = client
+            .select(&spec(pool, "entropy", 4))
+            .expect("still serving");
+        assert_eq!(outcome.selected, reference);
+    }
+
+    // Scenario 6 — mid-request disconnect: the request is already queued
+    // when the client vanishes; the server must not care.
+    {
+        let mut doomed = connect(&addr);
+        let mut raw = Vec::new();
+        proto::write_request(&mut raw, &proto::Request::Select(spec(pool, "random", 6))).unwrap();
+        doomed.send_raw(&raw).unwrap();
+        drop(doomed);
+    }
+
+    // After all abuse: a brand-new client gets brand-new service.
+    let mut fresh = connect(&addr);
+    let outcome = fresh
+        .select(&spec(pool, "random", 6))
+        .expect("fresh select");
+    let reference = select_serial(
+        strategy_by_name::<f64>("random").unwrap().as_ref(),
+        &problem,
+        6,
+        5,
+    )
+    .unwrap()
+    .selected;
+    assert_eq!(outcome.selected, reference);
+
+    // Server-side accounting saw both the successes and the structured
+    // failures, then shuts down cleanly.
+    let stats = fresh.stats().expect("stats");
+    assert!(stats.requests_ok >= 4, "ok count: {stats:?}");
+    assert!(stats.requests_err >= 6, "err count: {stats:?}");
+    fresh.shutdown().expect("shutdown");
+
+    let summaries = server.join().expect("server thread");
+    assert_eq!(summaries.len(), 1);
+    match &summaries[0] {
+        Ok(ServeSummary {
+            degraded: None,
+            requests_ok,
+            ..
+        }) => {
+            assert!(*requests_ok >= 4, "summary: {:?}", summaries[0]);
+        }
+        other => panic!("server must exit clean and healthy, got {other:?}"),
+    }
+}

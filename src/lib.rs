@@ -137,3 +137,7 @@ pub use firal_logreg as logreg;
 /// FIRAL / Approx-FIRAL algorithms, baselines, experiment driver, and the
 /// communicator-generic execution layer.
 pub use firal_core as core;
+
+/// Active-learning-as-a-service: the persistent selection server held open
+/// over a warm rank mesh, its client protocol, and the sub-group scheduler.
+pub use firal_serve as serve;
