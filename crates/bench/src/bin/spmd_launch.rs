@@ -42,6 +42,14 @@
 //!   on disjoint sub-communicators. Options: `--addr`, `--min-batch N`
 //!   (hold rounds until N requests are queued). Runs until a client sends
 //!   a shutdown request; exits 45 if the mesh degraded instead.
+//! * `stream` — the **streaming round-state** latency row: a persistent
+//!   `StreamingState` is advanced by update batches of growing `Δpool`
+//!   (capped at 1% of the pool) and each commit + post-commit selection is
+//!   timed against the from-scratch rebuild baseline, demonstrating the
+//!   `O(Δpool)` maintenance cost. Rank 0 writes `BENCH_stream.json`
+//!   (override with `--out`). Options: `--n`, `--budget`, `--out`.
+//!   Non-zero exit if ranks' replicated fingerprints or selections
+//!   diverge.
 //!
 //! Examples:
 //! ```text
@@ -63,7 +71,9 @@ use firal_comm::{fork_self, CommStats, Communicator, SelfComm, SocketComm};
 use firal_core::{EigSolver, Executor, MirrorDescentConfig, RelaxConfig, ShardedProblem};
 use firal_data::SyntheticConfig;
 
-const WORKLOADS: [&str; 6] = ["firal", "fig6", "fig7", "scaling", "strat", "serve"];
+const WORKLOADS: [&str; 7] = [
+    "firal", "fig6", "fig7", "scaling", "strat", "serve", "stream",
+];
 
 /// Rank count from `-p`/`--ranks` (default 2); a malformed value is fatal,
 /// not silently replaced by the default.
@@ -86,7 +96,7 @@ fn workload_name() -> String {
     while i < args.len() {
         match args[i].as_str() {
             "-p" | "--ranks" | "--n" | "--per-rank" | "--ncg" | "--threads" | "--eta-groups"
-            | "--strategy" | "--budget" | "--seed" | "--addr" | "--min-batch" => i += 2,
+            | "--strategy" | "--budget" | "--seed" | "--addr" | "--min-batch" | "--out" => i += 2,
             a if a.starts_with('-') => i += 1,
             a => return a.to_string(),
         }
@@ -124,6 +134,7 @@ fn main() {
             "scaling" => workload_scaling(&comm),
             "strat" => workload_strategies(&comm),
             "serve" => workload_serve(&comm),
+            "stream" => workload_stream(&comm),
             other => {
                 eprintln!("unknown workload {other:?}; known: {WORKLOADS:?}");
                 2
@@ -583,6 +594,141 @@ fn workload_serve(comm: &SocketComm) -> i32 {
             4
         }
     }
+}
+
+/// The streaming round-state latency row: advance a persistent
+/// [`StreamingState`] by update batches of growing `Δpool` (capped at 1%
+/// of the pool), timing each collective commit and the post-commit
+/// selection against the from-scratch rebuild baseline. Rank 0 emits
+/// `BENCH_stream.json`; every rank cross-checks the replicated fingerprint
+/// and the selection over the mesh and the launch fails on divergence.
+fn workload_stream(comm: &SocketComm) -> i32 {
+    use firal_core::{FiralConfig, PoolUpdate, StreamingState};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let n: usize = arg_value("--n").unwrap_or(4_000);
+    let budget: usize = arg_value("--budget").unwrap_or(4);
+    let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_stream.json".to_string());
+
+    let ds = SyntheticConfig::new(3, 16)
+        .with_pool_size(n)
+        .with_initial_per_class(2)
+        .with_seed(19)
+        .generate::<f64>();
+    let problem = selection_problem_from_dataset(&ds);
+    let d = problem.dim();
+    let cm1 = problem.nblocks();
+    let weights: Vec<f64> = (0..n).map(|i| 0.04 + 0.01 * (i % 5) as f64).collect();
+    let cfg = FiralConfig {
+        // The measurement wants pure incremental commits; the rebuild
+        // baseline is timed explicitly below instead of on a cadence.
+        refactor_interval: usize::MAX,
+        ..Default::default()
+    };
+    let mut st = StreamingState::new(comm, &problem, &weights, &cfg);
+    let eta = 6.0 * (st.live() as f64).sqrt();
+
+    // Δpool ladder, capped at 1% of the pool.
+    let cap = (n / 100).max(1);
+    let mut deltas: Vec<usize> = [1, cap / 8, cap / 4, cap / 2, cap]
+        .into_iter()
+        .filter(|&v| v > 0)
+        .collect();
+    deltas.dedup();
+
+    let mut ok = true;
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for (step, &delta) in deltas.iter().enumerate() {
+        // Scripted adds: identical on every rank, sized to the ladder rung.
+        let batch: Vec<PoolUpdate<f64>> = (0..delta)
+            .map(|i| PoolUpdate::Add {
+                x: (0..d)
+                    .map(|j| 0.05 * ((step * 13 + i * 7 + j * 3) % 17) as f64 - 0.4)
+                    .collect(),
+                h: (0..cm1)
+                    .map(|k| 0.15 + 0.04 * ((i + k) % 5) as f64)
+                    .collect(),
+                weight: 0.03 + 0.005 * (i % 4) as f64,
+            })
+            .collect();
+        let t0 = Instant::now();
+        st.commit(comm, &batch);
+        let mut commit_s = [t0.elapsed().as_secs_f64()];
+        comm.allreduce_f64(&mut commit_s, firal_comm::ReduceOp::Max);
+
+        let t0 = Instant::now();
+        let run = st.select(comm, budget, eta, EigSolver::Exact);
+        let mut select_s = [t0.elapsed().as_secs_f64()];
+        comm.allreduce_f64(&mut select_s, firal_comm::ReduceOp::Max);
+
+        // Cross-rank gate: replicated fingerprint halves + selection.
+        let fp = st.fingerprint();
+        let mut row: Vec<f64> = vec![(fp >> 32) as f64, (fp & 0xffff_ffff) as f64];
+        row.extend(run.selected.iter().map(|&i| i as f64));
+        let gathered = comm.allgatherv_f64(&row);
+        if !gathered.chunks_exact(row.len()).all(|c| c == row) {
+            eprintln!(
+                "rank {}: Δ={delta}: ranks diverged (fingerprint or selection)",
+                comm.rank()
+            );
+            ok = false;
+        }
+        rows.push((delta, commit_s[0], select_s[0]));
+    }
+
+    // The baseline an incremental commit replaces: a from-scratch rebuild
+    // of the full O(n) round state.
+    let t0 = Instant::now();
+    st.refactor(comm);
+    let mut rebuild_s = [t0.elapsed().as_secs_f64()];
+    comm.allreduce_f64(&mut rebuild_s, firal_comm::ReduceOp::Max);
+
+    if comm.rank() == 0 {
+        let mut table = Table::new(
+            format!(
+                "Streaming round state over SocketComm (p={}, pool n={n}, d={d}, c={}): \
+                 commit latency vs Δpool (rebuild baseline {:.4}s)",
+                comm.size(),
+                problem.num_classes,
+                rebuild_s[0]
+            ),
+            &["Δpool", "commit s", "select s"],
+        );
+        for &(delta, commit, select) in &rows {
+            table.row(&[
+                delta.to_string(),
+                format!("{commit:.5}"),
+                format!("{select:.4}"),
+            ]);
+        }
+        println!("{}", table.render());
+
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(json, "  \"p\": {},", comm.size());
+        let _ = writeln!(json, "  \"pool_n\": {n},");
+        let _ = writeln!(json, "  \"d\": {d},");
+        let _ = writeln!(json, "  \"c\": {},", problem.num_classes);
+        let _ = writeln!(json, "  \"budget\": {budget},");
+        let _ = writeln!(json, "  \"rebuild_s\": {:.6},", rebuild_s[0]);
+        json.push_str("  \"rows\": [\n");
+        for (i, &(delta, commit, select)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"delta\": {delta}, \"commit_s\": {commit:.6}, \
+                 \"select_s\": {select:.6}}}{comma}"
+            );
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&out_path, json) {
+            eprintln!("failed to write {out_path}: {e}");
+            return 4;
+        }
+        eprintln!("stream: wrote {out_path}");
+    }
+    i32::from(!ok)
 }
 
 /// The `distributed_scaling` example's measurement at the launched rank

@@ -250,11 +250,38 @@ impl EtaGroupGeometry {
 /// `g_ik` panel. [`Executor::select_eta`] builds this **once** and shares
 /// it across every η grid re-run instead of reassembling (and
 /// re-communicating) it per value.
-struct RoundScratch<T: Scalar> {
-    bho: BlockDiag<T>,
-    sigma: BlockDiag<T>,
-    sigma_chol: Vec<Cholesky<T>>,
-    gik: Matrix<T>,
+///
+/// Since the streaming layer landed this state is **persistent**: it is
+/// keyed by a pool `version` and [`crate::stream::StreamingState`] advances
+/// it incrementally under point add/remove/label mutations (rank-one
+/// Cholesky up/downdates plus a delta-Allreduce of changed partial sums)
+/// instead of rebuilding it per round. See ARCHITECTURE.md § "Streaming
+/// round state" for the ownership and invalidation rules.
+pub struct RoundState<T: Scalar> {
+    /// Pool version this state reflects (0 for a one-shot build; the
+    /// streaming layer bumps it once per committed update batch).
+    pub(crate) version: u64,
+    pub(crate) bho: BlockDiag<T>,
+    pub(crate) sigma: BlockDiag<T>,
+    pub(crate) sigma_chol: Vec<Cholesky<T>>,
+    pub(crate) gik: Matrix<T>,
+}
+
+impl<T: Scalar> RoundState<T> {
+    /// The pool version this state was built at / advanced to.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The assembled `Σ⋄` block diagonal.
+    pub fn sigma(&self) -> &BlockDiag<T> {
+        &self.sigma
+    }
+
+    /// The labeled-set Hessian block diagonal `B(H_o)`.
+    pub fn bho(&self) -> &BlockDiag<T> {
+        &self.bho
+    }
 }
 
 /// One rank's execution context: communicator endpoint + shard geometry +
@@ -582,9 +609,36 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     }
 
     /// Build the η-independent ROUND state (Line 3 of Algorithm 3 plus the
-    /// `g_ik` panel): one Allreduce, one Cholesky sweep. Shared by every
-    /// grid value in [`Executor::select_eta`].
-    fn round_scratch(&self, z_local: &[T], timer: &mut PhaseTimer) -> RoundScratch<T> {
+    /// `g_ik` panel) from scratch: one Allreduce, one Cholesky sweep.
+    /// The returned state carries pool version 0; streaming callers that
+    /// maintain it incrementally should stamp their own version via
+    /// `crate::stream`. This is the **from-scratch rebuild** the streaming
+    /// refactor boundary is defined against: at a refactor the incremental
+    /// state must equal this build bitwise.
+    pub fn build_round_state(&self, z_local: &[T]) -> RoundState<T> {
+        let mut timer = PhaseTimer::new();
+        self.install(|| self.round_scratch(z_local, &mut timer))
+    }
+
+    /// Run the FTRL selection loop of Algorithm 3 over a prebuilt (possibly
+    /// incrementally maintained) [`RoundState`] — the persistent-state
+    /// counterpart of [`Executor::round`]. The state must describe the same
+    /// pool this executor's shard was materialized from.
+    pub fn round_with_state(
+        &self,
+        state: &RoundState<T>,
+        budget: usize,
+        eta: T,
+        eig: EigSolver,
+    ) -> RoundRun<T> {
+        self.install(|| {
+            let stats0 = self.comm.stats();
+            let timer = PhaseTimer::new();
+            self.round_body(state, budget, eta, eig, timer, stats0)
+        })
+    }
+
+    fn round_scratch(&self, z_local: &[T], timer: &mut PhaseTimer) -> RoundState<T> {
         let shard = self.shard;
         let n_local = shard.local_n();
         let cm1 = shard.nblocks();
@@ -626,7 +680,8 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             g
         };
 
-        RoundScratch {
+        RoundState {
+            version: 0,
             bho,
             sigma,
             sigma_chol,
@@ -638,7 +693,7 @@ impl<'a, T: CommScalar> Executor<'a, T> {
     /// η-independent scratch.
     fn round_body(
         &self,
-        scratch: &RoundScratch<T>,
+        scratch: &RoundState<T>,
         budget: usize,
         eta: T,
         eig: EigSolver,
@@ -655,11 +710,12 @@ impl<'a, T: CommScalar> Executor<'a, T> {
             "cannot select more points than the pool holds"
         );
         let binv = T::ONE / T::from_usize(budget);
-        let RoundScratch {
+        let RoundState {
             bho,
             sigma,
             sigma_chol,
             gik,
+            ..
         } = scratch;
 
         // Line 4: B₁ = √ê·Σ⋄ + (η/b)·H_o, inverted per block (replicated).

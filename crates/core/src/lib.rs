@@ -33,6 +33,12 @@
 //!   the metering entry point the serving layer (`firal-serve`) and the
 //!   bench workloads share;
 //! * [`driver`] — the §IV-A multi-round active-learning loop;
+//! * [`stream`] — **streaming round state**: a persistent, pool-versioned
+//!   [`exec::RoundState`] advanced incrementally under point
+//!   add/remove/label mutations (rank-one Cholesky up/downdates + a
+//!   delta-Allreduce of changed partial sums) instead of rebuilt per
+//!   round — see ARCHITECTURE.md § "Streaming round state" for ownership,
+//!   invalidation, and the drift/refactor contract;
 //! * [`parallel`] — thin SPMD-flavoured wrappers over [`exec`] for callers
 //!   that hold a communicator directly;
 //! * [`timing`] — the phase timers behind the Figs. 5–7 breakdowns.
@@ -55,6 +61,7 @@ pub mod problem;
 pub mod relax;
 pub mod round;
 pub mod strategies;
+pub mod stream;
 pub mod timing;
 
 pub use config::{
@@ -63,7 +70,7 @@ pub use config::{
 pub use dispatch::{dispatch_select, SelectReport, SelectRequest};
 pub use driver::{run_experiment, run_experiment_named, ExperimentResult, RoundRecord};
 pub use exact::{exact_firal, exact_relax, exact_round, RelaxTelemetry};
-pub use exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun, ShardedProblem};
+pub use exec::{EtaGroupGeometry, Executor, RelaxRun, RoundRun, RoundState, ShardedProblem};
 pub use parallel::{
     parallel_approx_firal_grouped, parallel_select, parallel_select_by_name, GroupedFiralRun,
     ParallelSelectRun,
@@ -76,4 +83,5 @@ pub use strategies::{
     EntropyStrategy, ExactFiral, KMeansStrategy, RandomStrategy, SelectError, SelectionRun,
     Strategy, UpalStrategy, STRATEGY_NAMES,
 };
+pub use stream::{PoolUpdate, StreamCommit, StreamingState};
 pub use timing::PhaseTimer;

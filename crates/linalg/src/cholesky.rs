@@ -20,6 +20,25 @@ impl<T: Scalar> Cholesky<T> {
     /// Factor an SPD matrix. Fails with [`LinalgError::NotPositiveDefinite`]
     /// on a non-positive pivot.
     pub fn new(a: &Matrix<T>) -> Result<Self> {
+        Self::factor(a, T::ZERO)
+    }
+
+    /// Factor `A + ridge·I` (numerical safety net for nearly singular sums
+    /// of Hessians; `ridge = 0` by convention in the main algorithms).
+    ///
+    /// The ridge is folded into the diagonal reads of the factorization
+    /// loop, so the semidefinite-rescue path pays no `O(d²)` copy of `A`.
+    /// The result is bitwise identical to factoring an explicit
+    /// `A + ridge·I` (the fold adds `ridge` to `A[(i,i)]` before any other
+    /// arithmetic touches the pivot, exactly as `add_diag` would).
+    pub fn new_with_ridge(a: &Matrix<T>, ridge: T) -> Result<Self> {
+        Self::factor(a, ridge)
+    }
+
+    /// Shared factorization loop. A non-zero `ridge` is added to each
+    /// diagonal entry as it is read; `ridge == 0` takes the exact code path
+    /// (and therefore the exact bits) of the historical ridge-free factor.
+    fn factor(a: &Matrix<T>, ridge: T) -> Result<Self> {
         let n = a.rows();
         assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
         counters::add_flops(n * n * n / 3);
@@ -29,6 +48,9 @@ impl<T: Scalar> Cholesky<T> {
             for j in 0..=i {
                 // acc = A[i][j] - Σ_{k<j} L[i][k] L[j][k]
                 let mut acc = a[(i, j)];
+                if i == j && ridge != T::ZERO {
+                    acc += ridge;
+                }
                 let (li, lj) = (l.row(i), l.row(j));
                 for k in 0..j {
                     acc -= li[k] * lj[k];
@@ -46,15 +68,95 @@ impl<T: Scalar> Cholesky<T> {
         Ok(Self { l })
     }
 
-    /// Factor `A + ridge·I` (numerical safety net for nearly singular sums
-    /// of Hessians; `ridge = 0` by convention in the main algorithms).
-    pub fn new_with_ridge(a: &Matrix<T>, ridge: T) -> Result<Self> {
-        if ridge == T::ZERO {
-            return Self::new(a);
+    /// Rank-1 update: refactor `L` in place so that `L Lᵀ = A + x xᵀ`,
+    /// where `A` is the currently factored matrix.
+    ///
+    /// Classic Givens-style column sweep in `O(n²)` (vs. `O(n³/3)` for a
+    /// fresh factor). The sweep is strictly sequential in `k` with unfused
+    /// mul-then-add arithmetic, so the result is a pure function of the
+    /// input bits — identical across threads, SIMD tiers, and ranks.
+    pub fn update(&mut self, x: &[T]) {
+        let n = self.order();
+        assert_eq!(x.len(), n, "Cholesky::update dimension mismatch");
+        counters::add_flops(4 * n * n / 2 + 4 * n);
+        let mut w = x.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r = lkk.hypot(w[k]);
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.l[(k, k)] = r;
+            for i in (k + 1)..n {
+                let lik = (self.l[(i, k)] + s * w[i]) / c;
+                self.l[(i, k)] = lik;
+                w[i] = c * w[i] - s * lik;
+            }
         }
-        let mut ar = a.clone();
-        ar.add_diag(ridge);
-        Self::new(&ar)
+    }
+
+    /// Rank-1 downdate: refactor `L` in place so that `L Lᵀ = A − x xᵀ`.
+    ///
+    /// Hyperbolic-rotation column sweep, `O(n²)`. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when the downdate destroys
+    /// positive definiteness (the subtracted matrix is only guaranteed
+    /// semidefinite); **on error the factor is left partially mutated and
+    /// must not be reused** — callers recover by refactoring from scratch,
+    /// conventionally via [`Cholesky::new_with_ridge`] on the downdated
+    /// matrix (the documented ridge-refactor fallback used by
+    /// `firal_core::stream`). Same sequential determinism contract as
+    /// [`Cholesky::update`].
+    pub fn downdate(&mut self, x: &[T]) -> Result<()> {
+        let n = self.order();
+        assert_eq!(x.len(), n, "Cholesky::downdate dimension mismatch");
+        counters::add_flops(4 * n * n / 2 + 4 * n);
+        let mut w = x.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r2 = (lkk - w[k]) * (lkk + w[k]);
+            if r2 <= T::ZERO || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k });
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.l[(k, k)] = r;
+            for i in (k + 1)..n {
+                let lik = (self.l[(i, k)] - s * w[i]) / c;
+                self.l[(i, k)] = lik;
+                w[i] = c * w[i] - s * lik;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-k update: `L Lᵀ ← A + Xᵀ X` for a row-major panel whose rows
+    /// are the update vectors, applied one rank-1 [`Cholesky::update`] per
+    /// row **in row order** (the order is part of the bitwise contract).
+    pub fn update_panel(&mut self, xs: &Matrix<T>) {
+        assert_eq!(
+            xs.cols(),
+            self.order(),
+            "Cholesky::update_panel dimension mismatch"
+        );
+        for i in 0..xs.rows() {
+            self.update(xs.row(i));
+        }
+    }
+
+    /// Rank-k downdate: `L Lᵀ ← A − Xᵀ X`, one rank-1
+    /// [`Cholesky::downdate`] per panel row in row order. On error the
+    /// factor is partially mutated (some rows applied) and must be rebuilt;
+    /// see [`Cholesky::downdate`] for the recovery convention.
+    pub fn downdate_panel(&mut self, xs: &Matrix<T>) -> Result<()> {
+        assert_eq!(
+            xs.cols(),
+            self.order(),
+            "Cholesky::downdate_panel dimension mismatch"
+        );
+        for i in 0..xs.rows() {
+            self.downdate(xs.row(i))?;
+        }
+        Ok(())
     }
 
     /// The lower-triangular factor.
@@ -304,6 +406,162 @@ mod tests {
             let xj = ch.solve(&b.col(j));
             for i in 0..5 {
                 assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_on_the_fly_is_bitwise_equal_to_explicit_add_diag() {
+        for seed in 0..8u64 {
+            let a = spd_test_matrix(6, 100 + seed);
+            let ridge = 1e-3 * (seed + 1) as f64;
+            let fused = Cholesky::new_with_ridge(&a, ridge).unwrap();
+            let mut ar = a.clone();
+            ar.add_diag(ridge);
+            let explicit = Cholesky::new(&ar).unwrap();
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert!(
+                        fused.l()[(i, j)] == explicit.l()[(i, j)],
+                        "ridge fold must be bitwise at ({i},{j}), seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_matches_fresh_factor() {
+        let n = 7;
+        let a = spd_test_matrix(n, 11);
+        let x: Vec<f64> = (0..n).map(|i| 0.3 * (i as f64) - 1.0).collect();
+        let mut ch = Cholesky::new(&a).unwrap();
+        ch.update(&x);
+        let mut ax = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                ax[(i, j)] += x[i] * x[j];
+            }
+        }
+        let fresh = Cholesky::new(&ax).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (ch.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-10,
+                    "update drift at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_inverts_update() {
+        let n = 6;
+        let a = spd_test_matrix(n, 12);
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64).sin()).collect();
+        let mut ch = Cholesky::new(&a).unwrap();
+        ch.update(&x);
+        ch.downdate(&x).unwrap();
+        let fresh = Cholesky::new(&a).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (ch.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-9,
+                    "roundtrip drift at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_to_semidefinite_is_a_structured_error() {
+        // A = I₃; removing e₂e₂ᵀ zeroes the last pivot exactly.
+        let a = Matrix::<f64>::identity(3);
+        let mut ch = Cholesky::new(&a).unwrap();
+        assert_eq!(
+            ch.downdate(&[0.0, 0.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite { pivot: 2 })
+        );
+        // Documented recovery: refactor the true downdated matrix with a
+        // ridge instead of reusing the poisoned factor.
+        let mut down = a.clone();
+        down[(2, 2)] = 0.0;
+        assert!(Cholesky::new(&down).is_err());
+        assert!(Cholesky::new_with_ridge(&down, 1e-8).is_ok());
+    }
+
+    #[test]
+    fn panel_update_is_row_ordered_rank_ones() {
+        let n = 5;
+        let a = spd_test_matrix(n, 13);
+        let xs = Matrix::from_fn(3, n, |i, j| ((i + 2 * j) as f64).cos());
+        let mut panel = Cholesky::new(&a).unwrap();
+        panel.update_panel(&xs);
+        let mut serial = Cholesky::new(&a).unwrap();
+        for r in 0..3 {
+            serial.update(xs.row(r));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(panel.l()[(i, j)] == serial.l()[(i, j)], "({i},{j})");
+            }
+        }
+        panel.downdate_panel(&xs).unwrap();
+        let fresh = Cholesky::new(&a).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((panel.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Property test: 500 seeded cases of updates/downdates composed in
+    /// random order must match a fresh factor of the mutated matrix.
+    #[test]
+    fn random_update_downdate_compositions_match_fresh_factor() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for case in 0..500u64 {
+            let mut rng = StdRng::seed_from_u64(0xC0DE_D00D ^ case);
+            let n = rng.gen_range(1..=8usize);
+            let a = spd_test_matrix(n, 1000 + case);
+            let mut ch = Cholesky::new(&a).unwrap();
+            let mut mirror = a.clone();
+            // Vectors currently added on top of the base matrix; downdates
+            // only ever remove one of these, so the mirror stays SPD.
+            let mut live: Vec<Vec<f64>> = Vec::new();
+            let ops = rng.gen_range(1..=8usize);
+            for _ in 0..ops {
+                let remove = !live.is_empty() && rng.gen::<bool>();
+                let x = if remove {
+                    live.swap_remove(rng.gen_range(0..live.len()))
+                } else {
+                    let x: Vec<f64> = (0..n).map(|_| 2.0 * rng.gen::<f64>() - 1.0).collect();
+                    live.push(x.clone());
+                    x
+                };
+                let sign = if remove { -1.0 } else { 1.0 };
+                for i in 0..n {
+                    for j in 0..n {
+                        mirror[(i, j)] += sign * x[i] * x[j];
+                    }
+                }
+                if remove {
+                    ch.downdate(&x)
+                        .expect("mirror is SPD, downdate must succeed");
+                } else {
+                    ch.update(&x);
+                }
+            }
+            let fresh = Cholesky::new(&mirror).expect("mirror is SPD");
+            let scale: f64 = (0..n).map(|i| mirror[(i, i)].abs()).fold(1.0, f64::max);
+            for i in 0..n {
+                for j in 0..n {
+                    let diff = (ch.l()[(i, j)] - fresh.l()[(i, j)]).abs();
+                    assert!(
+                        diff < 1e-8 * scale,
+                        "case {case}: drift {diff} at ({i},{j}), n {n}"
+                    );
+                }
             }
         }
     }

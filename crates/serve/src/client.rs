@@ -18,9 +18,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use firal_core::SelectionProblem;
+use firal_linalg::Matrix;
 
 use crate::proto::{
-    self, RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats,
+    self, MutateAck, PoolMutation, RemoteError, Request, Response, SelectSpec, SelectionOutcome,
+    ServerStats,
 };
 
 /// What a client call can fail with.
@@ -114,6 +116,67 @@ impl ServeClient {
             Response::Select(outcome) => Ok(outcome),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(unexpected("select", &other)),
+        }
+    }
+
+    fn mutate(&mut self, pool: u64, mutation: PoolMutation) -> Result<MutateAck, ClientError> {
+        match self.call(&Request::Mutate { pool, mutation })? {
+            Response::Mutated(ack) => Ok(ack),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("mutate", &other)),
+        }
+    }
+
+    /// Append rows to an uploaded pool (`xs` is `Δn × d`, `hs` is
+    /// `Δn × (c-1)`). Only the delta crosses the wire — to the server now
+    /// and to the mesh with its next round frame — so keeping a served
+    /// pool current costs O(Δpool), not a re-upload.
+    pub fn add_points(
+        &mut self,
+        pool: u64,
+        xs: &Matrix<f64>,
+        hs: &Matrix<f64>,
+    ) -> Result<MutateAck, ClientError> {
+        self.mutate(
+            pool,
+            PoolMutation::Add {
+                xs: xs.clone(),
+                hs: hs.clone(),
+            },
+        )
+    }
+
+    /// Drop pool rows by their current positions.
+    pub fn remove_points(
+        &mut self,
+        pool: u64,
+        indices: &[usize],
+    ) -> Result<MutateAck, ClientError> {
+        self.mutate(
+            pool,
+            PoolMutation::Remove {
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Move pool rows (by current position) into the labeled set.
+    pub fn label_points(&mut self, pool: u64, indices: &[usize]) -> Result<MutateAck, ClientError> {
+        self.mutate(
+            pool,
+            PoolMutation::Label {
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Delete an uploaded pool everywhere. Subsequent requests naming the
+    /// handle fail with `ERR_UNKNOWN_POOL`.
+    pub fn delete_pool(&mut self, pool: u64) -> Result<(), ClientError> {
+        match self.call(&Request::DeletePool { pool })? {
+            Response::Deleted { handle } if handle == pool => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("delete", &other)),
         }
     }
 

@@ -13,8 +13,9 @@
 //! server keeps serving.
 //!
 //! * [`proto`] — the length-framed client protocol (pool upload, select,
-//!   stats, shutdown) with a pure incremental parser and the `ERR_*`
-//!   error taxonomy;
+//!   stats, shutdown, plus the O(Δpool) pool-mutation ops
+//!   add-points/remove-points/label and delete-pool) with a pure
+//!   incremental parser and the `ERR_*` error taxonomy;
 //! * [`sched`] — the pure round scheduler mapping a request queue onto
 //!   idle ranks (disjointness and determinism are property-tested);
 //! * [`server`] — the hub/worker round loops ([`run`]);
@@ -36,6 +37,9 @@ pub mod sched;
 pub mod server;
 
 pub use client::{ClientError, ServeClient};
-pub use proto::{RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats};
+pub use proto::{
+    MutateAck, PoolMutation, RemoteError, Request, Response, SelectSpec, SelectionOutcome,
+    ServerStats,
+};
 pub use sched::{plan_round, Assignment, RankDemand, RoundPlan};
 pub use server::{run, ServeConfig, ServeError, ServeSummary};

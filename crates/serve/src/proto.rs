@@ -52,6 +52,19 @@ pub const OP_STATS: u64 = 3;
 /// Drain in-flight work and stop the server; answered by
 /// [`Response::Shutdown`] just before the mesh winds down.
 pub const OP_SHUTDOWN: u64 = 4;
+/// Append rows to an uploaded pool ([`PoolMutation::Add`]); answered by
+/// [`Response::Mutated`]. Mutations ship only the delta to the mesh, so a
+/// server round after one costs O(Δpool) wire, not O(pool).
+pub const OP_ADD_POINTS: u64 = 5;
+/// Drop rows from an uploaded pool by index ([`PoolMutation::Remove`]);
+/// answered by [`Response::Mutated`].
+pub const OP_REMOVE_POINTS: u64 = 6;
+/// Move pool rows into the labeled set ([`PoolMutation::Label`]); answered
+/// by [`Response::Mutated`].
+pub const OP_LABEL: u64 = 7;
+/// Delete an uploaded pool outright; answered by [`Response::Deleted`].
+/// Subsequent requests naming the handle get [`ERR_UNKNOWN_POOL`].
+pub const OP_DELETE_POOL: u64 = 8;
 
 /// Response tag: pool accepted.
 pub const RESP_POOL: u64 = 101;
@@ -61,6 +74,10 @@ pub const RESP_SELECT: u64 = 102;
 pub const RESP_STATS: u64 = 103;
 /// Response tag: shutdown acknowledged.
 pub const RESP_SHUTDOWN: u64 = 104;
+/// Response tag: pool mutation applied ([`MutateAck`]).
+pub const RESP_MUTATE: u64 = 105;
+/// Response tag: pool deleted.
+pub const RESP_DELETE: u64 = 106;
 /// Response tag: structured per-request error ([`RemoteError`]).
 pub const RESP_ERROR: u64 = 199;
 
@@ -178,8 +195,155 @@ pub struct SelectSpec {
     pub max_ranks: usize,
 }
 
+/// One incremental edit to an uploaded pool. Mutations are the streaming
+/// counterpart of a full re-upload: the hub applies them to its own copy
+/// at request time and ships only the encoded delta to the mesh inside the
+/// next round frame, so keeping a served pool current costs O(Δpool)
+/// wire instead of O(pool) per change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolMutation {
+    /// Append rows to the pool panels. `xs` is `Δn × d`, `hs` is
+    /// `Δn × (c-1)`; both must match the pool's existing geometry.
+    Add {
+        /// New pool feature rows.
+        xs: Matrix<f64>,
+        /// New pool probability rows.
+        hs: Matrix<f64>,
+    },
+    /// Drop the pool rows at these (current) positions. Indices must be
+    /// in range and duplicate-free; surviving rows keep their relative
+    /// order.
+    Remove {
+        /// Row positions to drop, in the pool's current order.
+        indices: Vec<usize>,
+    },
+    /// Move the pool rows at these (current) positions into the labeled
+    /// set: each row is appended to the labeled panels in ascending index
+    /// order, then removed from the pool.
+    Label {
+        /// Row positions to label, in the pool's current order.
+        indices: Vec<usize>,
+    },
+}
+
+impl PoolMutation {
+    /// The wire op this mutation rides under.
+    pub fn op(&self) -> u64 {
+        match self {
+            PoolMutation::Add { .. } => OP_ADD_POINTS,
+            PoolMutation::Remove { .. } => OP_REMOVE_POINTS,
+            PoolMutation::Label { .. } => OP_LABEL,
+        }
+    }
+}
+
+/// Apply one mutation to a pool, validating it against the pool's current
+/// geometry first. On `Err` the pool is untouched. The hub and every
+/// worker run this same function on bitwise-identical inputs in the same
+/// order, so replicated pool state stays bitwise-identical across ranks.
+pub fn apply_mutation(p: &mut SelectionProblem<f64>, m: &PoolMutation) -> Result<(), String> {
+    match m {
+        PoolMutation::Add { xs, hs } => {
+            if xs.rows() != hs.rows() {
+                return Err(format!(
+                    "add panels disagree: {} feature rows vs {} probability rows",
+                    xs.rows(),
+                    hs.rows()
+                ));
+            }
+            if xs.cols() != p.dim() {
+                return Err(format!(
+                    "added rows have d={} but the pool has d={}",
+                    xs.cols(),
+                    p.dim()
+                ));
+            }
+            if hs.cols() != p.nblocks() {
+                return Err(format!(
+                    "added probability rows have {} columns but the pool needs c-1={}",
+                    hs.cols(),
+                    p.nblocks()
+                ));
+            }
+            p.pool_x = append_rows(&p.pool_x, xs);
+            p.pool_h = append_rows(&p.pool_h, hs);
+            Ok(())
+        }
+        PoolMutation::Remove { indices } => {
+            let drop = checked_index_set(indices, p.pool_size())?;
+            p.pool_x = filter_rows(&p.pool_x, &drop);
+            p.pool_h = filter_rows(&p.pool_h, &drop);
+            Ok(())
+        }
+        PoolMutation::Label { indices } => {
+            let drop = checked_index_set(indices, p.pool_size())?;
+            let mut lx = p.labeled_x.as_slice().to_vec();
+            let mut lh = p.labeled_h.as_slice().to_vec();
+            let mut moved = 0;
+            for (i, &dropped) in drop.iter().enumerate() {
+                if dropped {
+                    lx.extend_from_slice(p.pool_x.row(i));
+                    lh.extend_from_slice(p.pool_h.row(i));
+                    moved += 1;
+                }
+            }
+            p.labeled_x = Matrix::from_vec(p.labeled_x.rows() + moved, p.labeled_x.cols(), lx);
+            p.labeled_h = Matrix::from_vec(p.labeled_h.rows() + moved, p.labeled_h.cols(), lh);
+            p.pool_x = filter_rows(&p.pool_x, &drop);
+            p.pool_h = filter_rows(&p.pool_h, &drop);
+            Ok(())
+        }
+    }
+}
+
+/// Turn a validated index list into a drop mask, rejecting out-of-range
+/// and duplicate entries before anything is mutated.
+fn checked_index_set(indices: &[usize], n: usize) -> Result<Vec<bool>, String> {
+    let mut mask = vec![false; n];
+    for &i in indices {
+        if i >= n {
+            return Err(format!("row index {i} out of range for a pool of {n}"));
+        }
+        if mask[i] {
+            return Err(format!("row index {i} appears twice"));
+        }
+        mask[i] = true;
+    }
+    Ok(mask)
+}
+
+fn append_rows(m: &Matrix<f64>, extra: &Matrix<f64>) -> Matrix<f64> {
+    let mut data = m.as_slice().to_vec();
+    data.extend_from_slice(extra.as_slice());
+    Matrix::from_vec(m.rows() + extra.rows(), m.cols(), data)
+}
+
+fn filter_rows(m: &Matrix<f64>, drop: &[bool]) -> Matrix<f64> {
+    let kept = drop.iter().filter(|&&d| !d).count();
+    let mut data = Vec::with_capacity(kept * m.cols());
+    for (i, &dropped) in drop.iter().enumerate() {
+        if !dropped {
+            data.extend_from_slice(m.row(i));
+        }
+    }
+    Matrix::from_vec(kept, m.cols(), data)
+}
+
+/// What a successful pool mutation left behind, answered to the mutating
+/// client so it can track the pool's geometry without a round trip per
+/// panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateAck {
+    /// The mutated pool's handle.
+    pub handle: u64,
+    /// Pool rows after the mutation.
+    pub pool_size: usize,
+    /// Labeled rows after the mutation.
+    pub labeled: usize,
+}
+
 /// A decoded client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Upload a pool. The payload is kept serialized (it is re-shipped
     /// verbatim to every rank inside the next round frame); it has already
@@ -191,6 +355,18 @@ pub enum Request {
     Stats,
     /// Drain and stop.
     Shutdown,
+    /// Incrementally edit an uploaded pool.
+    Mutate {
+        /// Handle of the pool to edit.
+        pool: u64,
+        /// The edit itself.
+        mutation: PoolMutation,
+    },
+    /// Delete an uploaded pool (its blob is dropped on every rank).
+    DeletePool {
+        /// Handle of the pool to delete.
+        pool: u64,
+    },
 }
 
 /// What one finished selection request did, as reported to the client.
@@ -219,6 +395,11 @@ pub struct ServerStats {
     pub requests_ok: u64,
     /// Requests answered with a [`RemoteError`].
     pub requests_err: u64,
+    /// Pools currently resident on the server (uploads minus deletions
+    /// and TTL evictions) — the observable a lifetime-leak soak watches.
+    pub pools_live: u64,
+    /// Pools dropped so far by [`OP_DELETE_POOL`] or TTL eviction.
+    pub pools_evicted: u64,
     /// Sum of every successful request's sub-group bill.
     pub comm: CommStats,
 }
@@ -237,6 +418,13 @@ pub enum Response {
     Stats(ServerStats),
     /// Shutdown acknowledged.
     Shutdown,
+    /// Pool mutation applied.
+    Mutated(MutateAck),
+    /// Pool deleted everywhere; the handle is dead.
+    Deleted {
+        /// The deleted pool's handle.
+        handle: u64,
+    },
     /// The request failed; the connection is still usable.
     Error(RemoteError),
 }
@@ -324,6 +512,21 @@ pub fn decode_request(op: u64, body: &[u8]) -> Result<Request, RemoteError> {
         OP_SELECT => decode_select_spec(body).map(Request::Select),
         OP_STATS => expect_empty(body, "stats").map(|()| Request::Stats),
         OP_SHUTDOWN => expect_empty(body, "shutdown").map(|()| Request::Shutdown),
+        OP_ADD_POINTS | OP_REMOVE_POINTS | OP_LABEL => {
+            let (pool, mutation) = decode_mutation(op, body)?;
+            Ok(Request::Mutate { pool, mutation })
+        }
+        OP_DELETE_POOL => {
+            let mut r = body;
+            let pool = wire::read_u64(&mut r).map_err(|e| proto_io(e, "delete-pool"))?;
+            if !r.is_empty() {
+                return Err(RemoteError::new(
+                    ERR_PROTOCOL,
+                    format!("delete-pool body has {} trailing bytes", r.len()),
+                ));
+            }
+            Ok(Request::DeletePool { pool })
+        }
         other => Err(RemoteError::new(
             ERR_PROTOCOL,
             format!("unknown request op {other}"),
@@ -379,6 +582,82 @@ fn encode_select_spec(spec: &SelectSpec) -> Vec<u8> {
     body
 }
 
+/// Encode a mutation body: the pool handle followed by the op-specific
+/// payload (panels for add, an index list for remove/label).
+pub fn encode_mutation(pool: u64, m: &PoolMutation) -> Vec<u8> {
+    let mut body = Vec::new();
+    wire::write_u64(&mut body, pool).unwrap();
+    match m {
+        PoolMutation::Add { xs, hs } => {
+            encode_matrix(&mut body, xs);
+            encode_matrix(&mut body, hs);
+        }
+        PoolMutation::Remove { indices } | PoolMutation::Label { indices } => {
+            write_indices(&mut body, indices).unwrap();
+        }
+    }
+    body
+}
+
+/// Decode a mutation body for one of the three mutation ops. The claimed
+/// element counts are validated against the bytes actually present before
+/// any read loop runs, so an adversarial count is a structured
+/// [`ERR_PROTOCOL`] error, never an allocation or a long spin.
+fn decode_mutation(op: u64, body: &[u8]) -> Result<(u64, PoolMutation), RemoteError> {
+    let what = match op {
+        OP_ADD_POINTS => "add-points",
+        OP_REMOVE_POINTS => "remove-points",
+        _ => "label",
+    };
+    let mut r = body;
+    let pool = wire::read_u64(&mut r).map_err(|e| proto_io(e, what))?;
+    let mutation = match op {
+        OP_ADD_POINTS => {
+            let xs = decode_matrix(&mut r, "added features")
+                .map_err(|why| RemoteError::new(ERR_PROTOCOL, why))?;
+            let hs = decode_matrix(&mut r, "added probabilities")
+                .map_err(|why| RemoteError::new(ERR_PROTOCOL, why))?;
+            PoolMutation::Add { xs, hs }
+        }
+        _ => {
+            let indices = decode_index_list(&mut r, what)?;
+            match op {
+                OP_REMOVE_POINTS => PoolMutation::Remove { indices },
+                _ => PoolMutation::Label { indices },
+            }
+        }
+    };
+    if !r.is_empty() {
+        return Err(RemoteError::new(
+            ERR_PROTOCOL,
+            format!("{what} body has {} trailing bytes", r.len()),
+        ));
+    }
+    Ok((pool, mutation))
+}
+
+/// Read a length-prefixed index list from a slice, checking the claimed
+/// count against the remaining bytes *before* looping.
+fn decode_index_list(r: &mut &[u8], what: &str) -> Result<Vec<usize>, RemoteError> {
+    let n = wire::read_u64(r).map_err(|e| proto_io(e, what))? as usize;
+    if n.saturating_mul(8) > r.len() {
+        return Err(RemoteError::new(
+            ERR_PROTOCOL,
+            format!(
+                "{what} body claims {n} indices but only {} bytes remain",
+                r.len()
+            ),
+        ));
+    }
+    (0..n)
+        .map(|_| {
+            wire::read_u64(r)
+                .map(|v| v as usize)
+                .map_err(|e| proto_io(e, what))
+        })
+        .collect()
+}
+
 /// Write a [`Request`] as one frame.
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     match req {
@@ -386,6 +665,14 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         Request::Select(spec) => write_frame(w, OP_SELECT, &encode_select_spec(spec)),
         Request::Stats => write_frame(w, OP_STATS, &[]),
         Request::Shutdown => write_frame(w, OP_SHUTDOWN, &[]),
+        Request::Mutate { pool, mutation } => {
+            write_frame(w, mutation.op(), &encode_mutation(*pool, mutation))
+        }
+        Request::DeletePool { pool } => {
+            let mut body = Vec::new();
+            wire::write_u64(&mut body, *pool)?;
+            write_frame(w, OP_DELETE_POOL, &body)
+        }
     }
 }
 
@@ -574,10 +861,22 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             wire::write_u64(&mut body, st.rounds)?;
             wire::write_u64(&mut body, st.requests_ok)?;
             wire::write_u64(&mut body, st.requests_err)?;
+            wire::write_u64(&mut body, st.pools_live)?;
+            wire::write_u64(&mut body, st.pools_evicted)?;
             write_stats(&mut body, &st.comm)?;
             RESP_STATS
         }
         Response::Shutdown => RESP_SHUTDOWN,
+        Response::Mutated(ack) => {
+            wire::write_u64(&mut body, ack.handle)?;
+            wire::write_u64(&mut body, ack.pool_size as u64)?;
+            wire::write_u64(&mut body, ack.labeled as u64)?;
+            RESP_MUTATE
+        }
+        Response::Deleted { handle } => {
+            wire::write_u64(&mut body, *handle)?;
+            RESP_DELETE
+        }
         Response::Error(err) => {
             wire::write_u64(&mut body, err.code)?;
             wire::write_str(&mut body, clip(&err.message))?;
@@ -616,9 +915,19 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
             rounds: wire::read_u64(&mut b)?,
             requests_ok: wire::read_u64(&mut b)?,
             requests_err: wire::read_u64(&mut b)?,
+            pools_live: wire::read_u64(&mut b)?,
+            pools_evicted: wire::read_u64(&mut b)?,
             comm: read_stats(&mut b)?,
         }),
         RESP_SHUTDOWN => Response::Shutdown,
+        RESP_MUTATE => Response::Mutated(MutateAck {
+            handle: wire::read_u64(&mut b)?,
+            pool_size: wire::read_u64(&mut b)? as usize,
+            labeled: wire::read_u64(&mut b)? as usize,
+        }),
+        RESP_DELETE => Response::Deleted {
+            handle: wire::read_u64(&mut b)?,
+        },
         RESP_ERROR => Response::Error(RemoteError {
             code: wire::read_u64(&mut b)?,
             message: wire::read_str(&mut b)?,
@@ -668,6 +977,24 @@ mod tests {
             Request::Select(spec()),
             Request::Stats,
             Request::Shutdown,
+            Request::Mutate {
+                pool: 7,
+                mutation: PoolMutation::Add {
+                    xs: Matrix::from_vec(1, 2, vec![9.0, 8.0]),
+                    hs: Matrix::from_vec(1, 2, vec![0.5, 0.25]),
+                },
+            },
+            Request::Mutate {
+                pool: 7,
+                mutation: PoolMutation::Remove {
+                    indices: vec![2, 0],
+                },
+            },
+            Request::Mutate {
+                pool: 7,
+                mutation: PoolMutation::Label { indices: vec![1] },
+            },
+            Request::DeletePool { pool: 7 },
         ];
         let mut stream = Vec::new();
         for req in &reqs {
@@ -792,9 +1119,17 @@ mod tests {
                 rounds: 12,
                 requests_ok: 30,
                 requests_err: 2,
+                pools_live: 3,
+                pools_evicted: 5,
                 comm,
             }),
             Response::Shutdown,
+            Response::Mutated(MutateAck {
+                handle: 4,
+                pool_size: 17,
+                labeled: 6,
+            }),
+            Response::Deleted { handle: 4 },
             Response::Error(RemoteError::new(ERR_UNKNOWN_STRATEGY, "no such strategy")),
         ];
         for resp in &cases {
@@ -803,6 +1138,114 @@ mod tests {
             let back = read_response(&mut &buf[..]).unwrap();
             assert_eq!(&back, resp);
         }
+    }
+
+    #[test]
+    fn mutations_edit_the_pool_deterministically() {
+        let mut p = toy_pool();
+        // Add one row.
+        apply_mutation(
+            &mut p,
+            &PoolMutation::Add {
+                xs: Matrix::from_vec(1, 2, vec![100.0, 101.0]),
+                hs: Matrix::from_vec(1, 2, vec![0.125, 0.25]),
+            },
+        )
+        .unwrap();
+        assert_eq!(p.pool_size(), 5);
+        assert_eq!(p.pool_x.row(4), &[100.0, 101.0]);
+
+        // Label rows 0 and 3 (in current order): they append to the
+        // labeled panels ascending, then leave the pool.
+        apply_mutation(
+            &mut p,
+            &PoolMutation::Label {
+                indices: vec![3, 0],
+            },
+        )
+        .unwrap();
+        assert_eq!(p.pool_size(), 3);
+        assert_eq!(p.labeled_x.rows(), 4);
+        assert_eq!(p.labeled_x.row(2), &[0.0, 1.0]); // old pool row 0
+        assert_eq!(p.labeled_x.row(3), &[6.0, 7.0]); // old pool row 3
+        assert_eq!(p.pool_x.row(0), &[2.0, 3.0]); // survivors keep order
+
+        // Remove the (current) middle row.
+        apply_mutation(&mut p, &PoolMutation::Remove { indices: vec![1] }).unwrap();
+        assert_eq!(p.pool_size(), 2);
+        assert_eq!(p.pool_x.row(1), &[100.0, 101.0]);
+    }
+
+    #[test]
+    fn invalid_mutations_leave_the_pool_untouched() {
+        let mut p = toy_pool();
+        let before = p.pool_x.as_slice().to_vec();
+
+        // Out-of-range and duplicate indices.
+        assert!(apply_mutation(&mut p, &PoolMutation::Remove { indices: vec![9] }).is_err());
+        assert!(apply_mutation(
+            &mut p,
+            &PoolMutation::Label {
+                indices: vec![1, 1]
+            }
+        )
+        .is_err());
+        // Shape mismatches on add.
+        assert!(apply_mutation(
+            &mut p,
+            &PoolMutation::Add {
+                xs: Matrix::from_vec(1, 3, vec![0.0; 3]),
+                hs: Matrix::from_vec(1, 2, vec![0.0; 2]),
+            }
+        )
+        .is_err());
+        assert!(apply_mutation(
+            &mut p,
+            &PoolMutation::Add {
+                xs: Matrix::from_vec(2, 2, vec![0.0; 4]),
+                hs: Matrix::from_vec(1, 2, vec![0.0; 2]),
+            }
+        )
+        .is_err());
+
+        assert_eq!(p.pool_x.as_slice(), &before[..]);
+        assert_eq!(p.pool_size(), 4);
+    }
+
+    #[test]
+    fn mutation_bodies_roundtrip_and_validate_counts_before_looping() {
+        // A remove body claiming 2^40 indices with no payload must come
+        // back as a structured protocol error, not an allocation or spin.
+        let mut body = Vec::new();
+        wire::write_u64(&mut body, 7).unwrap();
+        wire::write_u64(&mut body, 1u64 << 40).unwrap();
+        let err = decode_request(OP_REMOVE_POINTS, &body).unwrap_err();
+        assert_eq!(err.code, ERR_PROTOCOL);
+        assert!(err.message.contains("indices"), "{}", err.message);
+
+        // Same for a label body.
+        let err = decode_request(OP_LABEL, &body).unwrap_err();
+        assert_eq!(err.code, ERR_PROTOCOL);
+
+        // An add body whose matrix header lies about its row count.
+        let mut body = Vec::new();
+        wire::write_u64(&mut body, 7).unwrap();
+        wire::write_u64(&mut body, 1u64 << 40).unwrap(); // rows
+        wire::write_u64(&mut body, 2).unwrap(); // cols
+        wire::write_f64s(&mut body, &[1.0, 2.0]).unwrap();
+        let err = decode_request(OP_ADD_POINTS, &body).unwrap_err();
+        assert_eq!(err.code, ERR_PROTOCOL);
+
+        // Trailing garbage after a well-formed mutation body.
+        let mut ok = encode_mutation(
+            3,
+            &PoolMutation::Label {
+                indices: vec![0, 2],
+            },
+        );
+        ok.push(0xFF);
+        let err = decode_request(OP_LABEL, &ok).unwrap_err();
+        assert_eq!(err.code, ERR_PROTOCOL);
     }
 
     #[test]

@@ -49,8 +49,8 @@ use firal_comm::{comm_timeout, poll_accept, wire, CommError, CommStats, Communic
 use firal_core::{dispatch_select, strategy_by_name, SelectError, SelectRequest, SelectionProblem};
 
 use crate::proto::{
-    self, RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats, ERR_COMM,
-    ERR_DEGRADED, ERR_PROTOCOL, ERR_UNKNOWN_POOL,
+    self, MutateAck, RemoteError, Request, Response, SelectSpec, SelectionOutcome, ServerStats,
+    ERR_COMM, ERR_DEGRADED, ERR_PROTOCOL, ERR_UNKNOWN_POOL,
 };
 use crate::sched::{plan_round, RankDemand};
 
@@ -77,6 +77,13 @@ pub struct ServeConfig {
     /// declaring that request (and the mesh) failed. `None` derives a
     /// default from `FIRAL_COMM_TIMEOUT` when set.
     pub result_patience: Option<Duration>,
+    /// Evict a pool nobody has touched (upload, select, mutate) for this
+    /// long: its blob is dropped on the hub immediately and on every
+    /// worker with the next round frame, and later requests naming the
+    /// handle get [`ERR_UNKNOWN_POOL`]. `None` (the default) keeps pools
+    /// until an explicit `OP_DELETE_POOL` or shutdown. Pools with queued
+    /// requests are never TTL-evicted.
+    pub pool_ttl: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -88,6 +95,7 @@ impl ServeConfig {
             min_batch: 1,
             batch_wait: Duration::from_millis(50),
             result_patience: None,
+            pool_ttl: None,
         }
     }
 
@@ -106,6 +114,12 @@ impl ServeConfig {
     /// Replace [`ServeConfig::result_patience`].
     pub fn with_result_patience(mut self, patience: Duration) -> Self {
         self.result_patience = Some(patience);
+        self
+    }
+
+    /// Replace [`ServeConfig::pool_ttl`].
+    pub fn with_pool_ttl(mut self, ttl: Duration) -> Self {
+        self.pool_ttl = Some(ttl);
         self
     }
 
@@ -205,8 +219,22 @@ struct RoundFrame {
     flag: u64,
     /// Pools not yet shipped to the mesh: `(handle, serialized blob)`.
     pools: Vec<(u64, Vec<u8>)>,
+    /// Pool mutations not yet shipped, in client-arrival order:
+    /// `(handle, wire op, encoded mutation body)`. Workers replay these
+    /// through the same [`proto::apply_mutation`] the hub already ran, so
+    /// replicated pool state stays bitwise-identical for O(Δpool) wire.
+    muts: Vec<(u64, u64, Vec<u8>)>,
+    /// Pool handles deleted or TTL-evicted since the last round; workers
+    /// drop the blobs after applying `pools` and `muts`.
+    evict: Vec<u64>,
     assigns: Vec<AssignFrame>,
 }
+
+/// Most entries a round frame may carry per list. Far above anything the
+/// scheduler can produce (assignments are bounded by the mesh size, pools
+/// and mutations by client traffic between two rounds), but small enough
+/// that a corrupt count fails loudly.
+const MAX_ROUND_ITEMS: usize = 1 << 16;
 
 fn encode_round(frame: &RoundFrame) -> Vec<u8> {
     let mut out = Vec::new();
@@ -216,6 +244,16 @@ fn encode_round(frame: &RoundFrame) -> Vec<u8> {
     for (handle, blob) in &frame.pools {
         wire::write_u64(&mut out, *handle).unwrap();
         wire::write_bytes(&mut out, blob).unwrap();
+    }
+    wire::write_u64(&mut out, frame.muts.len() as u64).unwrap();
+    for (handle, op, body) in &frame.muts {
+        wire::write_u64(&mut out, *handle).unwrap();
+        wire::write_u64(&mut out, *op).unwrap();
+        wire::write_bytes(&mut out, body).unwrap();
+    }
+    wire::write_u64(&mut out, frame.evict.len() as u64).unwrap();
+    for handle in &frame.evict {
+        wire::write_u64(&mut out, *handle).unwrap();
     }
     wire::write_u64(&mut out, frame.assigns.len() as u64).unwrap();
     for a in &frame.assigns {
@@ -230,19 +268,76 @@ fn encode_round(frame: &RoundFrame) -> Vec<u8> {
     out
 }
 
+/// Read one of a round frame's list counts, validating it against both the
+/// item cap and the bytes actually remaining (`min_entry` is the smallest
+/// possible encoding of one entry) *before* the caller's read loop runs —
+/// a corrupt count is a structured decode error, never an allocation, an
+/// OOM, or a long spin against an exhausted buffer.
+fn read_round_count(r: &[u8], raw: u64, what: &str, min_entry: usize) -> io::Result<usize> {
+    let n = raw as usize;
+    if n > MAX_ROUND_ITEMS || n.saturating_mul(min_entry) > r.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "round frame claims {n} {what} entries but only {} bytes remain",
+                r.len()
+            ),
+        ));
+    }
+    Ok(n)
+}
+
 fn decode_round(bytes: &[u8]) -> io::Result<RoundFrame> {
     let mut r = bytes;
     let round = wire::read_u64(&mut r)?;
     let flag = wire::read_u64(&mut r)?;
-    let n_pools = wire::read_u64(&mut r)? as usize;
-    let mut pools = Vec::with_capacity(n_pools.min(1024));
+    // Every pool entry is at least a handle + a blob length (16 bytes);
+    // a mutation adds an op word (24); an assignment is five u64s plus
+    // two embedded length prefixes (56).
+    let raw = wire::read_u64(&mut r)?;
+    let n_pools = read_round_count(r, raw, "pool", 16)?;
+    let mut pools = Vec::with_capacity(n_pools);
     for _ in 0..n_pools {
         let handle = wire::read_u64(&mut r)?;
         let blob = wire::read_bytes(&mut r)?;
+        if blob.len() > proto::MAX_REQUEST_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "pool {handle} blob of {} bytes exceeds the request cap",
+                    blob.len()
+                ),
+            ));
+        }
         pools.push((handle, blob));
     }
-    let n_assign = wire::read_u64(&mut r)? as usize;
-    let mut assigns = Vec::with_capacity(n_assign.min(1024));
+    let raw = wire::read_u64(&mut r)?;
+    let n_muts = read_round_count(r, raw, "mutation", 24)?;
+    let mut muts = Vec::with_capacity(n_muts);
+    for _ in 0..n_muts {
+        let handle = wire::read_u64(&mut r)?;
+        let op = wire::read_u64(&mut r)?;
+        let body = wire::read_bytes(&mut r)?;
+        if body.len() > proto::MAX_REQUEST_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "mutation body of {} bytes for pool {handle} exceeds the request cap",
+                    body.len()
+                ),
+            ));
+        }
+        muts.push((handle, op, body));
+    }
+    let raw = wire::read_u64(&mut r)?;
+    let n_evict = read_round_count(r, raw, "eviction", 8)?;
+    let mut evict = Vec::with_capacity(n_evict);
+    for _ in 0..n_evict {
+        evict.push(wire::read_u64(&mut r)?);
+    }
+    let raw = wire::read_u64(&mut r)?;
+    let n_assign = read_round_count(r, raw, "assignment", 56)?;
+    let mut assigns = Vec::with_capacity(n_assign);
     for _ in 0..n_assign {
         assigns.push(AssignFrame {
             id: wire::read_u64(&mut r)?,
@@ -264,6 +359,8 @@ fn decode_round(bytes: &[u8]) -> io::Result<RoundFrame> {
         round,
         flag,
         pools,
+        muts,
+        evict,
         assigns,
     })
 }
@@ -419,7 +516,13 @@ fn run_assignments(
     Ok(Some((ok, encode_result(a.id, &payload))))
 }
 
-fn install_pools(
+/// Bring this rank's pool map up to the hub's state: install newly
+/// shipped pools, replay queued mutations in client-arrival order through
+/// the same [`proto::apply_mutation`] the hub already ran, then drop
+/// evicted handles. Because every rank starts from bitwise-identical
+/// blobs and applies the identical op sequence, replicated pool state is
+/// bitwise-identical across the mesh after every frame.
+fn apply_frame(
     frame: &RoundFrame,
     pools: &mut BTreeMap<u64, SelectionProblem<f64>>,
 ) -> io::Result<()> {
@@ -431,6 +534,29 @@ fn install_pools(
             )
         })?;
         pools.insert(*handle, problem);
+    }
+    for (handle, op, body) in &frame.muts {
+        let bad = |why: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mutation for pool {handle} failed on the mesh: {why}"),
+            )
+        };
+        let (pool, mutation) = match proto::decode_request(*op, body) {
+            Ok(Request::Mutate { pool, mutation }) => (pool, mutation),
+            Ok(other) => return Err(bad(format!("decoded to a non-mutation request {other:?}"))),
+            Err(e) => return Err(bad(e.to_string())),
+        };
+        if pool != *handle {
+            return Err(bad(format!("body names pool {pool}")));
+        }
+        let problem = pools
+            .get_mut(handle)
+            .ok_or_else(|| bad("pool is not installed here".into()))?;
+        proto::apply_mutation(problem, &mutation).map_err(bad)?;
+    }
+    for handle in &frame.evict {
+        pools.remove(handle);
     }
     Ok(())
 }
@@ -463,7 +589,7 @@ fn run_worker(comm: &SocketComm) -> Result<ServeSummary, ServeError> {
             _ => {}
         }
         summary.rounds += 1;
-        install_pools(&frame, &mut pools)?;
+        apply_frame(&frame, &mut pools)?;
         if let Some((ok, result)) = run_assignments(comm, &frame, &pools)? {
             if ok {
                 summary.requests_ok += 1;
@@ -592,6 +718,14 @@ struct Hub<'a> {
     problems: BTreeMap<u64, SelectionProblem<f64>>,
     /// Uploaded blobs not yet shipped to the mesh.
     unshipped: Vec<(u64, Vec<u8>)>,
+    /// Applied-but-unshipped mutations: `(handle, op, encoded body)`.
+    unshipped_muts: Vec<(u64, u64, Vec<u8>)>,
+    /// Deleted/TTL-evicted handles the mesh has not been told about yet.
+    unshipped_evict: Vec<u64>,
+    /// When each live pool was last uploaded, selected from, or mutated —
+    /// the clock [`ServeConfig::pool_ttl`] eviction runs against.
+    last_used: BTreeMap<u64, Instant>,
+    pools_evicted: u64,
     queue: Vec<Pending>,
     next_pool: u64,
     next_id: u64,
@@ -611,6 +745,10 @@ fn run_hub(comm: &SocketComm, config: &ServeConfig) -> Result<ServeSummary, Serv
         clients: Vec::new(),
         problems: BTreeMap::new(),
         unshipped: Vec::new(),
+        unshipped_muts: Vec::new(),
+        unshipped_evict: Vec::new(),
+        last_used: BTreeMap::new(),
+        pools_evicted: 0,
         queue: Vec::new(),
         next_pool: 1,
         next_id: 1,
@@ -633,6 +771,7 @@ fn run_hub(comm: &SocketComm, config: &ServeConfig) -> Result<ServeSummary, Serv
                 });
             }
             hub.pump_and_handle();
+            hub.sweep_ttl();
         }
         let overdue = hub
             .queue
@@ -673,6 +812,7 @@ impl Hub<'_> {
                     self.next_pool += 1;
                     self.problems.insert(handle, problem);
                     self.unshipped.push((handle, blob));
+                    self.last_used.insert(handle, Instant::now());
                     self.clients[idx].respond(&Response::Pool { handle });
                 }
                 Event::Req(idx, Request::Select(spec)) => {
@@ -680,6 +820,7 @@ impl Hub<'_> {
                         Ok(()) => {
                             let id = self.next_id;
                             self.next_id += 1;
+                            self.last_used.insert(spec.pool, Instant::now());
                             self.queue.push(Pending {
                                 id,
                                 client: idx,
@@ -698,9 +839,61 @@ impl Hub<'_> {
                         rounds: self.round,
                         requests_ok: self.requests_ok,
                         requests_err: self.requests_err,
+                        pools_live: self.problems.len() as u64,
+                        pools_evicted: self.pools_evicted,
                         comm: self.cumulative,
                     };
                     self.clients[idx].respond(&Response::Stats(stats));
+                }
+                Event::Req(idx, Request::Mutate { pool, mutation }) => {
+                    let outcome = match self.problems.get_mut(&pool) {
+                        None => Err(RemoteError::new(
+                            ERR_UNKNOWN_POOL,
+                            format!("pool handle {pool} was never uploaded (or was deleted)"),
+                        )),
+                        Some(problem) => match proto::apply_mutation(problem, &mutation) {
+                            Ok(()) => Ok(MutateAck {
+                                handle: pool,
+                                pool_size: problem.pool_size(),
+                                labeled: problem.labeled_x.rows(),
+                            }),
+                            Err(why) => Err(RemoteError::new(
+                                ERR_PROTOCOL,
+                                format!("mutation rejected: {why}"),
+                            )),
+                        },
+                    };
+                    match outcome {
+                        Ok(ack) => {
+                            // The hub's copy is already mutated; queue the
+                            // encoded delta so the next round frame brings
+                            // every worker to the same state.
+                            self.last_used.insert(pool, Instant::now());
+                            self.unshipped_muts.push((
+                                pool,
+                                mutation.op(),
+                                proto::encode_mutation(pool, &mutation),
+                            ));
+                            self.clients[idx].respond(&Response::Mutated(ack));
+                        }
+                        Err(e) => {
+                            self.requests_err += 1;
+                            self.clients[idx].respond(&Response::Error(e));
+                        }
+                    }
+                }
+                Event::Req(idx, Request::DeletePool { pool }) => {
+                    if self.evict_pool(pool) {
+                        self.clients[idx].respond(&Response::Deleted { handle: pool });
+                    } else {
+                        self.requests_err += 1;
+                        self.clients[idx].respond(&Response::Error(RemoteError::new(
+                            ERR_UNKNOWN_POOL,
+                            format!(
+                                "pool handle {pool} was never uploaded (or was already deleted)"
+                            ),
+                        )));
+                    }
                 }
                 Event::Req(idx, Request::Shutdown) => {
                     self.shutdown_acks.push(idx);
@@ -722,6 +915,47 @@ impl Hub<'_> {
         // kept (queue entries and shutdown acks index into `clients`).
         for c in self.clients.iter_mut().filter(|c| !c.alive) {
             let _ = c.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Drop a pool everywhere: the hub's copy and clock entry go now, the
+    /// workers' copies with the next round frame. A pool the mesh never
+    /// saw (still unshipped) is simply forgotten — no eviction rides the
+    /// wire, which is what keeps a rapid upload/delete churn at zero blob
+    /// growth. Pending mutations of the pool are dropped alongside it.
+    /// Returns `false` if the handle is unknown.
+    fn evict_pool(&mut self, handle: u64) -> bool {
+        if self.problems.remove(&handle).is_none() {
+            return false;
+        }
+        self.last_used.remove(&handle);
+        self.pools_evicted += 1;
+        let never_shipped = self.unshipped.iter().any(|(h, _)| *h == handle);
+        self.unshipped.retain(|(h, _)| *h != handle);
+        self.unshipped_muts.retain(|(h, _, _)| *h != handle);
+        if !never_shipped {
+            self.unshipped_evict.push(handle);
+        }
+        true
+    }
+
+    /// Evict every pool whose [`ServeConfig::pool_ttl`] clock has run out,
+    /// skipping pools a queued request still references.
+    fn sweep_ttl(&mut self) {
+        let Some(ttl) = self.config.pool_ttl else {
+            return;
+        };
+        let expired: Vec<u64> = self
+            .last_used
+            .iter()
+            .filter(|(_, touched)| touched.elapsed() >= ttl)
+            .map(|(&h, _)| h)
+            .collect();
+        for handle in expired {
+            if self.queue.iter().any(|p| p.spec.pool == handle) {
+                continue;
+            }
+            self.evict_pool(handle);
         }
     }
 
@@ -757,6 +991,8 @@ impl Hub<'_> {
             round: self.round,
             flag: FLAG_SERVE,
             pools: std::mem::take(&mut self.unshipped),
+            muts: std::mem::take(&mut self.unshipped_muts),
+            evict: std::mem::take(&mut self.unshipped_evict),
             assigns,
         };
         let bytes = encode_round(&frame);
@@ -847,6 +1083,8 @@ impl Hub<'_> {
             round: self.round,
             flag,
             pools: Vec::new(),
+            muts: Vec::new(),
+            evict: Vec::new(),
             assigns: Vec::new(),
         });
         for r in 1..self.comm.size() {
@@ -875,6 +1113,8 @@ mod tests {
             round: 4,
             flag: FLAG_SERVE,
             pools: vec![(2, vec![1, 2, 3]), (3, Vec::new())],
+            muts: vec![(2, proto::OP_REMOVE_POINTS, vec![7, 7, 7])],
+            evict: vec![9, 12],
             assigns: vec![
                 AssignFrame {
                     id: 10,
@@ -898,6 +1138,76 @@ mod tests {
         };
         assert_eq!(decode_round(&encode_round(&frame)).unwrap(), frame);
         assert!(decode_round(&encode_round(&frame)[..10]).is_err());
+    }
+
+    #[test]
+    fn corrupt_round_counts_are_structured_errors_not_allocations() {
+        // A frame claiming 2^40 pools backed by no bytes must fail before
+        // any loop or allocation runs. Same for each later list.
+        for lists_before in 0..4usize {
+            let mut bytes = Vec::new();
+            wire::write_u64(&mut bytes, 1).unwrap(); // round
+            wire::write_u64(&mut bytes, FLAG_SERVE).unwrap();
+            for _ in 0..lists_before {
+                wire::write_u64(&mut bytes, 0).unwrap(); // an empty list
+            }
+            wire::write_u64(&mut bytes, 1u64 << 40).unwrap(); // corrupt count
+            let err = decode_round(&bytes).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("entries"), "{err}");
+        }
+
+        // A pool blob length above the request cap is rejected even when
+        // the count itself is plausible.
+        let mut bytes = Vec::new();
+        wire::write_u64(&mut bytes, 1).unwrap();
+        wire::write_u64(&mut bytes, FLAG_SERVE).unwrap();
+        wire::write_u64(&mut bytes, 1).unwrap(); // one pool
+        wire::write_u64(&mut bytes, 5).unwrap(); // handle
+        wire::write_u64(&mut bytes, (proto::MAX_REQUEST_BYTES as u64) + 1).unwrap();
+        assert!(decode_round(&bytes).is_err());
+    }
+
+    #[test]
+    fn apply_frame_replays_mutations_and_evictions_in_order() {
+        let pool = SelectionProblem::new(
+            firal_linalg::Matrix::from_vec(3, 2, (0..6).map(|i| i as f64).collect()),
+            firal_linalg::Matrix::from_vec(3, 2, vec![0.25; 6]),
+            firal_linalg::Matrix::from_vec(1, 2, vec![1.0; 2]),
+            firal_linalg::Matrix::from_vec(1, 2, vec![0.5; 2]),
+            3,
+        );
+        let mutation = proto::PoolMutation::Label { indices: vec![0] };
+        let frame = RoundFrame {
+            round: 1,
+            flag: FLAG_SERVE,
+            pools: vec![
+                (4, proto::encode_pool(&pool)),
+                (5, proto::encode_pool(&pool)),
+            ],
+            muts: vec![(4, mutation.op(), proto::encode_mutation(4, &mutation))],
+            evict: vec![5],
+            assigns: Vec::new(),
+        };
+        let mut pools = BTreeMap::new();
+        apply_frame(&frame, &mut pools).unwrap();
+        assert!(!pools.contains_key(&5), "evicted pool must be dropped");
+        let p = &pools[&4];
+        assert_eq!(p.pool_size(), 2);
+        assert_eq!(p.labeled_x.rows(), 2);
+        assert_eq!(p.labeled_x.row(1), &[0.0, 1.0]);
+
+        // A mutation naming a pool that is not installed is a hard error
+        // (the hub validated it, so this means the mesh desynced).
+        let bad = RoundFrame {
+            round: 2,
+            flag: FLAG_SERVE,
+            pools: Vec::new(),
+            muts: vec![(99, mutation.op(), proto::encode_mutation(99, &mutation))],
+            evict: Vec::new(),
+            assigns: Vec::new(),
+        };
+        assert!(apply_frame(&bad, &mut pools).is_err());
     }
 
     #[test]

@@ -204,6 +204,79 @@ fn a_rogues_gallery_of_clients_cannot_take_the_server_down() {
         drop(doomed);
     }
 
+    // Scenario 7 — pool lifetime: a deleted pool's handle is dead for
+    // every request class, with the structured unknown-pool code.
+    {
+        let mut client = connect(&addr);
+        let doomed_pool = client.upload_pool(&problem).expect("upload doomed");
+        client.delete_pool(doomed_pool).expect("delete");
+        expect_code(
+            client.select(&spec(doomed_pool, "entropy", 4)),
+            ERR_UNKNOWN_POOL,
+            "select after delete",
+        );
+        expect_code(
+            client.label_points(doomed_pool, &[0]),
+            ERR_UNKNOWN_POOL,
+            "label after delete",
+        );
+        match client.delete_pool(doomed_pool) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ERR_UNKNOWN_POOL, "{}", e.message),
+            other => panic!("double delete: expected unknown-pool, got {other:?}"),
+        }
+        // The original pool is untouched by the neighbour's deletion.
+        let outcome = client.select(&spec(pool, "entropy", 4)).expect("survivor");
+        assert_eq!(outcome.selected, reference);
+    }
+
+    // Scenario 8 — a mutation frame whose index count lies (2^40 entries,
+    // no payload): a structured protocol error, and the same connection
+    // keeps serving.
+    {
+        let mut rogue = connect(&addr);
+        let mut body = Vec::new();
+        wire::write_u64(&mut body, pool).unwrap();
+        wire::write_u64(&mut body, 1u64 << 40).unwrap();
+        let mut frame = Vec::new();
+        wire::write_u64(&mut frame, CLIENT_MAGIC).unwrap();
+        wire::write_u64(&mut frame, proto::OP_REMOVE_POINTS).unwrap();
+        wire::write_bytes(&mut frame, &body).unwrap();
+        rogue.send_raw(&frame).unwrap();
+        match rogue.read_raw_response() {
+            Ok(Response::Error(e)) => {
+                assert_eq!(e.code, ERR_PROTOCOL, "{}", e.message);
+                assert!(e.message.contains("indices"), "{}", e.message);
+            }
+            other => panic!("oversized count: expected a structured error, got {other:?}"),
+        }
+        let outcome = rogue
+            .select(&spec(pool, "entropy", 4))
+            .expect("post-oversized-count select");
+        assert_eq!(outcome.selected, reference);
+    }
+
+    // Scenario 9 — lifetime-leak soak: 100 upload/delete cycles must leave
+    // the server holding exactly the pools it held before (zero blob
+    // growth; the unshipped-upload fast path drops each blob without ever
+    // shipping it to the mesh).
+    {
+        let mut client = connect(&addr);
+        let live_before = client.stats().expect("stats before churn").pools_live;
+        for _ in 0..100 {
+            let h = client.upload_pool(&problem).expect("churn upload");
+            client.delete_pool(h).expect("churn delete");
+        }
+        let stats = client.stats().expect("stats after churn");
+        assert_eq!(
+            stats.pools_live, live_before,
+            "upload/delete churn leaked pools: {stats:?}"
+        );
+        assert!(
+            stats.pools_evicted >= 101,
+            "evictions must be counted: {stats:?}"
+        );
+    }
+
     // After all abuse: a brand-new client gets brand-new service.
     let mut fresh = connect(&addr);
     let outcome = fresh

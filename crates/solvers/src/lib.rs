@@ -38,7 +38,7 @@ pub mod op;
 
 pub use bisection::{bisect, solve_nu};
 pub use cg::{cg_solve, cg_solve_panel, CgConfig, CgTelemetry};
-pub use dist::AllreduceOperator;
+pub use dist::{delta_allreduce_blocks, AllreduceOperator};
 pub use hutchinson::{hutchinson_trace, rademacher_panel, rademacher_vector};
 pub use lanczos::{lanczos_spectrum, LanczosResult};
 pub use lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsResult, LbfgsStatus};

@@ -442,6 +442,109 @@ fn eta_group_matrix_matches_serial_grid_sweep() {
     assert_eq!(crit_bits_by_shard[&1], ref_crit.to_bits());
 }
 
+/// The streaming-state consistency row: one fixed update sequence committed
+/// through [`StreamingState`] (including a refactor boundary — interval 3
+/// over 3 batches) must leave every rank of every backend with the
+/// **bitwise-identical** replicated fingerprint (`Σ⋄`, `B(H_o)`, factors) at
+/// a fixed rank count, fingerprints must agree **across backends** at that
+/// rank count, and the post-stream selection must equal the SelfComm
+/// reference at every rank count — the streaming instantiation of the
+/// repo-wide shard convention (selections invariant across `p`, partial-sum
+/// bits only pinned within a fixed `p`).
+#[test]
+fn streaming_state_consistency_row() {
+    use firal::core::{FiralConfig as FC, PoolUpdate, StreamingState};
+
+    let p: SelectionProblem<f64> = problem(61, 40, 4, 3);
+    let weights: Vec<f64> = (0..p.pool_size())
+        .map(|i| 0.04 + 0.01 * (i % 5) as f64)
+        .collect();
+    let cfg = FC {
+        refactor_interval: 3,
+        ..Default::default()
+    };
+    let budget = 4;
+    // Initial points carry ids 0..40; the batch-0 Add mints id 40, which
+    // batch 2 then removes — exercising add/label/remove plus the refactor
+    // boundary on the final commit.
+    let updates: Vec<Vec<PoolUpdate<f64>>> = vec![
+        vec![
+            PoolUpdate::Add {
+                x: vec![0.2, -0.1, 0.4, 0.05],
+                h: vec![0.3, 0.2],
+                weight: 0.06,
+            },
+            PoolUpdate::Label { id: 5 },
+        ],
+        vec![PoolUpdate::Remove { id: 11 }, PoolUpdate::Remove { id: 2 }],
+        vec![
+            PoolUpdate::Add {
+                x: vec![-0.3, 0.2, 0.1, 0.3],
+                h: vec![0.25, 0.25],
+                weight: 0.05,
+            },
+            PoolUpdate::Label { id: 7 },
+            PoolUpdate::Remove { id: 40 },
+        ],
+    ];
+
+    let rank_body = {
+        let (p, weights, cfg, updates) = (p.clone(), weights.clone(), cfg.clone(), updates.clone());
+        move |comm: &dyn Communicator| -> (u64, bool, Vec<usize>) {
+            let mut st = StreamingState::new(comm, &p, &weights, &cfg);
+            let mut refactored = false;
+            for batch in &updates {
+                refactored = st.commit(comm, batch).refactored;
+            }
+            let eta = 6.0 * (p.ehat() as f64).sqrt();
+            let run = st.select(comm, budget, eta, EigSolver::Exact);
+            (st.fingerprint(), refactored, run.selected)
+        }
+    };
+
+    // p = 1 reference: the SelfComm instantiation of the same sequence.
+    let (ref_fp, ref_refactored, ref_sel) = rank_body(&SelfComm::new());
+    assert!(
+        ref_refactored,
+        "third commit must hit the interval-3 boundary"
+    );
+    assert_eq!(ref_sel.len(), budget);
+
+    for (backend, rank_counts) in [
+        (Backend::Thread, &[2usize, 4][..]),
+        (Backend::Socket, &[2usize][..]),
+    ] {
+        for &procs in rank_counts {
+            let results = launch_backend(backend, procs, rank_body.clone());
+            for (rank, (fp, refactored, selected)) in results.iter().enumerate() {
+                assert!(refactored, "{backend:?} p={procs} rank {rank}: no refactor");
+                assert_eq!(
+                    selected, &ref_sel,
+                    "{backend:?} p={procs} rank {rank}: streaming selection diverged \
+                     from the SelfComm reference"
+                );
+                assert_eq!(
+                    *fp, results[0].0,
+                    "{backend:?} p={procs} rank {rank}: fingerprint diverged across ranks"
+                );
+            }
+            // Fixed p: the fingerprint is backend-invariant, so the thread
+            // p=2 cell doubles as the socket p=2 expectation.
+            if procs == 2 {
+                let thread_fp = launch_backend(Backend::Thread, 2, rank_body.clone())[0].0;
+                assert_eq!(
+                    results[0].0, thread_fp,
+                    "{backend:?} p=2: fingerprint diverged across backends"
+                );
+            }
+        }
+    }
+    // p = 1 on a real backend matches the SelfComm reference bitwise.
+    let p1 = launch_backend(Backend::Thread, 1, rank_body.clone());
+    assert_eq!(p1[0].0, ref_fp, "thread p=1 fingerprint != SelfComm");
+    assert_eq!(p1[0].2, ref_sel);
+}
+
 #[test]
 fn full_pipeline_rank_invariance() {
     let p: SelectionProblem<f64> = problem(1, 60, 6, 4);
